@@ -1,0 +1,21 @@
+"""Shared benchmark fixtures.
+
+Every benchmark runs its experiment exactly once
+(``benchmark.pedantic(rounds=1)``): these are solver-scale experiments
+regenerating the paper's tables, not microbenchmarks, and their outputs
+(the table rows) are printed so ``pytest benchmarks/ --benchmark-only -s``
+reproduces the paper's exhibits verbatim.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable once under pytest-benchmark timing."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

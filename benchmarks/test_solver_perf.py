@@ -1,0 +1,98 @@
+"""CP-solver microbenchmarks (regression tracking for the substrate).
+
+Unlike the experiment benches these run multiple rounds — they time the
+propagation-heavy inner loops whose performance decides whether the
+paper-scale models solve in milliseconds or minutes.
+"""
+
+import pytest
+
+from repro.cp import (
+    Cumulative,
+    Diff2,
+    IntVar,
+    Max,
+    Phase,
+    Rect2,
+    Search,
+    Store,
+    Task,
+    XPlusCLeqY,
+)
+from repro.cp.constraints.alldiff import AllDifferent
+
+
+def test_bench_cumulative_packing(benchmark):
+    """40 unit tasks on 4 lanes in an exactly-fitting horizon.
+
+    Satisfaction with zero slack: heavy time-table propagation without
+    the symmetric branch-and-bound blow-up an optimality *proof* would
+    cost (symmetry breaking is out of scope for this solver).
+    """
+
+    def run():
+        store = Store()
+        xs = [IntVar(store, 0, 9, name=f"t{i}") for i in range(40)]
+        store.post(Cumulative([Task(x, 1, 1) for x in xs], 4))
+        r = Search(store).solve([Phase(xs)])
+        assert r.found
+        return r
+
+    benchmark(run)
+
+
+def test_bench_diff2_coloring(benchmark):
+    """20 overlapping unit-height rectangles into 20 slots."""
+
+    def run():
+        store = Store()
+        xs = [IntVar(store, 0, 0) for _ in range(20)]
+        ys = [IntVar(store, 0, 19, name=f"y{i}") for i in range(20)]
+        store.post(Diff2([Rect2(x, y, 5, 1) for x, y in zip(xs, ys)]))
+        r = Search(store).solve([Phase(ys)])
+        assert r.found
+        return r
+
+    benchmark(run)
+
+
+def test_bench_alldifferent_permutation(benchmark):
+    def run():
+        store = Store()
+        xs = [IntVar(store, 0, 17, name=f"p{i}") for i in range(18)]
+        store.post(AllDifferent(xs))
+        r = Search(store).solve([Phase(xs)])
+        assert r.found
+        return r
+
+    benchmark(run)
+
+
+def test_bench_precedence_chain_propagation(benchmark):
+    """Posting a 200-deep precedence chain propagates to fixpoint."""
+
+    def run():
+        store = Store()
+        vs = [IntVar(store, 0, 2000) for _ in range(200)]
+        for a, b in zip(vs, vs[1:]):
+            store.post(XPlusCLeqY(a, 7, b))
+        assert vs[-1].min() == 199 * 7
+        return store
+
+    benchmark(run)
+
+
+def test_bench_qrd_schedule_solve(benchmark):
+    """The paper-scale solve: QRD with full memory allocation."""
+    from repro.apps import build_qrd
+    from repro.ir import merge_pipeline_ops
+    from repro.sched import schedule
+
+    g = merge_pipeline_ops(build_qrd())
+
+    def run():
+        s = schedule(g, timeout_ms=60_000)
+        assert s.status.value == "optimal"
+        return s
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,59 @@
+"""Table 2: overlapped execution of 12 QRD iterations, manual vs automated.
+
+Paper numbers:
+
+    # iterations = 12        Manual   Automated
+    Schedule length (cc)     460      540
+    # reconfigurations       18       24
+    # reconfigs/# iter.      1.5      2
+    Throughput (iter./cc)    0.026    0.022
+
+Shape claims: the manual (architect) flow is shorter — the paper reports
+a margin "close to 20%" — with fewer reconfigurations; the automated
+flow stays within a modest constant factor, which is the paper's thesis
+(automation at near-hand-written quality, *with* memory allocation the
+manual flow doesn't even attempt).
+"""
+
+import pytest
+
+from repro.bench.harness import print_table2, table2_overlap
+
+
+def test_table2_regenerate(once, capsys):
+    r = once(table2_overlap, n_iterations=12, timeout_ms=60_000)
+    with capsys.disabled():
+        print("\n" + print_table2(r))
+
+    # manual shorter, automated within 1.6x (paper: ~1.17x)
+    assert r.manual_length < r.automated_length
+    assert r.automated_length / r.manual_length < 1.6
+
+    # fewer reconfigurations by hand
+    assert r.manual_reconfigs <= r.automated_reconfigs
+
+    # throughput ordering follows length
+    assert r.manual_throughput > r.automated_throughput
+
+    # reconfigs/iteration in the paper's order of magnitude (1.5 / 2)
+    assert 0.5 <= r.manual_rec_per_iter <= 3
+    assert 0.5 <= r.automated_rec_per_iter <= 3
+
+
+def test_table2_burstiness(once):
+    """Section 4.3's qualitative point: overlapped execution postpones
+    each instruction's M results into one contiguous burst."""
+    from repro.apps import build_qrd
+    from repro.ir import merge_pipeline_ops
+    from repro.sched import overlap_iterations, schedule
+
+    def run():
+        s = schedule(merge_pipeline_ops(build_qrd()), timeout_ms=60_000)
+        return overlap_iterations(s, 12), overlap_iterations(s, 4)
+
+    r12, r4 = once(run)
+    lo, hi = r12.output_window
+    # the final output block is the last thing in the schedule
+    assert hi >= r12.schedule_length - 1
+    # throughput grows with M (latency masking)
+    assert r12.throughput > r4.throughput

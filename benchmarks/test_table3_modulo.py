@@ -1,0 +1,85 @@
+"""Table 3: modulo scheduling, excluding vs including reconfigurations.
+
+Paper numbers:
+
+                excluding reconfig.          including reconfig.
+    App   (V,E,CrP)      II  #rec  actual  thr      II   thr     time
+    QRD   (143,194,169)  32  23    55      0.018    46   0.022   3055ms*
+    ARF   (88,128,56)    16  16    32      0.031    24   0.042   80s
+    MATMUL(44,68,8)      4   1     4       0.250    4    0.250   2135ms
+    (* time to best before the 10-minute timeout)
+
+Shape claims: patching reconfigurations into an oblivious schedule
+inflates the actual II substantially (QRD +72%, ARF +100%); optimizing
+with reconfigurations in the model beats the patched schedule on every
+multi-configuration kernel, at much larger solve cost; MATMUL uses one
+configuration, so both variants coincide at II=4 / 0.250 — which this
+reproduction matches *exactly*.
+"""
+
+import pytest
+
+from repro.bench.harness import print_table3, table3_modulo
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table3_modulo(
+        kernels=("qrd", "arf", "matmul"),
+        timeout_ms=300_000,
+        per_ii_timeout_ms=12_000,
+    )
+
+
+def test_table3_regenerate(once, capsys):
+    rows = once(
+        table3_modulo,
+        kernels=("qrd", "arf", "matmul"),
+        timeout_ms=300_000,
+        per_ii_timeout_ms=12_000,
+    )
+    with capsys.disabled():
+        print("\n" + print_table3(rows))
+
+    by_app = {r.application: r for r in rows}
+
+    # MATMUL row: exact reproduction of the paper
+    mm = by_app["MATMUL"]
+    assert mm.initial_ii == 4
+    assert mm.n_reconfigs == 1
+    assert mm.actual_ii == 4
+    assert mm.throughput_excl == pytest.approx(0.25)
+    assert mm.ii_incl == 4
+    assert mm.throughput_incl == pytest.approx(0.25)
+
+    # multi-config kernels: patching inflates the actual II
+    for app in ("QRD", "ARF"):
+        r = by_app[app]
+        assert r.actual_ii > r.initial_ii
+        # including reconfigurations in the optimization wins
+        assert r.ii_incl < r.actual_ii
+        assert r.throughput_incl > r.throughput_excl
+
+    # ordering of kernel difficulty follows the paper
+    assert by_app["QRD"].initial_ii > by_app["ARF"].initial_ii > 0
+
+    # the reconfiguration-aware model costs far more solver time on the
+    # hardest kernel (the paper's QRD ran into its 10-minute budget)
+    assert by_app["QRD"].opt_time_incl_ms > by_app["MATMUL"].opt_time_incl_ms
+
+
+def test_actual_ii_equals_ii_plus_overhead(once):
+    """Cross-check the post-processing arithmetic on ARF."""
+    from repro.apps import build_arf
+    from repro.arch.reconfig import steady_state_overhead
+    from repro.ir import merge_pipeline_ops
+    from repro.sched.modulo import modulo_schedule, window_config_stream
+
+    def run():
+        g = merge_pipeline_ops(build_arf())
+        r = modulo_schedule(g, include_reconfigs=False, timeout_ms=60_000)
+        stream = window_config_stream(g, r.offsets, r.ii)
+        return r, stream
+
+    r, stream = once(run)
+    assert r.actual_ii == r.ii + steady_state_overhead(stream)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Retargeting: the paper's future-work item, "other vector architectures".
+
+Every piece of the flow is parametric in :class:`repro.EITConfig`, so a
+different custom vector architecture is one dataclass away.  This
+example sweeps lane count, pipeline depth and memory geometry for the
+MATMUL kernel and reports how the optimal schedule and the modulo
+throughput respond — a small design-space exploration of the kind the
+architecture's designers would run.
+
+Run:  python examples/custom_architecture.py
+"""
+
+from repro import EITConfig, merge_pipeline_ops, schedule
+from repro.apps import build_matmul
+from repro.sched.modulo import modulo_schedule
+
+PROFILES = {
+    "EIT (paper)": EITConfig(),
+    "narrow: 2 lanes": EITConfig(n_lanes=2),
+    "wide: 8 lanes": EITConfig(n_lanes=8),
+    "deep pipeline (9)": EITConfig(pipeline_depth=9),
+    "shallow pipeline (5)": EITConfig(pipeline_depth=5),
+    "small paged memory": EITConfig(n_slots=16),
+    "8-bank memory": EITConfig(n_banks=8, page_size=4, n_slots=32),
+}
+
+
+def main() -> None:
+    graph = merge_pipeline_ops(build_matmul())
+    print(f"{'profile':<22} {'makespan':>8} {'slots':>6} "
+          f"{'mod II':>7} {'thr':>7}")
+    print("-" * 56)
+    for name, cfg in PROFILES.items():
+        s = schedule(graph, cfg=cfg, timeout_ms=30_000)
+        m = modulo_schedule(graph, cfg=cfg, timeout_ms=30_000,
+                            per_ii_timeout_ms=10_000)
+        makespan = s.makespan if s.starts else "-"
+        slots = s.slots_used() if s.starts else "-"
+        ii = m.actual_ii if m.found else "-"
+        thr = f"{m.throughput:.3f}" if m.found else "-"
+        print(f"{name:<22} {makespan:>8} {slots:>6} {ii:>7} {thr:>7}")
+
+    print("\ntakeaways: lanes bound the modulo II (16 dot products / "
+          "lanes); pipeline depth moves single-iteration latency but not "
+          "steady-state throughput; memory geometry constrains *where* "
+          "vectors go, not how fast this kernel runs — exactly the "
+          "paper's Table 1 observation.")
+
+
+if __name__ == "__main__":
+    main()

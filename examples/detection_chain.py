@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""A two-kernel MIMO detection chain: QRD then back-substitution.
+
+The paper's intro workload end to end: decompose the channel
+(``H_ext = Q R``), rotate the observation, and recover the transmitted
+symbols by solving ``R x = Q^H y`` — each stage written in the DSL,
+scheduled with memory allocation, rendered as a Gantt chart + memory
+map, compiled and simulated.  The two kernels have opposite resource
+profiles (QRD: vector-pipeline bound; backsub: scalar/index bound),
+which the Gantt charts make visible.
+
+Run:  python examples/detection_chain.py
+"""
+
+import numpy as np
+
+from repro import generate, merge_pipeline_ops, schedule, simulate
+from repro.apps import backsub, qrd
+from repro.report import gantt, memory_map, schedule_summary
+
+rng = np.random.default_rng(7)
+H = rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4)) + 3 * np.eye(4)
+SIGMA = 0.3
+X_TRUE = np.array([1 + 1j, -1 + 1j, 1 - 1j, -1 - 1j])  # QPSK-ish symbols
+
+
+def run_stage(name, graph):
+    g = merge_pipeline_ops(graph)
+    s = schedule(g, timeout_ms=60_000)
+    print(f"\n=== {name}: {schedule_summary(s)} ===")
+    print(gantt(s, max_cycles=80))
+    print()
+    print(memory_map(s, max_cycles=80))
+    sim = simulate(generate(s))
+    assert sim.ok and sim.mismatches(g) == [], f"{name}: simulation mismatch"
+    print(f"[{name}] machine code verified against the DSL trace")
+    return g, s
+
+
+def main() -> None:
+    # Stage 1: MMSE-QRD of the extended channel
+    run_stage("QRD", qrd.build(H, sigma=SIGMA))
+
+    # Between stages: the rotated observation (host-side arithmetic —
+    # in a real receiver this is the matched filter front-end)
+    Q, R = qrd.reference(H, sigma=SIGMA)
+    y_ext = np.vstack([H, SIGMA * np.eye(4)]) @ X_TRUE
+    y_rot = Q.conj().T @ y_ext
+
+    # Stage 2: back-substitution recovers the symbols
+    g2, _ = run_stage("BACKSUB", backsub.build(R, y_rot))
+
+    x_node = next(d for d in g2.data_nodes() if d.name == "x")
+    x_hat = np.asarray(x_node.value)
+    print("\nrecovered symbols :", np.round(x_hat, 3))
+    print("transmitted       :", X_TRUE)
+    err = np.linalg.norm(x_hat - X_TRUE)
+    print(f"residual ||x̂ - x|| = {err:.2e} "
+          f"(MMSE regularization biases slightly toward zero)")
+
+
+if __name__ == "__main__":
+    main()

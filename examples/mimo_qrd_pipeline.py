@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""MIMO pre-processing: MMSE-QRD, single-shot and pipelined.
+
+The paper's motivating workload: in a MIMO receiver the channel
+pre-processor runs a QR decomposition for every channel estimate, so
+kernel throughput — not single-iteration latency — is what matters.
+This example
+
+1. schedules one MMSE-QRD iteration optimally (with memory allocation),
+2. shows the poor utilization the paper discusses in section 4.2,
+3. recovers throughput with overlapped execution (Table 2's technique),
+4. and with modulo scheduling, in both reconfiguration modes (Table 3),
+5. then verifies the generated machine code by simulation.
+
+Run:  python examples/mimo_qrd_pipeline.py
+"""
+
+import numpy as np
+
+from repro import generate, merge_pipeline_ops, schedule, simulate
+from repro.apps import qrd
+from repro.ir import stats
+from repro.sched import overlap_iterations
+from repro.sched.modulo import modulo_schedule
+
+# a random well-conditioned 4x4 complex channel
+rng = np.random.default_rng(42)
+H = rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4)) \
+    + 3 * np.eye(4)
+
+
+def main() -> None:
+    graph = merge_pipeline_ops(qrd.build(H, sigma=0.4))
+    print(f"MMSE-QRD kernel: (|V|, |E|, |Cr.P|) = {stats(graph).as_tuple()}")
+
+    # -- one iteration ---------------------------------------------------
+    sched = schedule(graph, timeout_ms=60_000)
+    util = sched.vector_core_utilization()
+    print(f"\nsingle iteration: {sched.makespan} cycles "
+          f"({sched.status.value}), {sched.slots_used()} memory slots, "
+          f"vector-core utilization {util:.1%}")
+    print("  -> the dependency chains leave the vector core mostly idle"
+          " (section 4.2's observation)")
+
+    # functional check via the simulator
+    sim = simulate(generate(sched))
+    assert sim.ok and sim.mismatches(graph) == []
+    Q, R = qrd.reference(H, sigma=0.4)
+    print(f"  simulated machine code reproduces the DSL trace; "
+          f"r_00 = {abs(R[0, 0]):.4f} per the NumPy reference")
+
+    # -- overlapped execution (Table 2's technique) -----------------------
+    print("\noverlapped execution:")
+    for m in (4, 8, 12):
+        r = overlap_iterations(sched, m)
+        print(f"  M={m:>2}: length={r.schedule_length} cc, "
+              f"reconfigs={r.n_reconfigurations}, "
+              f"throughput={r.throughput:.4f} iter/cc")
+
+    # -- modulo scheduling (Table 3) ---------------------------------------
+    print("\nmodulo scheduling:")
+    excl = modulo_schedule(graph, include_reconfigs=False,
+                           timeout_ms=120_000, per_ii_timeout_ms=15_000)
+    print(f"  reconfig-oblivious: II={excl.ii}, +{excl.actual_ii - excl.ii} "
+          f"reconfig cycles -> actual II={excl.actual_ii} "
+          f"({excl.throughput:.4f} iter/cc)")
+    incl = modulo_schedule(graph, include_reconfigs=True,
+                           timeout_ms=120_000, per_ii_timeout_ms=15_000)
+    if incl.found:
+        print(f"  reconfig-aware:     II={incl.ii} "
+              f"({incl.throughput:.4f} iter/cc, {incl.status.value}, "
+              f"{incl.opt_time_ms / 1000:.1f}s solve)")
+        gain = excl.actual_ii / incl.actual_ii
+        print(f"  -> modeling reconfigurations inside the CSP buys "
+              f"{(gain - 1) * 100:.0f}% throughput (the paper's Table 3 "
+              f"conclusion), plus a *stable* output rate instead of the "
+              f"overlapped schedule's bursts")
+    else:
+        print(f"  reconfig-aware:     no schedule within budget "
+              f"({incl.status.value})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy shim: this offline environment lacks the `wheel` package that
+PEP 660 editable installs require, so `pip install -e .` falls back to
+`setup.py develop` through this file.  All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""The paper's benchmark kernels, written in the DSL.
+
+* :mod:`repro.apps.matmul` — listing 1: 4x4 matrix times its transpose;
+* :mod:`repro.apps.qrd` — Modified Gram-Schmidt MMSE QR decomposition of
+  the MIMO channel matrix (the paper's main kernel, from [1]/[17]);
+* :mod:`repro.apps.arf` — auto-regression filter, lifted to vectors;
+* :mod:`repro.apps.backsub` — triangular back-substitution (the MIMO
+  detection stage after QRD; scalar/index-unit heavy);
+* :mod:`repro.apps.synth` — random-kernel workload generator.
+
+Each module exposes ``build(...) -> repro.ir.Graph`` (tracing the DSL
+program) plus a NumPy reference implementation used by the tests to
+check the DSL semantics.
+"""
+
+from repro.apps.matmul import build as build_matmul
+from repro.apps.qrd import build as build_qrd
+from repro.apps.arf import build as build_arf
+from repro.apps.backsub import build as build_backsub
+from repro.apps.synth import SynthSpec, random_kernel
+
+__all__ = [
+    "SynthSpec",
+    "build_arf",
+    "build_backsub",
+    "build_matmul",
+    "build_qrd",
+    "random_kernel",
+]

@@ -1,0 +1,72 @@
+"""Back-substitution: solving ``R x = y`` for upper-triangular R.
+
+The stage after the paper's QRD in a MIMO detector: once the channel is
+decomposed, the transmitted symbols are recovered by solving the
+triangular system.  On the EIT this kernel is the *opposite* profile of
+QRD — index/merge and scalar-accelerator heavy with almost no vector
+work — so it exercises the units QRD leaves idle and gives the scheduler
+a serial-resource-bound workload:
+
+    x_3 = y_3 / r_33
+    x_i = (y_i - sum_{j>i} r_ij * x_j) / r_ii
+
+Inputs are the four rows of ``R`` and the rotated observation ``y``, all
+as EITVectors (the natural output format of the QRD stage); element
+extraction happens through ``index`` nodes and the solution is merged
+back into one result vector.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dsl import EITScalar, EITVector, trace
+from repro.ir.graph import Graph
+
+#: a default well-conditioned upper-triangular system
+DEFAULT_R = (
+    (2.0 + 0.0j, 0.5 - 0.2j, 0.3 + 0.1j, 0.2 + 0.0j),
+    (0.0, 1.8 + 0.0j, 0.4 - 0.1j, 0.3 + 0.2j),
+    (0.0, 0.0, 2.2 + 0.0j, 0.5 - 0.3j),
+    (0.0, 0.0, 0.0, 1.9 + 0.0j),
+)
+DEFAULT_Y = (1.0 + 0.5j, 0.8 - 0.2j, 1.2 + 0.1j, 0.6 + 0.4j)
+
+
+def build(
+    R: Optional[Sequence[Sequence[complex]]] = None,
+    y: Optional[Sequence[complex]] = None,
+) -> Graph:
+    """Trace the back-substitution kernel and return its IR graph."""
+    Rm = np.asarray(R if R is not None else DEFAULT_R, dtype=complex)
+    yv = np.asarray(y if y is not None else DEFAULT_Y, dtype=complex)
+    if Rm.shape != (4, 4) or yv.shape != (4,):
+        raise ValueError("R must be 4x4 and y length-4")
+    if not np.allclose(Rm, np.triu(Rm)):
+        raise ValueError("R must be upper-triangular")
+    if np.any(np.isclose(np.diag(Rm), 0)):
+        raise ValueError("R has a (near-)zero pivot")
+
+    with trace("backsub") as t:
+        rows = [EITVector(*Rm[i], name=f"R{i}") for i in range(4)]
+        yvec = EITVector(*yv, name="y")
+
+        x: list = [None] * 4
+        for i in range(3, -1, -1):
+            acc: EITScalar = yvec[i]
+            for j in range(i + 1, 4):
+                acc = acc - rows[i][j] * x[j]
+            x[i] = acc / rows[i][i]
+        EITVector(*x, name="x")  # merge the solution vector
+    return t.graph
+
+
+def reference(
+    R: Optional[Sequence[Sequence[complex]]] = None,
+    y: Optional[Sequence[complex]] = None,
+) -> np.ndarray:
+    Rm = np.asarray(R if R is not None else DEFAULT_R, dtype=complex)
+    yv = np.asarray(y if y is not None else DEFAULT_Y, dtype=complex)
+    return np.linalg.solve(Rm, yv)

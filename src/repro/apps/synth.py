@@ -1,0 +1,118 @@
+"""Synthetic kernel generator.
+
+Random — but *valid and numerically tame* — DSL programs, used by the
+property-based test suite (every random kernel must survive the full
+flow: merge → schedule+allocate → verify → codegen → simulate with
+bit-exact replay) and available as a workload generator for stress
+benchmarks and design-space sweeps.
+
+Kernels are generated through the real DSL, so they exercise the same
+tracing machinery as hand-written programs.  Numerical hygiene: division
+only via ``rsqrt``/``recip`` of energy-like quantities bounded away from
+zero, and magnitudes kept near 1 so long op chains stay finite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.dsl import EITScalar, EITVector, trace
+from repro.dsl.values import EITMatrix
+from repro.ir.graph import Graph
+
+
+@dataclass(frozen=True)
+class SynthSpec:
+    """Knobs for the generator."""
+
+    n_ops: int = 20
+    n_inputs: int = 4
+    p_scalar_op: float = 0.2  # accelerator usage
+    p_matrix_op: float = 0.1  # 4-lane matrix operations
+    p_pre_post: float = 0.2  # conj/sort/shift (merging-pass fodder)
+    seed: int = 0
+
+
+def random_kernel(spec: Optional[SynthSpec] = None, **kwargs) -> Graph:
+    """Generate one random kernel; ``kwargs`` override :class:`SynthSpec`."""
+    if spec is None:
+        spec = SynthSpec(**kwargs)
+    elif kwargs:
+        raise TypeError("pass either a spec or keyword overrides, not both")
+    rng = np.random.default_rng(spec.seed)
+
+    def rand_vec_values():
+        v = rng.standard_normal(4) + 1j * rng.standard_normal(4)
+        return tuple(np.round(v / max(1.0, np.linalg.norm(v)), 4))
+
+    with trace(f"synth_{spec.seed}") as t:
+        vectors: List[EITVector] = [
+            EITVector(*rand_vec_values(), name=f"in{i}")
+            for i in range(max(2, spec.n_inputs))
+        ]
+        scalars: List[EITScalar] = []
+
+        def pick_vec() -> EITVector:
+            return vectors[rng.integers(len(vectors))]
+
+        n_inputs = max(2, spec.n_inputs)
+
+        def pick_input_vec() -> EITVector:
+            # inputs are unit-normalized, hence strictly nonzero —
+            # derived vectors (e.g. v - v) may be exactly zero and are
+            # never used under a reciprocal
+            return vectors[rng.integers(n_inputs)]
+
+        def pick_scalar() -> EITScalar:
+            if scalars and rng.random() < 0.7:
+                return scalars[rng.integers(len(scalars))]
+            # a fresh energy-derived scalar: strictly positive, tame
+            s = pick_input_vec().squsum().rsqrt()
+            scalars.append(s)
+            return s
+
+        for _ in range(spec.n_ops):
+            u = rng.random()
+            if u < spec.p_scalar_op:
+                kind = rng.integers(3)
+                if kind == 0:
+                    scalars.append(pick_scalar() + pick_scalar())
+                elif kind == 1:
+                    scalars.append(pick_scalar() * pick_scalar())
+                else:
+                    scalars.append(pick_input_vec().squsum().sqrt())
+            elif u < spec.p_scalar_op + spec.p_matrix_op and len(vectors) >= 4:
+                idx = rng.choice(len(vectors), size=4, replace=False)
+                A = EITMatrix(*[vectors[i] for i in idx])
+                if rng.random() < 0.5:
+                    vectors.append(A.squsum())
+                else:
+                    B = EITMatrix(*[pick_vec() for _ in range(4)])
+                    vectors.extend((A + B).rows)
+            elif u < spec.p_scalar_op + spec.p_matrix_op + spec.p_pre_post:
+                kind = rng.integers(3)
+                v = pick_vec()
+                if kind == 0:
+                    # pre-processing feeding a core op: merging fodder
+                    vectors.append(v.conj() + pick_vec())
+                elif kind == 1:
+                    vectors.append((v + pick_vec()).sort())
+                else:
+                    vectors.append(v.shift(int(rng.integers(4))))
+            else:
+                kind = rng.integers(5)
+                a, b = pick_vec(), pick_vec()
+                if kind == 0:
+                    vectors.append(a + b)
+                elif kind == 1:
+                    vectors.append(a - b)
+                elif kind == 2:
+                    vectors.append(a * b)
+                elif kind == 3:
+                    vectors.append(a.scale(pick_scalar()))
+                else:
+                    scalars.append(a.dotP(b))
+    return t.graph

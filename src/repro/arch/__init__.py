@@ -1,0 +1,60 @@
+"""Executable model of the EIT reconfigurable custom vector architecture.
+
+The paper evaluates its scheduler against the EIT architecture (Zhang,
+"Dynamically Reconfigurable Architectures for Real-time Baseband
+Processing", Lund 2014): a coarse-grained reconfigurable cell array with
+
+* a pipelined **vector block** (PE2-PE4 + ME2): 7 pipeline stages — load,
+  pre-processing, 2x vector processing, 2x post-processing, write-back —
+  over four homogeneous lanes of four complex MAC units each;
+* a **scalar accelerator** (PE5-PE6) for division, square root and CORDIC;
+* an **index/merge** capability for moving scalars in and out of vectors;
+* a **banked vector memory** (16 banks, grouped 4-per-page, line-wise
+  access descriptors) that can read two 4x4 matrices and write one per
+  cycle — but only under the access rules of section 3.4 / figure 8;
+* per-cycle re-loadable **configuration memories**, making configuration
+  switches (reconfigurations) a first-class scheduling cost.
+
+Everything is parametric through :class:`~repro.arch.eit.EITConfig`
+(lane count, pipeline depth, bank/page geometry, memory size, accelerator
+latencies), which is also the hook for the paper's future-work item of
+targeting other vector architectures.
+"""
+
+from repro.arch.eit import EITConfig, ResourceKind, Unit, DEFAULT_CONFIG, eit_units
+from repro.arch.isa import (
+    OpCategory,
+    Operation,
+    OP_TABLE,
+    lookup_op,
+    matrix_variant,
+    vector_ops,
+)
+from repro.arch.memory import AccessCheck, MemoryLayout, Placement
+from repro.arch.reconfig import (
+    config_runs,
+    count_reconfigurations,
+    cyclic_config_runs,
+    steady_state_overhead,
+)
+
+__all__ = [
+    "AccessCheck",
+    "DEFAULT_CONFIG",
+    "EITConfig",
+    "MemoryLayout",
+    "OP_TABLE",
+    "OpCategory",
+    "Operation",
+    "Placement",
+    "ResourceKind",
+    "Unit",
+    "config_runs",
+    "count_reconfigurations",
+    "cyclic_config_runs",
+    "eit_units",
+    "lookup_op",
+    "matrix_variant",
+    "steady_state_overhead",
+    "vector_ops",
+]

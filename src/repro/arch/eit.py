@@ -1,0 +1,148 @@
+"""EIT processor description: units, lanes, pipeline, parametrization.
+
+Figure 1 of the paper: six processing elements (PE1-PE6) and two memory
+elements (ME1-ME2) on high-bandwidth low-latency links.
+
+========  =====================================================
+Element   Role
+========  =====================================================
+PE1       master node: tracks processing flow, drives the
+          configuration memories from instructions in ME1
+PE2       vector pre-processing (e.g. Hermitian, masking)
+PE3       vector core: 4 lanes x 4 complex MACs
+PE4       vector post-processing (e.g. sorting, shifting)
+PE5/PE6   scalar accelerator: divide / sqrt / CORDIC
+ME1       instruction/configuration memory
+ME2       vector data memory (16 banks, paged)
+========  =====================================================
+
+From the software perspective PE2-PE4+ME2 form a seven-stage pipeline
+(load, pre, 2x core, 2x post, write-back); after the IR merging pass the
+scheduler treats the pipeline as one unit with latency
+``pipeline_depth`` and per-cycle issue (duration 1), exactly as in
+section 3.3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Tuple
+
+
+class ResourceKind(Enum):
+    """The three schedulable resources of the model (section 3.3.2)."""
+
+    VECTOR_CORE = "vector_core"  # PE2-4 pipeline, 4 lanes
+    SCALAR_UNIT = "scalar_unit"  # PE5-6 accelerator, 1 op at a time
+    INDEX_MERGE = "index_merge"  # indexing / merging resource, 1 op at a time
+
+
+@dataclass(frozen=True)
+class Unit:
+    """A physical resource element of the cell array (PE or ME)."""
+
+    name: str
+    kind: str  # "processing" | "memory"
+    role: str
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.role})"
+
+
+def eit_units() -> List[Unit]:
+    """The eight resource elements of figure 1."""
+    return [
+        Unit("PE1", "processing", "master node / control"),
+        Unit("PE2", "processing", "vector pre-processing"),
+        Unit("PE3", "processing", "vector core, 4 lanes x 4 CMACs"),
+        Unit("PE4", "processing", "vector post-processing"),
+        Unit("PE5", "processing", "scalar accelerator (div/sqrt)"),
+        Unit("PE6", "processing", "scalar accelerator (CORDIC)"),
+        Unit("ME1", "memory", "instruction & configuration memory"),
+        Unit("ME2", "memory", "banked vector data memory"),
+    ]
+
+
+@dataclass(frozen=True)
+class EITConfig:
+    """Parametric architecture description.
+
+    The defaults model the EIT instance in the paper; the fields are the
+    knobs for the "other vector architectures" future-work direction.
+
+    Attributes
+    ----------
+    n_lanes:
+        parallel vector lanes in the core; a vector op occupies one, a
+        matrix op all of them (paper: 4).
+    pipeline_depth:
+        vector pipeline latency in cycles after the merging pass
+        (paper: 7 — load, pre, 2x core, 2x post, write-back).
+    n_banks:
+        memory banks readable/writable in parallel (paper: 16).
+    page_size:
+        banks per page, sharing one access descriptor (paper: 4).
+    n_slots:
+        vector-sized memory slots available to the allocator; Table 1
+        sweeps this.  Must be consistent with bank geometry only in the
+        sense that slots are enumerated linearly across banks.
+    max_reads_per_cycle / max_writes_per_cycle:
+        memory port limits: two 4x4 matrices read, one written (8/4
+        vectors).
+    scalar_latency / scalar_duration:
+        accelerator timing.  The paper gives no figures; we model a
+        pipelined iterative unit: a new operation may issue each cycle,
+        results after 4 cycles.  Documented substitution — see DESIGN.md.
+    index_merge_latency:
+        latency of index/merge operations (modeled as 1 cycle).
+    reconfig_cost:
+        cycles added per configuration load (used when modulo scheduling
+        accounts for reconfigurations, Table 3).
+    """
+
+    n_lanes: int = 4
+    pipeline_depth: int = 7
+    n_banks: int = 16
+    page_size: int = 4
+    n_slots: int = 64
+    max_reads_per_cycle: int = 8
+    max_writes_per_cycle: int = 4
+    scalar_latency: int = 4
+    scalar_duration: int = 1
+    index_merge_latency: int = 1
+    reconfig_cost: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_lanes < 1:
+            raise ValueError("n_lanes must be >= 1")
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+        if self.n_banks % self.page_size != 0:
+            raise ValueError("page_size must divide n_banks")
+        if self.n_slots < 1:
+            raise ValueError("n_slots must be >= 1")
+
+    @property
+    def n_pages(self) -> int:
+        return self.n_banks // self.page_size
+
+    @property
+    def vector_width(self) -> int:
+        """Elements per vector (the EIT is built around 4x4 matrices)."""
+        return 4
+
+    def resource_capacity(self, kind: ResourceKind) -> int:
+        if kind is ResourceKind.VECTOR_CORE:
+            return self.n_lanes
+        return 1
+
+    def with_slots(self, n_slots: int) -> "EITConfig":
+        """A copy with a different memory size (Table 1 sweeps)."""
+        from dataclasses import replace
+
+        return replace(self, n_slots=n_slots)
+
+
+#: The architecture instance used throughout the paper's experiments.
+DEFAULT_CONFIG = EITConfig()

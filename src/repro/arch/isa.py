@@ -1,0 +1,237 @@
+"""Operation set of the EIT architecture model.
+
+The reconfigurable core supports a very large operation space; like the
+paper (section 3.1), we implement the subset used by MIMO kernels.  Each
+DSL operation corresponds 1:1 to an entry here; the scheduler reads the
+category, timing and lane demand, and the reconfiguration model reads
+the configuration class.
+
+Vector operations come in *vector* (one lane) and *matrix* (all four
+lanes, same operation applied to the four rows at once) variants —
+section 3.2.2 / figures 4-5.  Pre- and post-processing operations are
+listed separately because the merging pass (figure 6) folds them into
+their neighbouring core operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+from repro.arch.eit import EITConfig, ResourceKind
+
+
+class OpCategory(Enum):
+    """Node categories of the IR (section 3.2)."""
+
+    VECTOR_OP = "vector_op"
+    MATRIX_OP = "matrix_op"
+    SCALAR_OP = "scalar_op"
+    INDEX = "index"
+    MERGE = "merge"
+    VECTOR_DATA = "vector_data"
+    SCALAR_DATA = "scalar_data"
+
+    @property
+    def is_operation(self) -> bool:
+        return self not in (OpCategory.VECTOR_DATA, OpCategory.SCALAR_DATA)
+
+    @property
+    def is_data(self) -> bool:
+        return not self.is_operation
+
+
+class PipelineRole(Enum):
+    """Where a vector-block operation executes inside the PE2-PE4 pipeline."""
+
+    PRE = "pre"  # PE2
+    CORE = "core"  # PE3
+    POST = "post"  # PE4
+    WHOLE = "whole"  # already spans the pipeline (merged or standalone)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A schedulable operation of the architecture.
+
+    ``latency``/``duration``/``lanes`` may be ``None`` for vector-block
+    operations, whose timing is derived from the architecture config
+    (latency = pipeline depth, duration 1, lanes 1 or ``n_lanes``).
+    """
+
+    name: str
+    category: OpCategory
+    resource: ResourceKind
+    pipeline_role: PipelineRole = PipelineRole.WHOLE
+    #: configuration class for reconfiguration counting; operations in
+    #: the same class can follow each other without a reconfiguration.
+    config_class: Optional[str] = None
+    arity: int = 2
+    result_is_scalar: bool = False
+    doc: str = ""
+
+    def config(self) -> str:
+        return self.config_class or self.name
+
+    def latency(self, cfg: EITConfig) -> int:
+        if self.resource is ResourceKind.VECTOR_CORE:
+            return cfg.pipeline_depth
+        if self.resource is ResourceKind.SCALAR_UNIT:
+            return cfg.scalar_latency
+        return cfg.index_merge_latency
+
+    def duration(self, cfg: EITConfig) -> int:
+        if self.resource is ResourceKind.SCALAR_UNIT:
+            return cfg.scalar_duration
+        return 1
+
+    def lanes(self, cfg: EITConfig) -> int:
+        if self.resource is not ResourceKind.VECTOR_CORE:
+            return 0
+        return cfg.n_lanes if self.category is OpCategory.MATRIX_OP else 1
+
+
+def _vec(name: str, role: PipelineRole = PipelineRole.CORE, arity: int = 2,
+         scalar_out: bool = False, doc: str = "") -> Operation:
+    return Operation(
+        name=name,
+        category=OpCategory.VECTOR_OP,
+        resource=ResourceKind.VECTOR_CORE,
+        pipeline_role=role,
+        arity=arity,
+        result_is_scalar=scalar_out,
+        doc=doc,
+    )
+
+
+def _mat(name: str, arity: int = 2, doc: str = "") -> Operation:
+    return Operation(
+        name=name,
+        category=OpCategory.MATRIX_OP,
+        resource=ResourceKind.VECTOR_CORE,
+        pipeline_role=PipelineRole.CORE,
+        arity=arity,
+        doc=doc,
+    )
+
+
+def _scal(name: str, arity: int = 1, doc: str = "") -> Operation:
+    return Operation(
+        name=name,
+        category=OpCategory.SCALAR_OP,
+        resource=ResourceKind.SCALAR_UNIT,
+        arity=arity,
+        result_is_scalar=True,
+        doc=doc,
+    )
+
+
+#: Operation table: the MIMO subset (extensible by adding entries; the
+#: DSL, scheduler and simulator are all table-driven).
+OP_TABLE: Dict[str, Operation] = {
+    op.name: op
+    for op in [
+        # -- vector core, core stage ------------------------------------
+        _vec("v_add", doc="element-wise complex addition"),
+        _vec("v_sub", doc="element-wise complex subtraction"),
+        _vec("v_mul", doc="element-wise complex multiplication"),
+        _vec("v_dotP", scalar_out=True, doc="complex dot product -> scalar"),
+        _vec("v_cdotP", scalar_out=True,
+             doc="conjugated dot product <a, conj(b)> -> scalar"),
+        _vec("v_scale", doc="vector x scalar broadcast multiply"),
+        _vec("v_axpy", arity=3, doc="a*x + y fused multiply-add"),
+        _vec("v_axmy", arity=3,
+             doc="y - a*x fused multiply-subtract (architect-level "
+             "instruction selection, see sched.baseline)"),
+        _vec("v_squsum", scalar_out=True, arity=1,
+             doc="sum of squared magnitudes -> scalar (fig. 4/5)"),
+        # -- vector block, pre-processing stage (PE2) --------------------
+        _vec("v_conj", PipelineRole.PRE, arity=1, doc="element-wise conjugate"),
+        _vec("v_mask", PipelineRole.PRE, doc="element mask (pre-processing)"),
+        _vec("v_hermit", PipelineRole.PRE, arity=1,
+             doc="Hermitian pre-transform of a row"),
+        # -- vector block, post-processing stage (PE4) -------------------
+        _vec("v_sort", PipelineRole.POST, arity=1, doc="sort elements (post)"),
+        _vec("v_shift", PipelineRole.POST, doc="element shift/rotate (post)"),
+        _vec("v_neg", PipelineRole.POST, arity=1, doc="negate (post)"),
+        # -- matrix variants (all four lanes at once); arity counts IR
+        # operand data nodes: matrices appear as 4 vector nodes ------------
+        _mat("m_add", arity=8),
+        _mat("m_sub", arity=8),
+        _mat("m_mul", arity=8),
+        _mat("m_scale", arity=5, doc="matrix x scalar broadcast"),
+        _mat("m_squsum", arity=4,
+             doc="per-row squared-magnitude sums -> vector (fig. 4)"),
+        _mat("m_vmul", arity=5,
+             doc="matrix-vector product: lane k computes dotP(row_k, x); "
+             "operands (row0..row3, x) -> vector of 4 dot products"),
+        _mat("m_hermitian", arity=4, doc="matrix Hermitian transpose"),
+        # -- scalar accelerator (PE5/PE6) ---------------------------------
+        _scal("s_sqrt", doc="square root"),
+        _scal("s_rsqrt", doc="reciprocal square root (MGS normalization)"),
+        _scal("s_div", arity=2, doc="division"),
+        _scal("s_recip", doc="reciprocal"),
+        _scal("s_add", arity=2, doc="scalar addition"),
+        _scal("s_sub", arity=2, doc="scalar subtraction"),
+        _scal("s_mul", arity=2, doc="scalar multiplication"),
+        _scal("s_cordic_rot", arity=2, doc="CORDIC rotation mode"),
+        _scal("s_cordic_vec", arity=1, doc="CORDIC vectoring mode (magnitude/phase)"),
+        # -- index / merge resource ---------------------------------------
+        Operation(
+            "index",
+            OpCategory.INDEX,
+            ResourceKind.INDEX_MERGE,
+            arity=1,
+            result_is_scalar=True,
+            doc="extract element i of a vector -> scalar",
+        ),
+        Operation(
+            "merge",
+            OpCategory.MERGE,
+            ResourceKind.INDEX_MERGE,
+            arity=4,
+            doc="pack four scalars into a vector (figs. 3, 5)",
+        ),
+        Operation(
+            "col_access",
+            OpCategory.INDEX,
+            ResourceKind.INDEX_MERGE,
+            arity=4,
+            doc="gather column j of a matrix as a vector "
+            "(supported by the banked memory's access descriptors)",
+        ),
+    ]
+}
+
+#: vector op -> matrix variant (used by the DSL's matrix operations and
+#: by transforms that trade 4 vector ops + merge for one matrix op).
+_MATRIX_OF_VECTOR: Dict[str, str] = {
+    "v_add": "m_add",
+    "v_sub": "m_sub",
+    "v_mul": "m_mul",
+    "v_scale": "m_scale",
+    "v_squsum": "m_squsum",
+    "v_hermit": "m_hermitian",
+}
+
+
+def lookup_op(name: str) -> Operation:
+    try:
+        return OP_TABLE[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown operation {name!r}; known: {sorted(OP_TABLE)}"
+        ) from None
+
+
+def matrix_variant(vector_op: str) -> Optional[Operation]:
+    """The matrix (4-lane) variant of a vector operation, if one exists."""
+    name = _MATRIX_OF_VECTOR.get(vector_op)
+    return OP_TABLE[name] if name else None
+
+
+def vector_ops() -> Tuple[Operation, ...]:
+    return tuple(
+        op for op in OP_TABLE.values() if op.category is OpCategory.VECTOR_OP
+    )

@@ -1,0 +1,205 @@
+"""Banked vector memory model: banks, pages, lines, slots (section 3.4).
+
+The memory holds vectors in *slots*.  Slots are enumerated linearly
+across banks: slot 0 is the first slot of bank 0, slot 1 the first slot
+of bank 1, ..., slot ``n_banks`` the second slot of bank 0, and so on —
+exactly the numbering the paper uses for its Diff2 encoding.  All slots
+with the same per-bank offset form a *line*; groups of ``page_size``
+consecutive banks form a *page* sharing one access descriptor.
+
+Access rules (figure 8):
+
+1. a bank serves at most one read and one write per cycle, so slots
+   accessed together must sit in distinct banks;
+2. within a page, simultaneously accessed slots must sit in the same
+   line (descriptors are too expensive to reconfigure mid-access);
+3. global port limits: at most two matrices (8 vectors) read and one
+   matrix (4 vectors) written per cycle.
+
+:class:`MemoryLayout` implements the geometry and the legality check;
+:class:`Placement` is a convenience wrapper mapping named vectors to
+slots (used by the allocator's output, the simulator and the figure-8
+regeneration bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.arch.eit import EITConfig, DEFAULT_CONFIG
+
+
+@dataclass(frozen=True)
+class AccessCheck:
+    """Outcome of a simultaneous-access legality check."""
+
+    ok: bool
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+class MemoryLayout:
+    """Geometry and access rules of the banked vector memory."""
+
+    def __init__(self, cfg: EITConfig = DEFAULT_CONFIG):
+        self.cfg = cfg
+        self.n_banks = cfg.n_banks
+        self.page_size = cfg.page_size
+        self.n_pages = cfg.n_pages
+        self.n_slots = cfg.n_slots
+
+    # -- geometry (paper eq. 6) -----------------------------------------
+    def bank_of(self, slot: int) -> int:
+        self._check_slot(slot)
+        return slot % self.n_banks
+
+    def line_of(self, slot: int) -> int:
+        self._check_slot(slot)
+        return slot // self.n_banks
+
+    def page_of(self, slot: int) -> int:
+        self._check_slot(slot)
+        return (slot % self.n_banks) // self.page_size
+
+    def slot_of(self, bank: int, line: int) -> int:
+        """Inverse mapping: (bank, line) -> linear slot number."""
+        if not 0 <= bank < self.n_banks:
+            raise ValueError(f"bank {bank} out of range 0..{self.n_banks - 1}")
+        slot = line * self.n_banks + bank
+        self._check_slot(slot)
+        return slot
+
+    @property
+    def n_lines(self) -> int:
+        """Lines addressable within the configured slot budget."""
+        return -(-self.n_slots // self.n_banks)  # ceil
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.n_slots:
+            raise ValueError(f"slot {slot} out of range 0..{self.n_slots - 1}")
+
+    # -- access legality (figure 8) ---------------------------------------
+    def simultaneous_access(self, slots: Sequence[int]) -> AccessCheck:
+        """Can all ``slots`` be accessed in one cycle (ignoring port limits)?"""
+        seen_banks: Dict[int, int] = {}
+        page_lines: Dict[int, int] = {}
+        for s in slots:
+            bank = self.bank_of(s)
+            if bank in seen_banks and seen_banks[bank] != s:
+                return AccessCheck(
+                    False,
+                    f"slots {seen_banks[bank]} and {s} share bank {bank}",
+                )
+            seen_banks[bank] = s
+            page, line = self.page_of(s), self.line_of(s)
+            if page in page_lines and page_lines[page] != line:
+                return AccessCheck(
+                    False,
+                    f"page {page} accessed in lines {page_lines[page]} and "
+                    f"{line}; within a page all accesses must share a line",
+                )
+            page_lines[page] = line
+        return AccessCheck(True)
+
+    def cycle_access(
+        self, reads: Sequence[int], writes: Sequence[int]
+    ) -> AccessCheck:
+        """Full one-cycle legality: access rules + port limits + bank R/W.
+
+        Each bank supports one read *and* one write per cycle, so reads
+        and writes are checked for bank conflicts independently, but the
+        page/line descriptor rule spans both.
+        """
+        if len(set(reads)) > self.cfg.max_reads_per_cycle:
+            return AccessCheck(
+                False,
+                f"{len(set(reads))} reads > {self.cfg.max_reads_per_cycle} port limit",
+            )
+        if len(set(writes)) > self.cfg.max_writes_per_cycle:
+            return AccessCheck(
+                False,
+                f"{len(set(writes))} writes > {self.cfg.max_writes_per_cycle} port limit",
+            )
+        for group, what in ((reads, "read"), (writes, "write")):
+            banks: Dict[int, int] = {}
+            for s in group:
+                b = self.bank_of(s)
+                if b in banks and banks[b] != s:
+                    return AccessCheck(
+                        False, f"{what} bank conflict on bank {b}"
+                    )
+                banks[b] = s
+        # Descriptor (page/line) rule covers every access in the cycle.
+        page_lines: Dict[int, int] = {}
+        for s in list(reads) + list(writes):
+            page, line = self.page_of(s), self.line_of(s)
+            if page in page_lines and page_lines[page] != line:
+                return AccessCheck(
+                    False,
+                    f"page {page} would need lines {page_lines[page]} and {line}",
+                )
+            page_lines[page] = line
+        return AccessCheck(True)
+
+    def matrix_accessible(self, slots: Sequence[int]) -> AccessCheck:
+        """Figure 8's question: can a 4-vector matrix be read in one cycle?"""
+        if len(slots) != self.cfg.vector_width:
+            return AccessCheck(
+                False, f"a matrix has {self.cfg.vector_width} vectors"
+            )
+        return self.simultaneous_access(slots)
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryLayout(banks={self.n_banks}, page_size={self.page_size}, "
+            f"slots={self.n_slots})"
+        )
+
+
+@dataclass
+class Placement:
+    """A named mapping of vectors to slots (allocator output)."""
+
+    layout: MemoryLayout
+    slots: Dict[str, int] = field(default_factory=dict)
+
+    def place(self, name: str, slot: int) -> None:
+        self.layout._check_slot(slot)
+        self.slots[name] = slot
+
+    def slot(self, name: str) -> int:
+        return self.slots[name]
+
+    def group_accessible(self, names: Iterable[str]) -> AccessCheck:
+        return self.layout.simultaneous_access([self.slots[n] for n in names])
+
+    def used_slots(self) -> List[int]:
+        return sorted(set(self.slots.values()))
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+
+def figure8_examples() -> Dict[str, Tuple[List[int], AccessCheck]]:
+    """The three placements of figure 8 on the small 12-bank demo memory.
+
+    The figure uses a memory of 12 banks (3 pages of 4 banks) with three
+    slots per bank.  Matrix A collides in banks, matrix B crosses lines
+    within page 3, matrix C is cleanly accessible.
+    """
+    cfg = EITConfig(n_banks=12, page_size=4, n_slots=36)
+    layout = MemoryLayout(cfg)
+    # (bank, line) placements transcribed from figure 8.
+    examples = {
+        "A": [(0, 0), (1, 0), (0, 1), (1, 1)],  # A1,A2 / A3,A4 share banks
+        "B": [(4, 0), (5, 0), (8, 0), (9, 1)],  # B4 in page 2 but line 1
+        "C": [(2, 1), (3, 1), (6, 2), (7, 2)],  # distinct banks; pages OK
+    }
+    out = {}
+    for name, placing in examples.items():
+        slots = [layout.slot_of(b, l) for b, l in placing]
+        out[name] = (slots, layout.matrix_accessible(slots))
+    return out

@@ -1,0 +1,89 @@
+"""Reconfiguration cost model.
+
+The EIT's configuration memories are re-loadable every clock cycle; a
+*reconfiguration* happens whenever the instruction type issued in a
+cycle differs from the type issued in the previous cycle (section 4.3:
+"a reconfiguration is needed when two different types of instructions
+follow each other").  Each reconfiguration costs
+``EITConfig.reconfig_cost`` cycles (one configuration-load cycle in the
+default model).
+
+Two views matter for the experiments:
+
+* **linear** (:func:`count_reconfigurations`): for a finite schedule such
+  as the overlapped execution of Table 2 — switches counted along the
+  schedule, including the initial configuration load;
+* **cyclic** (:func:`cyclic_config_runs` / :func:`steady_state_overhead`):
+  for the steady state of a modulo schedule (Table 3) — the II window
+  repeats, so the boundary between the window's last and first
+  configuration also counts.  A window with a single configuration run
+  needs *no* steady-state reconfiguration (only the startup load), which
+  is exactly the paper's MATMUL row: 1 reported reconfiguration, yet
+  actual II = initial II.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+#: A configuration stream: one entry per issue cycle; ``None`` means the
+#: cycle issues nothing (no-op) and keeps the previous configuration.
+ConfigStream = Sequence[Optional[str]]
+
+
+def _effective(stream: ConfigStream) -> List[str]:
+    """Drop no-op cycles: configuration only changes when something issues."""
+    return [c for c in stream if c is not None]
+
+
+def config_runs(stream: ConfigStream) -> List[Tuple[str, int]]:
+    """Maximal runs of identical configuration, as ``(config, length)``."""
+    eff = _effective(stream)
+    runs: List[Tuple[str, int]] = []
+    for c in eff:
+        if runs and runs[-1][0] == c:
+            runs[-1] = (c, runs[-1][1] + 1)
+        else:
+            runs.append((c, 1))
+    return runs
+
+
+def count_reconfigurations(stream: ConfigStream, include_initial: bool = True) -> int:
+    """Configuration loads along a linear schedule.
+
+    With ``include_initial`` (the paper's counting in Tables 2-3), the
+    very first configuration load is included, so the result equals the
+    number of runs.
+    """
+    runs = config_runs(stream)
+    if not runs:
+        return 0
+    return len(runs) if include_initial else len(runs) - 1
+
+
+def cyclic_config_runs(stream: ConfigStream) -> int:
+    """Number of configuration runs when the stream repeats cyclically.
+
+    For a uniform stream this is 1 (a single wrap-around run); otherwise
+    it equals the number of cyclic adjacent switches.
+    """
+    eff = _effective(stream)
+    if not eff:
+        return 0
+    switches = sum(1 for a, b in zip(eff, eff[1:]) if a != b)
+    if eff[-1] != eff[0]:
+        switches += 1
+    return max(switches, 1)
+
+
+def steady_state_overhead(stream: ConfigStream, reconfig_cost: int = 1) -> int:
+    """Extra cycles per iteration a modulo schedule pays for reconfiguration.
+
+    A window that keeps one configuration the whole II pays nothing in
+    steady state; otherwise every cyclic run boundary costs one
+    configuration load.
+    """
+    runs = cyclic_config_runs(stream)
+    if runs <= 1:
+        return 0
+    return runs * reconfig_cost

@@ -1,0 +1,30 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each ``tableN``/``figN`` function returns structured rows *and* can
+print them in the layout of the paper's corresponding exhibit; the
+``benchmarks/`` pytest suite and ``python -m repro.bench <exp>`` both
+drive these entry points, and EXPERIMENTS.md records the outputs next
+to the published numbers.
+"""
+
+from repro.bench.harness import (
+    fig3_ir,
+    fig45_expansion,
+    fig6_merging,
+    fig8_memory,
+    format_table,
+    table1_memory_sweep,
+    table2_overlap,
+    table3_modulo,
+)
+
+__all__ = [
+    "fig3_ir",
+    "fig45_expansion",
+    "fig6_merging",
+    "fig8_memory",
+    "format_table",
+    "table1_memory_sweep",
+    "table2_overlap",
+    "table3_modulo",
+]

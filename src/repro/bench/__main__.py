@@ -1,0 +1,86 @@
+"""CLI: regenerate any of the paper's exhibits.
+
+Usage::
+
+    python -m repro.bench table1 [--sizes 64,32,16,10] [--timeout 60]
+    python -m repro.bench table2 [--iterations 12]
+    python -m repro.bench table3 [--kernels qrd,arf,matmul] [--timeout 600]
+    python -m repro.bench fig3 | fig45 | fig6 | fig8
+    python -m repro.bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import (
+    fig3_ir,
+    fig45_expansion,
+    fig6_merging,
+    fig8_memory,
+    print_table1,
+    print_table2,
+    print_table3,
+    table1_memory_sweep,
+    table2_overlap,
+    table3_modulo,
+)
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(prog="python -m repro.bench")
+    p.add_argument("experiment", choices=[
+        "table1", "table2", "table3", "fig3", "fig45", "fig6", "fig8", "all",
+    ])
+    p.add_argument("--sizes", default="64,32,16,10",
+                   help="memory sizes for table1 (comma-separated)")
+    p.add_argument("--iterations", type=int, default=12,
+                   help="overlap factor M for table2")
+    p.add_argument("--kernels", default="qrd,arf,matmul",
+                   help="kernels for table3")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="solver budget per experiment, seconds")
+    args = p.parse_args(argv)
+
+    todo = (
+        ["table1", "table2", "table3", "fig3", "fig45", "fig6", "fig8"]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for exp in todo:
+        print(f"=== {exp} ===")
+        if exp == "table1":
+            sizes = [int(s) for s in args.sizes.split(",")]
+            rows, props = table1_memory_sweep(
+                sizes=sizes, timeout_ms=args.timeout * 1000
+            )
+            print(print_table1(rows, props))
+        elif exp == "table2":
+            print(print_table2(table2_overlap(
+                n_iterations=args.iterations, timeout_ms=args.timeout * 1000
+            )))
+        elif exp == "table3":
+            kernels = args.kernels.split(",")
+            print(print_table3(table3_modulo(
+                kernels=kernels, timeout_ms=args.timeout * 1000
+            )))
+        elif exp == "fig3":
+            _, dot = fig3_ir()
+            print(dot)
+        elif exp == "fig45":
+            for k, v in fig45_expansion().items():
+                print(f"{k}: (|V|, |E|, |Cr.P|) = {v}")
+        elif exp == "fig6":
+            for k, v in fig6_merging().items():
+                print(f"{k}: {v}")
+        elif exp == "fig8":
+            for name, (slots, ok, reason) in fig8_memory().items():
+                verdict = "1-cycle accessible" if ok else f"NOT accessible ({reason})"
+                print(f"matrix {name}: slots {slots}: {verdict}")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,294 @@
+"""Implementations of the paper's experiments (Tables 1-3, Figures 3-8)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.eit import DEFAULT_CONFIG, EITConfig
+from repro.arch.memory import figure8_examples
+from repro.apps import build_arf, build_matmul, build_qrd
+from repro.ir import (
+    matrix_op_to_vector_ops,
+    merge_pipeline_ops,
+    stats,
+    to_dot,
+)
+from repro.ir.graph import Graph
+from repro.sched import (
+    manual_instruction_sequence,
+    overlap_blocks,
+    overlap_iterations,
+    schedule,
+)
+from repro.sched.modulo import modulo_schedule
+
+KERNELS: Dict[str, Callable[[], Graph]] = {
+    "qrd": build_qrd,
+    "arf": build_arf,
+    "matmul": build_matmul,
+}
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{c:.3f}" if isinstance(c, float) else str(c) for c in row]
+        for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for j, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if j == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def prepared(kernel: str) -> Graph:
+    """Build a kernel and run the pre-scheduling merging pass."""
+    return merge_pipeline_ops(KERNELS[kernel]())
+
+
+# ----------------------------------------------------------------------
+# Table 1: scheduling QRD under different memory sizes
+# ----------------------------------------------------------------------
+@dataclass
+class Table1Row:
+    n_slots_available: int
+    schedule_length: int
+    n_slots_used: int
+    opt_time_ms: float
+    status: str
+
+
+def table1_memory_sweep(
+    kernel: str = "qrd",
+    sizes: Sequence[int] = (64, 32, 16, 10),
+    timeout_ms: float = 60_000.0,
+    cfg: EITConfig = DEFAULT_CONFIG,
+) -> Tuple[List[Table1Row], Dict[str, int]]:
+    """Paper Table 1: schedule the kernel with shrinking memory.
+
+    Returns the rows plus the graph properties the paper lists in the
+    left column (|V|, |E|, |Cr.P|, #vector data).
+    """
+    g = prepared(kernel)
+    st = stats(g, cfg)
+    props = {
+        "V": st.n_nodes,
+        "E": st.n_edges,
+        "CrP": st.critical_path,
+        "v_data": st.n_vector_data,
+    }
+    rows = []
+    for n in sizes:
+        s = schedule(g, cfg=cfg, n_slots=n, timeout_ms=timeout_ms)
+        rows.append(
+            Table1Row(
+                n_slots_available=n,
+                schedule_length=s.makespan,
+                n_slots_used=s.slots_used() if s.starts else 0,
+                opt_time_ms=s.solve_time_ms,
+                status=s.status.value,
+            )
+        )
+    return rows, props
+
+
+def print_table1(rows: List[Table1Row], props: Dict[str, int]) -> str:
+    header = (
+        f"Application properties: |V| = {props['V']}, |E| = {props['E']}, "
+        f"|Cr.P| = {props['CrP']}, # v_data = {props['v_data']}\n"
+    )
+    body = format_table(
+        ["schedule length (cc)", "#slots available", "#slots used", "opt. time (ms)", "status"],
+        [
+            [r.schedule_length, r.n_slots_available, r.n_slots_used,
+             round(r.opt_time_ms), r.status]
+            for r in rows
+        ],
+    )
+    return header + body
+
+
+# ----------------------------------------------------------------------
+# Table 2: overlapping iterations, manual vs automated
+# ----------------------------------------------------------------------
+@dataclass
+class Table2Result:
+    n_iterations: int
+    manual_length: int
+    automated_length: int
+    manual_reconfigs: int
+    automated_reconfigs: int
+    manual_throughput: float
+    automated_throughput: float
+
+    @property
+    def manual_rec_per_iter(self) -> float:
+        return self.manual_reconfigs / self.n_iterations
+
+    @property
+    def automated_rec_per_iter(self) -> float:
+        return self.automated_reconfigs / self.n_iterations
+
+
+def table2_overlap(
+    kernel: str = "qrd",
+    n_iterations: int = 12,
+    timeout_ms: float = 60_000.0,
+    cfg: EITConfig = DEFAULT_CONFIG,
+) -> Table2Result:
+    """Paper Table 2: overlapped execution, manual vs automated flow."""
+    g = prepared(kernel)
+    s = schedule(g, cfg=cfg, timeout_ms=timeout_ms)
+    auto = overlap_iterations(s, n_iterations)
+
+    blocks, gopt = manual_instruction_sequence(KERNELS[kernel](), cfg)
+    man = overlap_blocks(gopt, blocks, n_iterations, cfg)
+
+    return Table2Result(
+        n_iterations=n_iterations,
+        manual_length=man.schedule_length,
+        automated_length=auto.schedule_length,
+        manual_reconfigs=man.n_reconfigurations,
+        automated_reconfigs=auto.n_reconfigurations,
+        manual_throughput=man.throughput,
+        automated_throughput=auto.throughput,
+    )
+
+
+def print_table2(r: Table2Result) -> str:
+    return format_table(
+        [f"# iterations = {r.n_iterations}", "Manual", "Automated"],
+        [
+            ["Schedule length (cc)", r.manual_length, r.automated_length],
+            ["# reconfigurations", r.manual_reconfigs, r.automated_reconfigs],
+            ["# reconfigs/# iter.",
+             round(r.manual_rec_per_iter, 2), round(r.automated_rec_per_iter, 2)],
+            ["Throughput (iter./cc)",
+             round(r.manual_throughput, 4), round(r.automated_throughput, 4)],
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 3: modulo scheduling, excluding vs including reconfigurations
+# ----------------------------------------------------------------------
+@dataclass
+class Table3Row:
+    application: str
+    graph_props: Tuple[int, int, int]
+    initial_ii: int
+    n_reconfigs: int
+    actual_ii: int
+    throughput_excl: float
+    ii_incl: int
+    throughput_incl: float
+    opt_time_incl_ms: float
+    status_excl: str = ""
+    status_incl: str = ""
+
+
+def table3_modulo(
+    kernels: Sequence[str] = ("qrd", "arf", "matmul"),
+    timeout_ms: float = 600_000.0,
+    per_ii_timeout_ms: Optional[float] = 30_000.0,
+    cfg: EITConfig = DEFAULT_CONFIG,
+) -> List[Table3Row]:
+    """Paper Table 3: both modulo-scheduling variants on all kernels."""
+    rows = []
+    for k in kernels:
+        g = prepared(k)
+        props = stats(g, cfg).as_tuple()
+        excl = modulo_schedule(
+            g, cfg, include_reconfigs=False,
+            timeout_ms=timeout_ms, per_ii_timeout_ms=per_ii_timeout_ms,
+        )
+        incl = modulo_schedule(
+            g, cfg, include_reconfigs=True,
+            timeout_ms=timeout_ms, per_ii_timeout_ms=per_ii_timeout_ms,
+        )
+        rows.append(
+            Table3Row(
+                application=k.upper(),
+                graph_props=props,
+                initial_ii=excl.ii,
+                n_reconfigs=excl.n_reconfigurations,
+                actual_ii=excl.actual_ii,
+                throughput_excl=excl.throughput,
+                ii_incl=incl.ii,
+                throughput_incl=incl.throughput,
+                opt_time_incl_ms=incl.opt_time_ms,
+                status_excl=excl.status.value,
+                status_incl=incl.status.value,
+            )
+        )
+    return rows
+
+
+def print_table3(rows: List[Table3Row]) -> str:
+    return format_table(
+        ["Application", "(|V|,|E|,|Cr.P|)", "initial II", "# rec.",
+         "actual II", "thr. (iter/cc)", "II incl.", "thr. incl.",
+         "opt time (ms)"],
+        [
+            [r.application, str(r.graph_props), r.initial_ii, r.n_reconfigs,
+             r.actual_ii, round(r.throughput_excl, 3), r.ii_incl,
+             round(r.throughput_incl, 3), round(r.opt_time_incl_ms)]
+            for r in rows
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures
+# ----------------------------------------------------------------------
+def fig3_ir() -> Tuple[Graph, str]:
+    """Figure 3: the IR of listing 1, as a graph + DOT rendering."""
+    g = build_matmul()
+    return g, to_dot(g, "figure 3: IR of listing 1 (matmul)")
+
+
+def fig45_expansion() -> Dict[str, Tuple[int, int, int]]:
+    """Figures 4-5: one matrix op vs its 4-vector + merge expansion.
+
+    Returns graph stats before and after expanding the ``m_squsum`` of a
+    small kernel, showing the node-count increase the matrix form avoids.
+    """
+    from repro.dsl import EITMatrix, EITVector, trace
+
+    with trace("fig4") as t:
+        rows = [EITVector(i + 1, i + 2, i + 3, i + 4) for i in range(4)]
+        A = EITMatrix(*rows)
+        A.squsum()
+    g_matrix = t.graph
+    node = next(o for o in g_matrix.op_nodes() if o.op.name == "m_squsum")
+    g_vector = matrix_op_to_vector_ops(g_matrix, node, inplace=False)
+    return {
+        "matrix_form": stats(g_matrix).as_tuple(),
+        "vector_form": stats(g_vector).as_tuple(),
+    }
+
+
+def fig6_merging(kernel: str = "qrd") -> Dict[str, Tuple[int, int, int]]:
+    """Figure 6 / section 3.3.1: effect of the pipeline merging pass."""
+    g = KERNELS[kernel]()
+    merged = merge_pipeline_ops(g)
+    return {
+        "before": stats(g).as_tuple(),
+        "after": stats(merged).as_tuple(),
+        "merged_nodes": (  # type: ignore[dict-item]
+            sum(1 for o in merged.op_nodes() if o.merged_from),
+        ),
+    }
+
+
+def fig8_memory() -> Dict[str, Tuple[List[int], bool, str]]:
+    """Figure 8: which of the example matrices is single-cycle accessible."""
+    out = {}
+    for name, (slots, chk) in figure8_examples().items():
+        out[name] = (slots, bool(chk), chk.reason)
+    return out

@@ -1,0 +1,25 @@
+"""Machine-code generation from a scheduled, memory-allocated kernel.
+
+The paper's flow (figure 2) ends with "a schedule with memory allocation
+that contains all information needed by a code generator turning this
+schedule into machine code".  This package is that code generator: it
+turns a :class:`repro.sched.result.Schedule` into a cycle-indexed
+program of wide instructions — per-cycle vector-core configuration and
+lane assignments, scalar-accelerator issues, index/merge issues, memory
+slot operands and destinations, and reconfiguration markers — plus a
+readable assembly listing.
+
+The generated :class:`~repro.codegen.machine_code.Program` is executable
+by :mod:`repro.sim`, which is how the test suite proves that scheduling,
+allocation and code generation preserve the DSL program's semantics.
+"""
+
+from repro.codegen.machine_code import (
+    MicroOp,
+    OperandRef,
+    Program,
+    WideInstruction,
+    generate,
+)
+
+__all__ = ["MicroOp", "OperandRef", "Program", "WideInstruction", "generate"]

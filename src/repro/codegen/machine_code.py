@@ -1,0 +1,218 @@
+"""Wide-instruction program representation and the schedule → code pass."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.arch.eit import EITConfig, ResourceKind
+from repro.arch.isa import OpCategory
+from repro.ir.graph import DataNode, Graph, OpNode
+from repro.ir.transform import leaf_expr
+from repro.sched.result import Schedule
+
+
+@dataclass(frozen=True)
+class OperandRef:
+    """Where a value lives: a vector-memory slot or a scalar register."""
+
+    space: str  # "mem" (vector memory slot) | "sreg" (scalar register)
+    index: int
+
+    def __str__(self) -> str:
+        return f"{'m' if self.space == 'mem' else 'r'}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class MicroOp:
+    """One operation instance inside a wide instruction."""
+
+    node_id: int
+    op_name: str
+    lanes: Tuple[int, ...]  # vector-core lanes occupied (empty for other units)
+    operands: Tuple[OperandRef, ...]
+    dests: Tuple[OperandRef, ...]
+    latency: int
+    expr: Any = None  # merged-node expression tree, if any
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        ops = " ".join(map(str, self.operands))
+        dst = ",".join(map(str, self.dests))
+        lane = f"L{','.join(map(str, self.lanes))} " if self.lanes else ""
+        return f"{lane}{self.op_name} {ops} -> {dst}"
+
+
+@dataclass
+class WideInstruction:
+    """Everything issued in one clock cycle."""
+
+    cycle: int
+    vector_config: Optional[str]
+    reconfigure: bool
+    vector_ops: List[MicroOp] = field(default_factory=list)
+    scalar_ops: List[MicroOp] = field(default_factory=list)
+    index_ops: List[MicroOp] = field(default_factory=list)
+
+    def all_ops(self) -> List[MicroOp]:
+        return self.vector_ops + self.scalar_ops + self.index_ops
+
+    def listing_line(self) -> str:
+        parts = []
+        if self.vector_ops:
+            marker = "*" if self.reconfigure else " "
+            parts.append(
+                f"PE3{marker}[{self.vector_config}]: "
+                + "; ".join(str(m) for m in self.vector_ops)
+            )
+        if self.scalar_ops:
+            parts.append("PE5: " + "; ".join(str(m) for m in self.scalar_ops))
+        if self.index_ops:
+            parts.append("IDX: " + "; ".join(str(m) for m in self.index_ops))
+        return f"{self.cycle:5d} | " + " || ".join(parts)
+
+
+@dataclass
+class Program:
+    """A complete machine-code program for one kernel iteration."""
+
+    graph: Graph
+    cfg: EITConfig
+    instructions: Dict[int, WideInstruction]  # cycle -> instruction
+    n_cycles: int
+    #: preload images: what must sit in memory / registers at cycle 0
+    mem_preload: Dict[int, Any]  # slot -> vector value
+    sreg_preload: Dict[int, Any]  # register -> scalar value
+    #: where each data node lives (for result extraction)
+    data_location: Dict[int, OperandRef]
+
+    @property
+    def n_instructions(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def n_reconfigurations(self) -> int:
+        return sum(
+            1 for ins in self.instructions.values() if ins.reconfigure
+        )
+
+    def listing(self) -> str:
+        header = (
+            f"; kernel {self.graph.name}: {self.n_instructions} instructions, "
+            f"{self.n_cycles} cycles, {self.n_reconfigurations} reconfigurations\n"
+            f"; preload: {len(self.mem_preload)} vector slots, "
+            f"{len(self.sreg_preload)} scalar registers\n"
+        )
+        body = "\n".join(
+            self.instructions[c].listing_line()
+            for c in sorted(self.instructions)
+        )
+        return header + body
+
+
+class CodegenError(RuntimeError):
+    pass
+
+
+def generate(sched: Schedule, n_registers: Optional[int] = None) -> Program:
+    """Lower a scheduled, memory-allocated kernel to machine code.
+
+    Requires a complete slot assignment (run the scheduler with
+    ``with_memory=True``).  Scalar data follows the paper's "optimal
+    allocation and access" assumption: with ``n_registers=None`` every
+    scalar gets its own register; with a bound, the linear-scan
+    allocator of :mod:`repro.codegen.regalloc` recycles registers by
+    lifetime and raises :class:`~repro.codegen.regalloc.RegisterPressureError`
+    if the schedule needs more than the file holds.
+    """
+    g, cfg = sched.graph, sched.cfg
+    if sched.starts == {}:
+        raise CodegenError("cannot generate code from an empty schedule")
+
+    if n_registers is None:
+        # one register per scalar data node (unbounded file)
+        sreg: Dict[int, int] = {}
+        for d in g.data_nodes():
+            if d.category is OpCategory.SCALAR_DATA:
+                sreg[d.nid] = len(sreg)
+    else:
+        from repro.codegen.regalloc import allocate_scalar_registers
+
+        sreg, _ = allocate_scalar_registers(sched, n_registers)
+
+    def ref(d: DataNode) -> OperandRef:
+        if d.category is OpCategory.VECTOR_DATA:
+            if d.nid not in sched.slots:
+                raise CodegenError(f"no slot for vector data {d.name}")
+            return OperandRef("mem", sched.slots[d.nid])
+        return OperandRef("sreg", sreg[d.nid])
+
+    instructions: Dict[int, WideInstruction] = {}
+    prev_config: Optional[str] = None
+
+    for cycle, ops in sched.issue_map().items():
+        vec_ops = [o for o in ops if o.op.resource is ResourceKind.VECTOR_CORE]
+        configs = {o.config_class for o in vec_ops}
+        if len(configs) > 1:
+            raise CodegenError(f"cycle {cycle}: mixed configurations {configs}")
+        config = next(iter(configs)) if configs else None
+        reconf = config is not None and config != prev_config
+        if config is not None:
+            prev_config = config
+
+        ins = WideInstruction(
+            cycle=cycle, vector_config=config, reconfigure=reconf
+        )
+        lane_cursor = 0
+        for op in sorted(ops, key=lambda o: o.nid):
+            operands = tuple(ref(p) for p in g.preds(op))  # type: ignore[arg-type]
+            dests = tuple(ref(s) for s in g.succs(op))  # type: ignore[arg-type]
+            if op.op.resource is ResourceKind.VECTOR_CORE:
+                width = op.op.lanes(cfg)
+                lanes = tuple(range(lane_cursor, lane_cursor + width))
+                lane_cursor += width
+                if lane_cursor > cfg.n_lanes:
+                    raise CodegenError(f"cycle {cycle}: lane overflow")
+            else:
+                lanes = ()
+            micro = MicroOp(
+                node_id=op.nid,
+                op_name=op.op.name,
+                lanes=lanes,
+                operands=operands,
+                dests=dests,
+                latency=op.op.latency(cfg),
+                expr=op.attrs.get("expr"),
+                attrs={
+                    k: v for k, v in op.attrs.items() if k not in ("expr", "roles")
+                },
+            )
+            if op.op.resource is ResourceKind.VECTOR_CORE:
+                ins.vector_ops.append(micro)
+            elif op.op.resource is ResourceKind.SCALAR_UNIT:
+                ins.scalar_ops.append(micro)
+            else:
+                ins.index_ops.append(micro)
+        instructions[cycle] = ins
+
+    mem_preload: Dict[int, Any] = {}
+    sreg_preload: Dict[int, Any] = {}
+    data_location: Dict[int, OperandRef] = {}
+    for d in g.data_nodes():
+        r = ref(d)
+        data_location[d.nid] = r
+        if g.in_degree(d) == 0:  # application input
+            if r.space == "mem":
+                mem_preload[r.index] = d.value
+            else:
+                sreg_preload[r.index] = d.value
+
+    return Program(
+        graph=g,
+        cfg=cfg,
+        instructions=instructions,
+        n_cycles=sched.makespan + 1,
+        mem_preload=mem_preload,
+        sreg_preload=sreg_preload,
+        data_location=data_location,
+    )

@@ -1,0 +1,218 @@
+"""Flattening a modulo schedule into executable machine code.
+
+A modulo schedule describes the steady state; executing M iterations
+means emitting every operation instance at its absolute cycle
+``(stage + m) * II + offset`` — the prologue (pipeline filling), steady
+state and epilogue (draining) fall out of the flattening.
+
+Memory follows the paper's §4.3 assumption: "with enough memory,
+memory allocation boils down to repeating the allocation of the original
+schedule for each iteration, with a certain offset."  Every iteration
+gets its own slot *region* (offset = iteration x region size) with the
+trivial one-slot-per-vector layout inside — the enough-memory regime,
+so values of different iterations can never collide and every
+iteration's results remain inspectable afterwards.
+
+The result is an ordinary :class:`repro.codegen.Program` executable by
+:mod:`repro.sim` — which is how the tests prove that modulo schedules
+are *functionally* correct across overlapping iterations, not merely
+resource-feasible.  Access-rule auditing is disabled for these programs
+(the paper's modulo model deliberately leaves memory placement out; see
+DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.arch.eit import DEFAULT_CONFIG, EITConfig, ResourceKind
+from repro.arch.isa import OpCategory
+from repro.codegen.machine_code import (
+    CodegenError,
+    MicroOp,
+    OperandRef,
+    Program,
+    WideInstruction,
+)
+from repro.ir.evaluate import evaluate
+from repro.ir.graph import DataNode, Graph, OpNode
+from repro.sched.modulo import ModuloResult
+
+
+def modulo_program(
+    graph: Graph,
+    result: ModuloResult,
+    iteration_inputs: Sequence[Mapping[int, Any]],
+    cfg: EITConfig = DEFAULT_CONFIG,
+) -> "ModuloProgram":
+    """Flatten ``len(iteration_inputs)`` iterations into one program.
+
+    ``iteration_inputs[m]`` maps input data-node ids to iteration *m*'s
+    values (missing entries fall back to the traced values).
+    """
+    if not result.found:
+        raise CodegenError(f"no modulo schedule ({result.status.value})")
+    n_iterations = len(iteration_inputs)
+    if n_iterations < 1:
+        raise CodegenError("need at least one iteration")
+    W = result.ii
+
+    # absolute start per (iteration, op)
+    start: Dict[tuple, int] = {}
+    for m in range(n_iterations):
+        for op in graph.op_nodes():
+            start[(m, op.nid)] = (
+                (result.stages[op.nid] + m) * W + result.offsets[op.nid]
+            )
+
+    # region geometry: one slot per vector datum, one region per
+    # concurrently live iteration (enough-memory regime)
+    vdata = [
+        d for d in graph.data_nodes() if d.category is OpCategory.VECTOR_DATA
+    ]
+    local_slot = {d.nid: i for i, d in enumerate(vdata)}
+    region_size = max(len(vdata), 1)
+
+    sregs: Dict[tuple, int] = {}
+
+    def ref(m: int, d: DataNode) -> OperandRef:
+        if d.category is OpCategory.VECTOR_DATA:
+            return OperandRef("mem", m * region_size + local_slot[d.nid])
+        key = (m, d.nid)
+        if key not in sregs:
+            sregs[key] = len(sregs)
+        return OperandRef("sreg", sregs[key])
+
+    # per-iteration reference values (for preloads and result lookup)
+    iter_values: List[Dict[int, Any]] = [
+        evaluate(graph, inputs) for inputs in iteration_inputs
+    ]
+
+    instructions: Dict[int, WideInstruction] = {}
+    prev_config: Optional[str] = None
+    issue_order = sorted(start.items(), key=lambda kv: (kv[1], kv[0]))
+    lanes_at: Dict[int, int] = {}
+    for (m, op_nid), t in issue_order:
+        op = graph.node(op_nid)
+        assert isinstance(op, OpNode)
+        ins = instructions.get(t)
+        if ins is None:
+            ins = instructions[t] = WideInstruction(
+                cycle=t, vector_config=None, reconfigure=False
+            )
+        operands = tuple(ref(m, p) for p in graph.preds(op))  # type: ignore[arg-type]
+        dests = tuple(ref(m, s) for s in graph.succs(op))  # type: ignore[arg-type]
+        if op.op.resource is ResourceKind.VECTOR_CORE:
+            width = op.op.lanes(cfg)
+            base = lanes_at.get(t, 0)
+            lanes_at[t] = base + width
+            if lanes_at[t] > cfg.n_lanes:
+                raise CodegenError(f"cycle {t}: lane overflow in flattening")
+            lanes = tuple(range(base, base + width))
+            if ins.vector_config not in (None, op.config_class):
+                raise CodegenError(f"cycle {t}: mixed configurations")
+            ins.vector_config = op.config_class
+        else:
+            lanes = ()
+        micro = MicroOp(
+            node_id=op.nid,
+            op_name=op.op.name,
+            lanes=lanes,
+            operands=operands,
+            dests=dests,
+            latency=op.op.latency(cfg),
+            expr=op.attrs.get("expr"),
+            attrs={k: v for k, v in op.attrs.items()
+                   if k not in ("expr", "roles")},
+        )
+        if op.op.resource is ResourceKind.VECTOR_CORE:
+            ins.vector_ops.append(micro)
+        elif op.op.resource is ResourceKind.SCALAR_UNIT:
+            ins.scalar_ops.append(micro)
+        else:
+            ins.index_ops.append(micro)
+
+    # reconfiguration marks along the flattened issue stream
+    for t in sorted(instructions):
+        ins = instructions[t]
+        if ins.vector_config is not None:
+            ins.reconfigure = ins.vector_config != prev_config
+            prev_config = ins.vector_config
+
+    # preloads: every iteration's inputs land in its own region
+    mem_preload: Dict[int, Any] = {}
+    sreg_preload: Dict[int, Any] = {}
+    data_location: Dict[int, OperandRef] = {}
+    for m in range(n_iterations):
+        for d in graph.inputs():
+            r = ref(m, d)
+            value = iter_values[m][d.nid]
+            if r.space == "mem":
+                mem_preload[r.index] = value
+            else:
+                sreg_preload[r.index] = value
+    # location of the *last* iteration's data (result extraction)
+    for d in graph.data_nodes():
+        data_location[d.nid] = ref(n_iterations - 1, d)
+
+    n_cycles = max(instructions) + 1 if instructions else 0
+    program = Program(
+        graph=graph,
+        cfg=cfg,
+        instructions=instructions,
+        n_cycles=n_cycles,
+        mem_preload=mem_preload,
+        sreg_preload=sreg_preload,
+        data_location=data_location,
+    )
+    return ModuloProgram(
+        program=program,
+        n_iterations=n_iterations,
+        locate=ref,
+        expected=iter_values,
+    )
+
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass
+class ModuloProgram:
+    """A flattened modulo program plus per-iteration bookkeeping.
+
+    ``locate(m, data_node)`` gives where iteration *m*'s instance of a
+    datum lives; ``expected[m]`` holds the reference values (from
+    :func:`repro.ir.evaluate`) every execution must reproduce.
+    """
+
+    program: Program
+    n_iterations: int
+    locate: Callable[[int, DataNode], OperandRef]
+    expected: List[Dict[int, Any]]
+
+    def verify_against(self, sim_result) -> List[str]:
+        """Compare a simulation of ``program`` with every iteration's
+        reference values; returns mismatches (empty = exact)."""
+        import numpy as np
+
+        graph = self.program.graph
+        out = []
+        for m in range(self.n_iterations):
+            for d in graph.data_nodes():
+                r = self.locate(m, d)
+                store = (
+                    sim_result.memory if r.space == "mem" else sim_result.sregs
+                )
+                if r.index not in store:
+                    out.append(f"iter {m}: {d.name} never written to {r}")
+                    continue
+                got = np.asarray(store[r.index])
+                want = np.asarray(self.expected[m][d.nid])
+                if got.shape != want.shape or not np.allclose(
+                    got, want, atol=1e-9
+                ):
+                    out.append(
+                        f"iter {m}: {d.name} expected {want}, got {got}"
+                    )
+        return out

@@ -1,0 +1,96 @@
+"""Scalar register allocation for the accelerator's register file.
+
+The paper assumes "optimal allocation and access" for scalar data
+(section 3.4); the naive embodiment is one register per scalar datum,
+which is what :func:`repro.codegen.generate` uses by default.  Real
+hardware has a finite register file, so this module provides the
+textbook linear-scan allocator over scalar lifetimes:
+
+* a scalar is live from the cycle it is produced (or 0 for inputs)
+  until the last cycle a consumer *reads* it (its issue cycle);
+* registers are recycled strictly after the last read (the same
+  write-before-read convention as the vector memory — see
+  DESIGN.md §5 note 1);
+* allocation failure (more simultaneously live scalars than registers)
+  raises, reporting the pressure point.
+
+``allocate_scalar_registers`` returns ``{data nid: register}`` and the
+register count used, so code generation can target a bounded file.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.isa import OpCategory
+from repro.sched.result import Schedule
+
+
+class RegisterPressureError(RuntimeError):
+    """More simultaneously live scalars than available registers."""
+
+
+@dataclass(frozen=True)
+class ScalarInterval:
+    nid: int
+    name: str
+    start: int
+    end: int  # inclusive: cycle of the last read (or makespan for outputs)
+
+
+def scalar_intervals(sched: Schedule) -> List[ScalarInterval]:
+    """Live intervals of every scalar datum under a schedule."""
+    g = sched.graph
+    out = []
+    for d in g.data_nodes():
+        if d.category is not OpCategory.SCALAR_DATA:
+            continue
+        start = sched.start(d)
+        succs = g.succs(d)
+        end = max((sched.start(s) for s in succs), default=sched.makespan)
+        out.append(ScalarInterval(d.nid, d.name, start, end))
+    return sorted(out, key=lambda iv: (iv.start, iv.end, iv.nid))
+
+
+def allocate_scalar_registers(
+    sched: Schedule, n_registers: Optional[int] = None
+) -> Tuple[Dict[int, int], int]:
+    """Linear-scan allocation; returns ``(assignment, registers_used)``.
+
+    With ``n_registers=None`` the file is unbounded and the result is
+    the minimum register count for this schedule (the interval-graph
+    chromatic number, since linear scan is optimal on interval graphs).
+    """
+    assignment: Dict[int, int] = {}
+    free: List[int] = []
+    #: (expiry_end, register) — a register frees strictly after `end`
+    active: List[Tuple[int, int]] = []
+    next_fresh = 0
+    peak = 0
+
+    for iv in scalar_intervals(sched):
+        while active and active[0][0] < iv.start:
+            _, reg = heapq.heappop(active)
+            heapq.heappush(free, reg)
+        if free:
+            reg = heapq.heappop(free)
+        else:
+            reg = next_fresh
+            next_fresh += 1
+            if n_registers is not None and next_fresh > n_registers:
+                raise RegisterPressureError(
+                    f"{next_fresh} scalars live at cycle {iv.start} "
+                    f"(register file holds {n_registers}); "
+                    f"pressure at {iv.name}"
+                )
+        assignment[iv.nid] = reg
+        heapq.heappush(active, (iv.end, reg))
+        peak = max(peak, next_fresh)
+    return assignment, peak
+
+
+def minimum_registers(sched: Schedule) -> int:
+    """The schedule's scalar register pressure (peak simultaneous lives)."""
+    return allocate_scalar_registers(sched, None)[1]

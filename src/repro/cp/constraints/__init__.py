@@ -1,0 +1,49 @@
+"""Propagator library for the finite-domain solver."""
+
+from repro.cp.constraints.arith import (
+    Eq,
+    LinearEq,
+    LinearLeq,
+    Max,
+    Min,
+    Neq,
+    ScaledDiv,
+    UnaryFunc,
+    XEqC,
+    XNeqC,
+    XPlusCEqY,
+    XPlusCLeqY,
+    XPlusYEqZ,
+)
+from repro.cp.constraints.cumulative import Cumulative, Task
+from repro.cp.constraints.diff2 import Diff2, Rect2
+from repro.cp.constraints.reified import (
+    BinaryTable,
+    ConditionalBinaryTable,
+    EqImpliesEq,
+    GuardedEqImpliesEq,
+)
+
+__all__ = [
+    "BinaryTable",
+    "ConditionalBinaryTable",
+    "Cumulative",
+    "Diff2",
+    "Eq",
+    "EqImpliesEq",
+    "GuardedEqImpliesEq",
+    "LinearEq",
+    "LinearLeq",
+    "Max",
+    "Min",
+    "Neq",
+    "Rect2",
+    "ScaledDiv",
+    "Task",
+    "UnaryFunc",
+    "XEqC",
+    "XNeqC",
+    "XPlusCEqY",
+    "XPlusCLeqY",
+    "XPlusYEqZ",
+]

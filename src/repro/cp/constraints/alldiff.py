@@ -1,0 +1,95 @@
+"""AllDifferent global constraint.
+
+Used (a) as the strong form of a capacity-1/duration-1 Cumulative — the
+situation of the scalar accelerator and index/merge units inside a
+modulo-scheduling window, where the window is tight and value-count
+reasoning prunes what time-tabling cannot — and (b) as a redundant
+constraint over the memory slots of kernel outputs, which all coexist at
+the end of the schedule (this is what lets the solver *prove* the
+infeasibility of too-small memories in the Table 1 sweep instead of
+enumerating forever).
+
+Propagation:
+
+* value propagation: an assigned value is removed from every other
+  variable;
+* pigeonhole: if the union of the domains of any suffix of the
+  variables (ordered by domain size) is smaller than their count, fail;
+* Hall-interval bounds filtering on the sorted bounds (a light version
+  of Lopez-Ortiz et al.'s bounds consistency).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from repro.cp.engine import Constraint, Inconsistency, Store
+from repro.cp.var import IntVar
+
+
+class AllDifferent(Constraint):
+    """All variables take pairwise distinct values."""
+
+    def __init__(self, xs: Sequence[IntVar]):
+        self.xs: Tuple[IntVar, ...] = tuple(xs)
+
+    def variables(self) -> Tuple[IntVar, ...]:
+        return self.xs
+
+    def propagate(self, store: Store) -> None:
+        # 1. value propagation from assigned variables (iterate to a
+        #    local fixpoint so chains of forced assignments resolve now)
+        changed = True
+        while changed:
+            changed = False
+            assigned: Set[int] = set()
+            dup_check: Set[int] = set()
+            for x in self.xs:
+                if x.is_assigned():
+                    v = x.value()
+                    if v in dup_check:
+                        raise Inconsistency(f"alldifferent: duplicate {v}")
+                    dup_check.add(v)
+                    assigned.add(v)
+            for x in self.xs:
+                if not x.is_assigned():
+                    before = x.domain
+                    for v in assigned:
+                        store.remove_value(x, v)
+                    if x.domain is not before and x.is_assigned():
+                        changed = True
+
+        # 2. pigeonhole on domain-size-sorted prefixes
+        ordered = sorted(self.xs, key=lambda x: x.size())
+        union: Set[int] = set()
+        for i, x in enumerate(ordered):
+            union.update(x.domain)
+            if len(union) < i + 1:
+                raise Inconsistency(
+                    f"alldifferent: {i + 1} variables share only "
+                    f"{len(union)} values"
+                )
+
+        # 3. Hall intervals on bounds: for every interval [lo, hi] of
+        #    candidate bounds, the variables fully contained inside it
+        #    must not outnumber its width; when they exactly fill it,
+        #    other variables are pruned out of the interval.
+        if len(self.xs) > 64:
+            return  # Hall filtering is quadratic; skip for large sets
+        bounds = sorted({x.min() for x in self.xs} | {x.max() for x in self.xs})
+        for i, lo in enumerate(bounds):
+            for hi in bounds[i:]:
+                width = hi - lo + 1
+                inside = [x for x in self.xs if x.min() >= lo and x.max() <= hi]
+                if len(inside) > width:
+                    raise Inconsistency(
+                        f"alldifferent: {len(inside)} variables in "
+                        f"[{lo},{hi}] of width {width}"
+                    )
+                if len(inside) == width:
+                    for x in self.xs:
+                        if x not in inside and not x.is_assigned():
+                            store.remove_interval(x, lo, hi)
+
+    def __repr__(self) -> str:
+        return f"AllDifferent({len(self.xs)})"

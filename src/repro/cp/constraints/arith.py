@@ -1,0 +1,322 @@
+"""Arithmetic propagators: (in)equalities, linear sums, min/max, division.
+
+Most of these are classic bounds-consistent propagators.  ``UnaryFunc``
+(and its ``ScaledDiv`` specialization used for the paper's slot→line and
+slot→page channeling, constraint group (6)) achieves full arc
+consistency by value enumeration, which is cheap because memory-slot
+domains are small (≤ a few hundred values).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+from repro.cp.domain import Domain
+from repro.cp.engine import Constraint, Inconsistency, Store
+from repro.cp.var import IntVar
+
+
+class XEqC(Constraint):
+    """``x == c``."""
+
+    def __init__(self, x: IntVar, c: int):
+        self.x, self.c = x, c
+
+    def variables(self) -> Tuple[IntVar, ...]:
+        return (self.x,)
+
+    def propagate(self, store: Store) -> None:
+        store.assign(self.x, self.c)
+
+    def __repr__(self) -> str:
+        return f"{self.x.name} == {self.c}"
+
+
+class XNeqC(Constraint):
+    """``x != c``."""
+
+    def __init__(self, x: IntVar, c: int):
+        self.x, self.c = x, c
+
+    def variables(self) -> Tuple[IntVar, ...]:
+        return (self.x,)
+
+    def propagate(self, store: Store) -> None:
+        store.remove_value(self.x, self.c)
+
+    def __repr__(self) -> str:
+        return f"{self.x.name} != {self.c}"
+
+
+class Eq(Constraint):
+    """``x == y`` with full domain intersection."""
+
+    def __init__(self, x: IntVar, y: IntVar):
+        self.x, self.y = x, y
+
+    def variables(self) -> Tuple[IntVar, ...]:
+        return (self.x, self.y)
+
+    def propagate(self, store: Store) -> None:
+        inter = self.x.domain.intersect(self.y.domain)
+        store.set_domain(self.x, inter)
+        store.set_domain(self.y, inter)
+
+    def __repr__(self) -> str:
+        return f"{self.x.name} == {self.y.name}"
+
+
+class Neq(Constraint):
+    """``x != y`` (prunes when either side becomes assigned)."""
+
+    def __init__(self, x: IntVar, y: IntVar):
+        self.x, self.y = x, y
+
+    def variables(self) -> Tuple[IntVar, ...]:
+        return (self.x, self.y)
+
+    def propagate(self, store: Store) -> None:
+        if self.x.is_assigned():
+            store.remove_value(self.y, self.x.value())
+        if self.y.is_assigned():
+            store.remove_value(self.x, self.y.value())
+
+    def __repr__(self) -> str:
+        return f"{self.x.name} != {self.y.name}"
+
+
+class XPlusCLeqY(Constraint):
+    """``x + c <= y`` — the precedence constraint (paper eq. 1)."""
+
+    def __init__(self, x: IntVar, c: int, y: IntVar):
+        self.x, self.c, self.y = x, c, y
+
+    def variables(self) -> Tuple[IntVar, ...]:
+        return (self.x, self.y)
+
+    def propagate(self, store: Store) -> None:
+        store.set_min(self.y, self.x.min() + self.c)
+        store.set_max(self.x, self.y.max() - self.c)
+
+    def __repr__(self) -> str:
+        return f"{self.x.name} + {self.c} <= {self.y.name}"
+
+
+class XPlusCEqY(Constraint):
+    """``y == x + c`` with arc consistency via domain shifting (paper eq. 4)."""
+
+    def __init__(self, x: IntVar, c: int, y: IntVar):
+        self.x, self.c, self.y = x, c, y
+
+    def variables(self) -> Tuple[IntVar, ...]:
+        return (self.x, self.y)
+
+    def propagate(self, store: Store) -> None:
+        store.set_domain(self.y, self.y.domain.intersect(self.x.domain.shift(self.c)))
+        store.set_domain(self.x, self.x.domain.intersect(self.y.domain.shift(-self.c)))
+
+    def __repr__(self) -> str:
+        return f"{self.y.name} == {self.x.name} + {self.c}"
+
+
+class XPlusYEqZ(Constraint):
+    """``x + y == z`` with bounds consistency."""
+
+    def __init__(self, x: IntVar, y: IntVar, z: IntVar):
+        self.x, self.y, self.z = x, y, z
+
+    def variables(self) -> Tuple[IntVar, ...]:
+        return (self.x, self.y, self.z)
+
+    def propagate(self, store: Store) -> None:
+        x, y, z = self.x, self.y, self.z
+        store.set_min(z, x.min() + y.min())
+        store.set_max(z, x.max() + y.max())
+        store.set_min(x, z.min() - y.max())
+        store.set_max(x, z.max() - y.min())
+        store.set_min(y, z.min() - x.max())
+        store.set_max(y, z.max() - x.min())
+
+    def __repr__(self) -> str:
+        return f"{self.x.name} + {self.y.name} == {self.z.name}"
+
+
+class LinearEq(Constraint):
+    """``sum(a_i * x_i) == c`` with bounds consistency."""
+
+    def __init__(self, coeffs: Sequence[int], xs: Sequence[IntVar], c: int):
+        if len(coeffs) != len(xs):
+            raise ValueError("coeffs and vars length mismatch")
+        self.coeffs = tuple(coeffs)
+        self.xs = tuple(xs)
+        self.c = c
+
+    def variables(self) -> Tuple[IntVar, ...]:
+        return self.xs
+
+    def _term_bounds(self, a: int, x: IntVar) -> Tuple[int, int]:
+        if a >= 0:
+            return a * x.min(), a * x.max()
+        return a * x.max(), a * x.min()
+
+    def propagate(self, store: Store) -> None:
+        bounds = [self._term_bounds(a, x) for a, x in zip(self.coeffs, self.xs)]
+        total_lo = sum(b[0] for b in bounds)
+        total_hi = sum(b[1] for b in bounds)
+        if total_lo > self.c or total_hi < self.c:
+            raise Inconsistency(f"linear eq infeasible: {total_lo}..{total_hi} != {self.c}")
+        for (a, x), (lo_i, hi_i) in zip(zip(self.coeffs, self.xs), bounds):
+            if a == 0:
+                continue
+            # c - (sum of other terms' bounds) bounds this term
+            rest_lo = total_lo - lo_i
+            rest_hi = total_hi - hi_i
+            term_lo = self.c - rest_hi
+            term_hi = self.c - rest_lo
+            if a > 0:
+                store.set_min(x, -(-term_lo // a))  # ceil
+                store.set_max(x, term_hi // a)  # floor
+            else:
+                store.set_min(x, -(-term_hi // a) if term_hi % a else term_hi // a)
+                store.set_max(x, term_lo // a)
+
+
+class LinearLeq(Constraint):
+    """``sum(a_i * x_i) <= c`` with bounds consistency."""
+
+    def __init__(self, coeffs: Sequence[int], xs: Sequence[IntVar], c: int):
+        if len(coeffs) != len(xs):
+            raise ValueError("coeffs and vars length mismatch")
+        self.coeffs = tuple(coeffs)
+        self.xs = tuple(xs)
+        self.c = c
+
+    def variables(self) -> Tuple[IntVar, ...]:
+        return self.xs
+
+    def propagate(self, store: Store) -> None:
+        lo_terms = []
+        total_lo = 0
+        for a, x in zip(self.coeffs, self.xs):
+            lo = a * x.min() if a >= 0 else a * x.max()
+            lo_terms.append(lo)
+            total_lo += lo
+        if total_lo > self.c:
+            raise Inconsistency("linear leq infeasible")
+        for (a, x), lo_i in zip(zip(self.coeffs, self.xs), lo_terms):
+            if a == 0:
+                continue
+            slack = self.c - (total_lo - lo_i)
+            if a > 0:
+                store.set_max(x, slack // a)
+            else:
+                store.set_min(x, -(-slack // a) if slack % a else slack // a)
+
+
+class Max(Constraint):
+    """``y == max(x_1, ..., x_n)`` — the makespan/lifetime builder (eqs. 5, 10)."""
+
+    def __init__(self, y: IntVar, xs: Sequence[IntVar]):
+        if not xs:
+            raise ValueError("Max over empty list")
+        self.y = y
+        self.xs = tuple(xs)
+
+    def variables(self) -> Tuple[IntVar, ...]:
+        return (self.y,) + self.xs
+
+    def propagate(self, store: Store) -> None:
+        hi = max(x.max() for x in self.xs)
+        lo = max(x.min() for x in self.xs)
+        store.set_max(self.y, hi)
+        store.set_min(self.y, lo)
+        y_max = self.y.max()
+        for x in self.xs:
+            store.set_max(x, y_max)
+        # If only one x can reach y's lower bound, it must.
+        y_min = self.y.min()
+        candidates = [x for x in self.xs if x.max() >= y_min]
+        if len(candidates) == 1:
+            store.set_min(candidates[0], y_min)
+
+    def __repr__(self) -> str:
+        return f"{self.y.name} == max({', '.join(x.name for x in self.xs)})"
+
+
+class Min(Constraint):
+    """``y == min(x_1, ..., x_n)``."""
+
+    def __init__(self, y: IntVar, xs: Sequence[IntVar]):
+        if not xs:
+            raise ValueError("Min over empty list")
+        self.y = y
+        self.xs = tuple(xs)
+
+    def variables(self) -> Tuple[IntVar, ...]:
+        return (self.y,) + self.xs
+
+    def propagate(self, store: Store) -> None:
+        lo = min(x.min() for x in self.xs)
+        hi = min(x.max() for x in self.xs)
+        store.set_min(self.y, lo)
+        store.set_max(self.y, hi)
+        y_min = self.y.min()
+        for x in self.xs:
+            store.set_min(x, y_min)
+        y_max = self.y.max()
+        candidates = [x for x in self.xs if x.min() <= y_max]
+        if len(candidates) == 1:
+            store.set_max(candidates[0], y_max)
+
+
+class UnaryFunc(Constraint):
+    """``y == f(x)`` for an arbitrary total function, arc-consistent.
+
+    Enumerates ``dom(x)``, so intended for small domains (slots/lines/
+    pages).  ``f`` must be deterministic and cheap.
+    """
+
+    def __init__(self, y: IntVar, x: IntVar, f: Callable[[int], int], label: str = "f"):
+        self.y, self.x, self.f, self.label = y, x, f, label
+
+    def variables(self) -> Tuple[IntVar, ...]:
+        return (self.x, self.y)
+
+    def propagate(self, store: Store) -> None:
+        f = self.f
+        ydom = self.y.domain
+        keep_x = []
+        images = set()
+        for v in self.x.domain:
+            img = f(v)
+            if img in ydom:
+                keep_x.append(v)
+                images.add(img)
+        store.set_domain(self.x, Domain.from_values(keep_x))
+        store.set_domain(self.y, self.y.domain.intersect(Domain.from_values(images)))
+
+    def __repr__(self) -> str:
+        return f"{self.y.name} == {self.label}({self.x.name})"
+
+
+class ScaledDiv(UnaryFunc):
+    """``y == (x mod m) // d`` (with ``m=None`` meaning no modulus).
+
+    Implements the paper's constraint group (6):
+
+    * ``line  = slot // nOfBanks``       → ``ScaledDiv(line, slot, d=nOfBanks)``
+    * ``page  = (slot mod nOfBanks) // pageSize``
+      → ``ScaledDiv(page, slot, d=pageSize, m=nOfBanks)``
+    """
+
+    def __init__(self, y: IntVar, x: IntVar, d: int, m: int | None = None):
+        if d <= 0 or (m is not None and m <= 0):
+            raise ValueError("divisor/modulus must be positive")
+        self.d, self.m = d, m
+        if m is None:
+            fn = lambda v, _d=d: v // _d
+            label = f"div{d}"
+        else:
+            fn = lambda v, _d=d, _m=m: (v % _m) // _d
+            label = f"mod{m}div{d}"
+        super().__init__(y, x, fn, label)

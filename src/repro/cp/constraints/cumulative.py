@@ -1,0 +1,115 @@
+"""Cumulative global constraint with time-table propagation.
+
+This is the scheduling workhorse of the paper (eq. 2): at every time
+point, the resource demand of the tasks running at that point must not
+exceed the capacity (the four vector lanes, or the single scalar /
+index-merge units).
+
+Tasks have a finite-domain start, and constant duration and resource
+demand (the paper's model only needs constants: every operation occupies
+its unit for one cycle; vector ops take one lane, matrix ops all four).
+
+Propagation is classic time-tabling:
+
+1. build the compulsory-part profile (task *i* surely runs in
+   ``[max(s_i), min(s_i) + d_i)`` when that interval is non-empty);
+2. fail on overload;
+3. for every task, forbid start times that would push any profile
+   segment (minus the task's own compulsory contribution) over capacity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.cp.engine import Constraint, Inconsistency, Store
+from repro.cp.var import IntVar
+
+
+class Task:
+    """One cumulative task: FD start, constant duration and demand."""
+
+    __slots__ = ("start", "duration", "demand")
+
+    def __init__(self, start: IntVar, duration: int, demand: int):
+        if duration < 0:
+            raise ValueError("duration must be >= 0")
+        if demand < 0:
+            raise ValueError("demand must be >= 0")
+        self.start = start
+        self.duration = duration
+        self.demand = demand
+
+    def __repr__(self) -> str:
+        return f"Task({self.start.name}, d={self.duration}, r={self.demand})"
+
+
+class Cumulative(Constraint):
+    """``Cumulative(tasks, capacity)`` — paper eq. 2."""
+
+    def __init__(self, tasks: Sequence[Task], capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.tasks: Tuple[Task, ...] = tuple(
+            t for t in tasks if t.duration > 0 and t.demand > 0
+        )
+        self.capacity = capacity
+        for t in self.tasks:
+            if t.demand > capacity:
+                raise ValueError(
+                    f"task {t!r} demands {t.demand} > capacity {capacity}"
+                )
+
+    def variables(self) -> Tuple[IntVar, ...]:
+        return tuple(t.start for t in self.tasks)
+
+    # -- profile ---------------------------------------------------------
+    def _compulsory_parts(self) -> List[Tuple[int, int, int, Task]]:
+        """List of ``(lo, hi_exclusive, demand, task)`` compulsory parts."""
+        parts = []
+        for t in self.tasks:
+            lo = t.start.max()
+            hi = t.start.min() + t.duration
+            if lo < hi:
+                parts.append((lo, hi, t.demand, t))
+        return parts
+
+    def propagate(self, store: Store) -> None:
+        parts = self._compulsory_parts()
+        # Sweep-line profile: events at part boundaries.
+        events = sorted({p[0] for p in parts} | {p[1] for p in parts})
+        if not events:
+            return
+        # Profile segments between consecutive event times.
+        segments: List[Tuple[int, int, int]] = []  # (lo, hi_excl, height)
+        for a, b in zip(events, events[1:]):
+            height = sum(d for lo, hi, d, _t in parts if lo <= a and b <= hi)
+            if height > self.capacity:
+                raise Inconsistency(
+                    f"cumulative overload: height {height} > {self.capacity} "
+                    f"in [{a}, {b})"
+                )
+            if height > 0:
+                segments.append((a, b, height))
+        if not segments:
+            return
+        # Filtering: a task may not overlap a segment whose height (net of
+        # the task's own compulsory contribution there) leaves no room.
+        compulsory = {id(t): (lo, hi) for lo, hi, _d, t in parts}
+        for t in self.tasks:
+            if t.start.is_assigned():
+                continue
+            own = compulsory.get(id(t))
+            for seg_lo, seg_hi, height in segments:
+                net = height
+                if own is not None and own[0] < seg_hi and seg_lo < own[1]:
+                    net -= t.demand
+                if net + t.demand > self.capacity:
+                    # Task cannot overlap [seg_lo, seg_hi): forbid starts in
+                    # [seg_lo - duration + 1, seg_hi - 1].
+                    store.remove_interval(
+                        t.start, seg_lo - t.duration + 1, seg_hi - 1
+                    )
+
+    def __repr__(self) -> str:
+        return f"Cumulative({len(self.tasks)} tasks, cap={self.capacity})"

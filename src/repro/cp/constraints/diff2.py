@@ -1,0 +1,125 @@
+"""Diff2 global constraint: pairwise non-overlap of 2-D rectangles.
+
+The paper (eq. 11) models memory allocation with slot reuse as rectangle
+packing: a vector data node becomes a rectangle whose horizontal extent
+is its lifetime (``origin = s_i``, ``length = life_i``) and whose
+vertical position is its memory slot (height 1).  ``Diff2`` guarantees
+no two live vectors share a slot.
+
+Widths may be finite-domain variables (lifetimes depend on the start
+times of consuming operations); heights are constants.  Rectangles with
+zero width (or height) occupy no area and never overlap anything, which
+matches both the Diff2 semantics in the CP literature and the memory
+reality (a value consumed in the cycle it is produced never occupies a
+slot concurrently with anything).
+
+Propagation is pairwise constructive disjunction: for every pair, each
+of the four relative placements (left-of / right-of / below / above) is
+tested for feasibility against current bounds; when only one survives it
+is enforced, and when none survives the store fails.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+from repro.cp.engine import Constraint, Inconsistency, Store
+from repro.cp.var import IntVar
+
+Length = Union[int, IntVar]
+
+
+def _lo(x: Length) -> int:
+    return x.min() if isinstance(x, IntVar) else x
+
+
+def _hi(x: Length) -> int:
+    return x.max() if isinstance(x, IntVar) else x
+
+
+class Rect2:
+    """Rectangle ``[ox, oy, lx, ly]`` as in the paper's Diff2 description.
+
+    Origins are FD variables; lengths may be FD variables or ints.
+    """
+
+    __slots__ = ("ox", "oy", "lx", "ly", "tag")
+
+    def __init__(self, ox: IntVar, oy: IntVar, lx: Length, ly: Length, tag=None):
+        self.ox, self.oy, self.lx, self.ly = ox, oy, lx, ly
+        self.tag = tag
+
+    def __repr__(self) -> str:
+        return f"Rect2({self.ox.name},{self.oy.name},lx={self.lx},ly={self.ly})"
+
+
+class Diff2(Constraint):
+    """Pairwise 2-D non-overlap over a list of :class:`Rect2`."""
+
+    def __init__(self, rects: Sequence[Rect2]):
+        self.rects: Tuple[Rect2, ...] = tuple(rects)
+        self._pairs = [
+            (self.rects[i], self.rects[j])
+            for i in range(len(self.rects))
+            for j in range(i + 1, len(self.rects))
+        ]
+
+    def variables(self) -> Tuple[IntVar, ...]:
+        out: List[IntVar] = []
+        for r in self.rects:
+            out.append(r.ox)
+            out.append(r.oy)
+            if isinstance(r.lx, IntVar):
+                out.append(r.lx)
+            if isinstance(r.ly, IntVar):
+                out.append(r.ly)
+        return tuple(out)
+
+    # -- placement feasibility -------------------------------------------
+    @staticmethod
+    def _before_possible(o1: IntVar, l1: Length, o2: IntVar) -> bool:
+        """Can rectangle 1 end at or before rectangle 2 begins (1-D)?"""
+        return o1.min() + _lo(l1) <= o2.max()
+
+    @staticmethod
+    def _enforce_before(store: Store, o1: IntVar, l1: Length, o2: IntVar) -> None:
+        """Enforce ``o1 + l1 <= o2`` on bounds."""
+        store.set_min(o2, o1.min() + _lo(l1))
+        store.set_max(o1, o2.max() - _lo(l1))
+        if isinstance(l1, IntVar):
+            store.set_max(l1, o2.max() - o1.min())
+
+    @staticmethod
+    def _zero_area_possible(r: Rect2) -> bool:
+        return _lo(r.lx) <= 0 or _lo(r.ly) <= 0
+
+    def propagate(self, store: Store) -> None:
+        for a, b in self._pairs:
+            # A rectangle that may still have zero area cannot be forced
+            # into any relative placement.
+            if self._zero_area_possible(a) or self._zero_area_possible(b):
+                if _hi(a.lx) <= 0 or _hi(a.ly) <= 0 or _hi(b.lx) <= 0 or _hi(b.ly) <= 0:
+                    continue  # surely zero area: no interaction at all
+                # Possibly zero area: only check for guaranteed violation.
+                continue
+            feas = [
+                self._before_possible(a.ox, a.lx, b.ox),  # a left of b
+                self._before_possible(b.ox, b.lx, a.ox),  # b left of a
+                self._before_possible(a.oy, a.ly, b.oy),  # a below b
+                self._before_possible(b.oy, b.ly, a.oy),  # b below a
+            ]
+            n = sum(feas)
+            if n == 0:
+                raise Inconsistency(f"Diff2: {a!r} and {b!r} must overlap")
+            if n == 1:
+                if feas[0]:
+                    self._enforce_before(store, a.ox, a.lx, b.ox)
+                elif feas[1]:
+                    self._enforce_before(store, b.ox, b.lx, a.ox)
+                elif feas[2]:
+                    self._enforce_before(store, a.oy, a.ly, b.oy)
+                else:
+                    self._enforce_before(store, b.oy, b.ly, a.oy)
+
+    def __repr__(self) -> str:
+        return f"Diff2({len(self.rects)} rects)"

@@ -1,0 +1,195 @@
+"""Conditional propagators used by the memory-access model (eqs. 7-9).
+
+The paper's memory rules are implications:
+
+* eq. 7:  ``page_d == page_e  =>  line_d == line_e`` for the inputs of one
+  vector operation (:class:`EqImpliesEq`);
+* eqs. 8-9: the same implication, but only *if* the two operations are
+  scheduled at the same time (``s_i == s_j``) —
+  :class:`GuardedEqImpliesEq`.
+
+Both propagate the contrapositive as well, which is what lets memory
+pressure push operations apart in time: if two vectors provably collide
+in memory, the guard ``s_i == s_j`` is falsified and the operations are
+forced to different cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Sequence, Set, Tuple
+
+from repro.cp.domain import Domain
+from repro.cp.engine import Constraint, Inconsistency, Store
+from repro.cp.var import IntVar
+
+
+def _domains_disjoint(a: IntVar, b: IntVar) -> bool:
+    return a.domain.intersect(b.domain).is_empty()
+
+
+def _assigned_equal(a: IntVar, b: IntVar) -> bool:
+    return a.is_assigned() and b.is_assigned() and a.value() == b.value()
+
+
+def _assigned_different(a: IntVar, b: IntVar) -> bool:
+    return a.is_assigned() and b.is_assigned() and a.value() != b.value()
+
+
+class EqImpliesEq(Constraint):
+    """``(a == b) => (c == d)`` with contrapositive propagation."""
+
+    def __init__(self, a: IntVar, b: IntVar, c: IntVar, d: IntVar):
+        self.a, self.b, self.c, self.d = a, b, c, d
+
+    def variables(self) -> Tuple[IntVar, ...]:
+        return (self.a, self.b, self.c, self.d)
+
+    def propagate(self, store: Store) -> None:
+        a, b, c, d = self.a, self.b, self.c, self.d
+        if _assigned_equal(a, b):
+            inter = c.domain.intersect(d.domain)
+            store.set_domain(c, inter)
+            store.set_domain(d, inter)
+        elif _domains_disjoint(c, d):
+            # consequence impossible -> antecedent must be false
+            if a.is_assigned():
+                store.remove_value(b, a.value())
+            if b.is_assigned():
+                store.remove_value(a, b.value())
+
+    def __repr__(self) -> str:
+        return (
+            f"({self.a.name}=={self.b.name}) => ({self.c.name}=={self.d.name})"
+        )
+
+
+class GuardedEqImpliesEq(Constraint):
+    """``(g1 == g2) => ((a == b) => (c == d))`` — paper eqs. 8 and 9.
+
+    ``g1``/``g2`` are the start times of two same-type vector operations;
+    ``a``/``b`` pages and ``c``/``d`` lines of one input (or output) of
+    each.  When the inner implication is provably violated the guard is
+    falsified, i.e. the two operations are pushed to different cycles.
+    """
+
+    def __init__(
+        self, g1: IntVar, g2: IntVar, a: IntVar, b: IntVar, c: IntVar, d: IntVar
+    ):
+        self.g1, self.g2 = g1, g2
+        self.a, self.b, self.c, self.d = a, b, c, d
+
+    def variables(self) -> Tuple[IntVar, ...]:
+        return (self.g1, self.g2, self.a, self.b, self.c, self.d)
+
+    def _inner_violated(self) -> bool:
+        return _assigned_equal(self.a, self.b) and _domains_disjoint(self.c, self.d)
+
+    def propagate(self, store: Store) -> None:
+        g1, g2 = self.g1, self.g2
+        if _assigned_different(g1, g2):
+            return  # guard false, nothing to enforce
+        if _assigned_equal(g1, g2):
+            # Guard holds: behave like EqImpliesEq on (a,b,c,d).
+            if _assigned_equal(self.a, self.b):
+                inter = self.c.domain.intersect(self.d.domain)
+                store.set_domain(self.c, inter)
+                store.set_domain(self.d, inter)
+            elif _domains_disjoint(self.c, self.d):
+                if self.a.is_assigned():
+                    store.remove_value(self.b, self.a.value())
+                if self.b.is_assigned():
+                    store.remove_value(self.a, self.b.value())
+        elif self._inner_violated():
+            # Inner implication can never hold -> operations must not
+            # run simultaneously.
+            if g1.is_assigned():
+                store.remove_value(g2, g1.value())
+            if g2.is_assigned():
+                store.remove_value(g1, g2.value())
+
+    def __repr__(self) -> str:
+        return (
+            f"({self.g1.name}=={self.g2.name}) => "
+            f"(({self.a.name}=={self.b.name}) => ({self.c.name}=={self.d.name}))"
+        )
+
+
+class BinaryTable(Constraint):
+    """``(x, y) in allowed`` with arc consistency (support counting).
+
+    A general-purpose positive table constraint over two variables; used
+    in tests and available as an alternative encoding of the memory
+    compatibility relation directly over slot numbers.
+    """
+
+    def __init__(self, x: IntVar, y: IntVar, allowed: Sequence[Tuple[int, int]]):
+        self.x, self.y = x, y
+        self.allowed: FrozenSet[Tuple[int, int]] = frozenset(allowed)
+        self.x_supports: Dict[int, Set[int]] = {}
+        self.y_supports: Dict[int, Set[int]] = {}
+        for a, b in self.allowed:
+            self.x_supports.setdefault(a, set()).add(b)
+            self.y_supports.setdefault(b, set()).add(a)
+
+    def variables(self) -> Tuple[IntVar, ...]:
+        return (self.x, self.y)
+
+    def propagate(self, store: Store) -> None:
+        ydom = self.y.domain
+        keep_x = [
+            v
+            for v in self.x.domain
+            if any(w in ydom for w in self.x_supports.get(v, ()))
+        ]
+        store.set_domain(self.x, Domain.from_values(keep_x))
+        xdom = self.x.domain
+        keep_y = [
+            w
+            for w in self.y.domain
+            if any(v in xdom for v in self.y_supports.get(w, ()))
+        ]
+        store.set_domain(self.y, Domain.from_values(keep_y))
+
+
+class ConditionalBinaryTable(Constraint):
+    """``(g1 == g2) => ((x, y) in allowed)`` with contrapositive.
+
+    When the guard is decided true the table is enforced with arc
+    consistency; when the pair ``(x, y)`` provably has no allowed
+    support, the guard is falsified.
+    """
+
+    def __init__(
+        self,
+        g1: IntVar,
+        g2: IntVar,
+        x: IntVar,
+        y: IntVar,
+        allowed: Sequence[Tuple[int, int]],
+    ):
+        self.g1, self.g2 = g1, g2
+        self.table = BinaryTable.__new__(BinaryTable)
+        BinaryTable.__init__(self.table, x, y, allowed)
+        self.x, self.y = x, y
+
+    def variables(self) -> Tuple[IntVar, ...]:
+        return (self.g1, self.g2, self.x, self.y)
+
+    def _table_infeasible(self) -> bool:
+        ydom = self.y.domain
+        for v in self.x.domain:
+            if any(w in ydom for w in self.table.x_supports.get(v, ())):
+                return False
+        return True
+
+    def propagate(self, store: Store) -> None:
+        g1, g2 = self.g1, self.g2
+        if _assigned_different(g1, g2):
+            return
+        if _assigned_equal(g1, g2):
+            self.table.propagate(store)
+        elif self._table_infeasible():
+            if g1.is_assigned():
+                store.remove_value(g2, g1.value())
+            if g2.is_assigned():
+                store.remove_value(g1, g2.value())

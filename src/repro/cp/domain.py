@@ -1,0 +1,208 @@
+"""Immutable finite integer domains represented as sorted interval sets.
+
+A :class:`Domain` is a sequence of disjoint, non-adjacent, inclusive
+integer intervals ``[(lo0, hi0), (lo1, hi1), ...]`` kept in ascending
+order.  Immutability makes trailing trivial: the engine saves a reference
+to the old domain before a variable is narrowed and restores it on
+backtracking — no copy-on-restore is ever needed.
+
+All narrowing operations return a (possibly empty) new :class:`Domain`;
+emptiness is reported to the caller, which raises
+:class:`repro.cp.engine.Inconsistency` at the store level.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Iterator, Sequence, Tuple
+
+Interval = Tuple[int, int]
+
+
+class Domain:
+    """A finite set of integers stored as disjoint inclusive intervals."""
+
+    __slots__ = ("_ivs", "_size")
+
+    def __init__(self, intervals: Sequence[Interval]):
+        # Invariant: intervals sorted, disjoint and separated by gaps >= 2
+        # (adjacent intervals are coalesced by the constructors below).
+        self._ivs: Tuple[Interval, ...] = tuple(intervals)
+        self._size = sum(hi - lo + 1 for lo, hi in self._ivs)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def interval(lo: int, hi: int) -> "Domain":
+        """Domain containing every integer in ``[lo, hi]`` (empty if lo > hi)."""
+        if lo > hi:
+            return EMPTY_DOMAIN
+        return Domain(((lo, hi),))
+
+    @staticmethod
+    def singleton(value: int) -> "Domain":
+        return Domain(((value, value),))
+
+    @staticmethod
+    def from_values(values: Iterable[int]) -> "Domain":
+        """Build a normalized domain from an arbitrary iterable of ints."""
+        vals = sorted(set(values))
+        if not vals:
+            return EMPTY_DOMAIN
+        ivs = []
+        lo = prev = vals[0]
+        for v in vals[1:]:
+            if v == prev + 1:
+                prev = v
+            else:
+                ivs.append((lo, prev))
+                lo = prev = v
+        ivs.append((lo, prev))
+        return Domain(ivs)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def intervals(self) -> Tuple[Interval, ...]:
+        return self._ivs
+
+    def is_empty(self) -> bool:
+        return not self._ivs
+
+    def is_singleton(self) -> bool:
+        return self._size == 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return bool(self._ivs)
+
+    def min(self) -> int:
+        if not self._ivs:
+            raise ValueError("min() of empty domain")
+        return self._ivs[0][0]
+
+    def max(self) -> int:
+        if not self._ivs:
+            raise ValueError("max() of empty domain")
+        return self._ivs[-1][1]
+
+    def value(self) -> int:
+        """The single value of a singleton domain."""
+        if self._size != 1:
+            raise ValueError(f"domain {self} is not a singleton")
+        return self._ivs[0][0]
+
+    def __contains__(self, v: int) -> bool:
+        ivs = self._ivs
+        # Find rightmost interval with lo <= v.
+        i = bisect_right(ivs, (v, float("inf"))) - 1
+        return i >= 0 and ivs[i][0] <= v <= ivs[i][1]
+
+    def __iter__(self) -> Iterator[int]:
+        for lo, hi in self._ivs:
+            yield from range(lo, hi + 1)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Domain) and self._ivs == other._ivs
+
+    def __hash__(self) -> int:
+        return hash(self._ivs)
+
+    def __repr__(self) -> str:
+        if not self._ivs:
+            return "{}"
+        parts = [f"{lo}" if lo == hi else f"{lo}..{hi}" for lo, hi in self._ivs]
+        return "{" + ", ".join(parts) + "}"
+
+    def next_value(self, v: int) -> int:
+        """Smallest domain value strictly greater than ``v``.
+
+        Raises :class:`ValueError` when no such value exists.
+        """
+        for lo, hi in self._ivs:
+            if hi > v:
+                return max(lo, v + 1)
+        raise ValueError(f"no value > {v} in {self}")
+
+    # ------------------------------------------------------------------
+    # Narrowing operations (each returns a new Domain)
+    # ------------------------------------------------------------------
+    def remove_below(self, lo: int) -> "Domain":
+        if not self._ivs or lo <= self._ivs[0][0]:
+            return self
+        out = []
+        for a, b in self._ivs:
+            if b < lo:
+                continue
+            out.append((max(a, lo), b))
+        return Domain(out)
+
+    def remove_above(self, hi: int) -> "Domain":
+        if not self._ivs or hi >= self._ivs[-1][1]:
+            return self
+        out = []
+        for a, b in self._ivs:
+            if a > hi:
+                break
+            out.append((a, min(b, hi)))
+        return Domain(out)
+
+    def remove_value(self, v: int) -> "Domain":
+        if v not in self:
+            return self
+        out = []
+        for a, b in self._ivs:
+            if a <= v <= b:
+                if a <= v - 1:
+                    out.append((a, v - 1))
+                if v + 1 <= b:
+                    out.append((v + 1, b))
+            else:
+                out.append((a, b))
+        return Domain(out)
+
+    def remove_interval(self, lo: int, hi: int) -> "Domain":
+        """Remove every value in ``[lo, hi]``."""
+        if lo > hi or not self._ivs:
+            return self
+        if hi < self._ivs[0][0] or lo > self._ivs[-1][1]:
+            return self
+        out = []
+        for a, b in self._ivs:
+            if b < lo or a > hi:
+                out.append((a, b))
+                continue
+            if a < lo:
+                out.append((a, lo - 1))
+            if b > hi:
+                out.append((hi + 1, b))
+        return Domain(out)
+
+    def intersect(self, other: "Domain") -> "Domain":
+        out = []
+        i = j = 0
+        a, b = self._ivs, other._ivs
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if lo <= hi:
+                out.append((lo, hi))
+            if a[i][1] < b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return Domain(out)
+
+    def intersect_interval(self, lo: int, hi: int) -> "Domain":
+        return self.remove_below(lo).remove_above(hi)
+
+    def shift(self, offset: int) -> "Domain":
+        """Domain with every value translated by ``offset``."""
+        return Domain(tuple((a + offset, b + offset) for a, b in self._ivs))
+
+
+EMPTY_DOMAIN = Domain(())

@@ -1,0 +1,198 @@
+"""Constraint store: variables, trail, propagation queue, backtracking.
+
+The :class:`Store` is the solver's central object.  It owns every
+variable and constraint, provides the *only* mutation path for variable
+domains (so narrowings are trailed and watchers are woken), and runs
+propagation to fixpoint.
+
+Backtracking uses time-stamped trailing: ``push_level`` marks the trail,
+domain changes record ``(var, old_domain)`` once per level, and
+``pop_level`` replays the trail backwards.  Because
+:class:`repro.cp.domain.Domain` is immutable, restoring is a reference
+assignment.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cp.var import IntVar
+
+
+class Inconsistency(Exception):
+    """Raised when propagation wipes out a variable domain.
+
+    Search catches this to backtrack; user code sees it only when the
+    root problem itself is infeasible.
+    """
+
+
+class Constraint:
+    """Base class for propagators.
+
+    Subclasses implement :meth:`propagate` and declare the variables they
+    watch via :meth:`variables`.  ``propagate`` must be idempotent at
+    fixpoint: running it again with unchanged domains must not prune.
+    """
+
+    #: set by the store when the constraint sits in the propagation queue
+    _queued: bool = False
+    #: index assigned by the store at post time
+    _cid: int = -1
+
+    def variables(self) -> Tuple["IntVar", ...]:
+        raise NotImplementedError
+
+    def propagate(self, store: "Store") -> None:
+        raise NotImplementedError
+
+    def posted(self, store: "Store") -> None:
+        """Hook run once when the constraint is posted (before first propagation)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__}>"
+
+
+class Store:
+    """Variable/constraint owner with trailing and a FIFO propagation queue."""
+
+    def __init__(self) -> None:
+        self.vars: List["IntVar"] = []
+        self.constraints: List[Constraint] = []
+        self._queue: Deque[Constraint] = deque()
+        self._trail: List[Tuple["IntVar", object]] = []
+        self._marks: List[int] = []
+        self.level: int = 0
+        # statistics
+        self.n_propagations: int = 0
+        self.n_failures: int = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_var(self, var: "IntVar") -> int:
+        self.vars.append(var)
+        return len(self.vars) - 1
+
+    def post(self, constraint: Constraint) -> Constraint:
+        """Add a constraint, wire its watchers and propagate to fixpoint.
+
+        Raises :class:`Inconsistency` if the constraint is inconsistent
+        with the current domains.
+        """
+        constraint._cid = len(self.constraints)
+        self.constraints.append(constraint)
+        for v in constraint.variables():
+            v.watchers.append(constraint)
+        constraint.posted(self)
+        self._enqueue(constraint)
+        self.propagate()
+        return constraint
+
+    # ------------------------------------------------------------------
+    # Domain mutation (the only legal path)
+    # ------------------------------------------------------------------
+    def _save(self, var: "IntVar") -> None:
+        if var._stamp != self.level:
+            self._trail.append((var, var.domain))
+            var._stamp = self.level
+
+    def _changed(self, var: "IntVar", new_domain) -> None:
+        if new_domain.is_empty():
+            self.n_failures += 1
+            raise Inconsistency(f"domain wipe-out on {var.name}")
+        if new_domain is var.domain or new_domain == var.domain:
+            # Equality (not just identity) matters: propagators that
+            # rebuild domains value-by-value must not look like changes,
+            # or the propagation queue never reaches fixpoint.
+            return
+        self._save(var)
+        var.domain = new_domain
+        for c in var.watchers:
+            self._enqueue(c)
+
+    def set_min(self, var: "IntVar", lo: int) -> None:
+        if lo > var.domain.min():
+            self._changed(var, var.domain.remove_below(lo))
+
+    def set_max(self, var: "IntVar", hi: int) -> None:
+        if hi < var.domain.max():
+            self._changed(var, var.domain.remove_above(hi))
+
+    def assign(self, var: "IntVar", value: int) -> None:
+        dom = var.domain
+        if dom.is_singleton() and dom.min() == value:
+            return
+        if value not in dom:
+            self.n_failures += 1
+            raise Inconsistency(f"{var.name} := {value} not in {dom}")
+        from repro.cp.domain import Domain
+
+        self._changed(var, Domain.singleton(value))
+
+    def remove_value(self, var: "IntVar", value: int) -> None:
+        if value in var.domain:
+            self._changed(var, var.domain.remove_value(value))
+
+    def remove_interval(self, var: "IntVar", lo: int, hi: int) -> None:
+        new = var.domain.remove_interval(lo, hi)
+        if new is not var.domain:
+            self._changed(var, new)
+
+    def set_domain(self, var: "IntVar", new_domain) -> None:
+        """Replace a variable's domain with a subset of it."""
+        if new_domain is not var.domain:
+            self._changed(var, new_domain)
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+    def _enqueue(self, c: Constraint) -> None:
+        if not c._queued:
+            c._queued = True
+            self._queue.append(c)
+
+    def propagate(self) -> None:
+        """Run the propagation queue to fixpoint.
+
+        On :class:`Inconsistency` the queue is drained (so the next
+        search node starts clean) and the exception re-raised.
+        """
+        q = self._queue
+        try:
+            while q:
+                c = q.popleft()
+                c._queued = False
+                self.n_propagations += 1
+                c.propagate(self)
+        except Inconsistency:
+            while q:
+                q.popleft()._queued = False
+            raise
+
+    # ------------------------------------------------------------------
+    # Backtracking
+    # ------------------------------------------------------------------
+    def push_level(self) -> None:
+        self._marks.append(len(self._trail))
+        self.level += 1
+
+    def pop_level(self) -> None:
+        mark = self._marks.pop()
+        while len(self._trail) > mark:
+            var, old = self._trail.pop()
+            var.domain = old
+            var._stamp = -1
+        self.level -= 1
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def all_assigned(self, variables) -> bool:
+        return all(v.is_assigned() for v in variables)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Current domain of every variable, keyed by name (debug aid)."""
+        return {v.name: v.domain for v in self.vars}

@@ -1,0 +1,312 @@
+"""Depth-first search with phases, heuristics and branch-and-bound.
+
+The paper divides one branch-and-bound search into three sequential
+phases (section 3.5): operation start times, then data-node start times,
+then memory slots — "start with the most influential decisions and end
+with the most trivial ones".  :class:`Phase` + :class:`Search` implement
+exactly that: a list of phases, each with its own variable- and
+value-selection heuristic, explored inside a single backtracking
+branch-and-bound run.
+
+Branching is binary: ``var = value`` on the left, ``var != value`` on
+the right, which together with the ``smallest_min`` selector gives the
+classic set-times-like strategy for scheduling problems.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.cp.engine import Inconsistency, Store
+from repro.cp.var import IntVar
+
+VarSelect = Callable[[Sequence[IntVar]], Optional[IntVar]]
+ValSelect = Callable[[IntVar], int]
+
+
+# ----------------------------------------------------------------------
+# Variable selection heuristics
+# ----------------------------------------------------------------------
+def input_order(candidates: Sequence[IntVar]) -> Optional[IntVar]:
+    """First unassigned variable in the given order."""
+    for v in candidates:
+        if not v.is_assigned():
+            return v
+    return None
+
+
+def first_fail(candidates: Sequence[IntVar]) -> Optional[IntVar]:
+    """Unassigned variable with the smallest domain."""
+    best = None
+    best_size = None
+    for v in candidates:
+        if v.is_assigned():
+            continue
+        s = v.size()
+        if best_size is None or s < best_size:
+            best, best_size = v, s
+    return best
+
+
+def smallest_min(candidates: Sequence[IntVar]) -> Optional[IntVar]:
+    """Unassigned variable with the smallest lower bound (tie: smaller domain).
+
+    The natural choice for start-time variables: schedule what can start
+    earliest first.
+    """
+    best = None
+    key = None
+    for v in candidates:
+        if v.is_assigned():
+            continue
+        k = (v.min(), v.size())
+        if key is None or k < key:
+            best, key = v, k
+    return best
+
+
+# ----------------------------------------------------------------------
+# Value selection heuristics
+# ----------------------------------------------------------------------
+def select_min_value(v: IntVar) -> int:
+    return v.min()
+
+
+def select_max_value(v: IntVar) -> int:
+    return v.max()
+
+
+class Phase:
+    """A group of decision variables with selection heuristics."""
+
+    def __init__(
+        self,
+        variables: Sequence[IntVar],
+        var_select: VarSelect = smallest_min,
+        value_select: ValSelect = select_min_value,
+        name: str = "",
+    ):
+        self.variables = list(variables)
+        self.var_select = var_select
+        self.value_select = value_select
+        self.name = name
+
+    def pick(self) -> Optional[IntVar]:
+        return self.var_select(self.variables)
+
+    def __repr__(self) -> str:
+        return f"Phase({self.name or len(self.variables)})"
+
+
+class SolveStatus(Enum):
+    OPTIMAL = "optimal"  # search exhausted; best solution is optimal
+    FEASIBLE = "feasible"  # solution found, optimality not proven
+    INFEASIBLE = "infeasible"  # search exhausted without a solution
+    TIMEOUT = "timeout"  # time/node budget hit without any solution
+
+
+@dataclass
+class SearchStats:
+    nodes: int = 0
+    failures: int = 0
+    solutions: int = 0
+    time_ms: float = 0.0
+    time_to_best_ms: float = 0.0
+
+
+@dataclass
+class SearchResult:
+    status: SolveStatus
+    objective: Optional[int] = None
+    assignment: Dict[str, int] = field(default_factory=dict)
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    @property
+    def found(self) -> bool:
+        return self.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+    def value(self, var: Union[IntVar, str]) -> int:
+        name = var.name if isinstance(var, IntVar) else var
+        return self.assignment[name]
+
+
+class _Budget(Exception):
+    """Internal: time or node budget exhausted."""
+
+
+class Search:
+    """Backtracking DFS / branch-and-bound over a :class:`Store`."""
+
+    def __init__(
+        self,
+        store: Store,
+        timeout_ms: Optional[float] = None,
+        node_limit: Optional[int] = None,
+    ):
+        self.store = store
+        self.timeout_ms = timeout_ms
+        self.node_limit = node_limit
+        self.stats = SearchStats()
+        self._deadline: Optional[float] = None
+        self._t0: float = 0.0
+        self._best_obj: Optional[int] = None
+        self._best_assignment: Dict[str, int] = {}
+        self._found: bool = False
+        self._objective: Optional[IntVar] = None
+        self._phases: List[Phase] = []
+        self.on_solution: Optional[Callable[[Dict[str, int], Optional[int]], None]] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def solve(
+        self, variables_or_phases: Union[Sequence[IntVar], Sequence[Phase]]
+    ) -> SearchResult:
+        """Find one solution assigning every decision variable."""
+        return self._run(variables_or_phases, objective=None)
+
+    def minimize(
+        self,
+        objective: IntVar,
+        variables_or_phases: Union[Sequence[IntVar], Sequence[Phase]],
+    ) -> SearchResult:
+        """Branch-and-bound minimization of ``objective``."""
+        return self._run(variables_or_phases, objective=objective)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _as_phases(seq) -> List[Phase]:
+        seq = list(seq)
+        if not seq:
+            return []
+        if isinstance(seq[0], Phase):
+            return seq
+        return [Phase(seq)]
+
+    def _record_solution(self) -> None:
+        self.stats.solutions += 1
+        assignment = {
+            v.name: v.min() for v in self.store.vars if v.is_assigned()
+        }
+        obj = self._objective.min() if self._objective is not None else None
+        self._best_obj = obj
+        self._best_assignment = assignment
+        self._found = True
+        self.stats.time_to_best_ms = (time.monotonic() - self._t0) * 1000.0
+        if self.on_solution is not None:
+            self.on_solution(assignment, obj)
+
+    def _check_budget(self) -> None:
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            raise _Budget("timeout")
+        if self.node_limit is not None and self.stats.nodes > self.node_limit:
+            raise _Budget("node limit")
+
+    def _pick(self) -> Optional[IntVar]:
+        for phase in self._phases:
+            v = phase.pick()
+            if v is not None:
+                return v
+        return None
+
+    def _pick_phase(self) -> Optional[Phase]:
+        for phase in self._phases:
+            if phase.pick() is not None:
+                return phase
+        return None
+
+    def _dfs(self) -> None:
+        """Explore the subtree under the current store state.
+
+        Only the left branch (``var = value``) recurses; the right branch
+        (``var != value``) is handled by looping in the current frame,
+        with its domain changes trailed to the level our *caller* pushed.
+        This bounds the Python stack depth by the number of decision
+        variables instead of the sum of their domain sizes.
+        """
+        store = self.store
+        while True:
+            self._check_budget()
+            self.stats.nodes += 1
+            phase = self._pick_phase()
+            if phase is None:
+                self._record_solution()
+                return
+            var = phase.pick()
+            assert var is not None
+            value = phase.value_select(var)
+
+            # Left branch: var = value
+            store.push_level()
+            try:
+                self._apply_bound()
+                store.assign(var, value)
+                store.propagate()
+                self._dfs()
+            except Inconsistency:
+                self.stats.failures += 1
+            finally:
+                store.pop_level()
+
+            # In pure satisfaction mode, stop after the first solution.
+            if self._objective is None and self.stats.solutions > 0:
+                return
+
+            # Right branch: var != value, explored within this frame.
+            try:
+                self._apply_bound()
+                store.remove_value(var, value)
+                store.propagate()
+            except Inconsistency:
+                self.stats.failures += 1
+                return
+
+    def _apply_bound(self) -> None:
+        if self._objective is not None and self._best_obj is not None:
+            self.store.set_max(self._objective, self._best_obj - 1)
+
+    def _run(self, variables_or_phases, objective: Optional[IntVar]) -> SearchResult:
+        self._phases = self._as_phases(variables_or_phases)
+        self._objective = objective
+        self._best_obj = None
+        self._best_assignment = {}
+        self._found = False
+        self.stats = SearchStats()
+        self._t0 = time.monotonic()
+        self._deadline = (
+            self._t0 + self.timeout_ms / 1000.0 if self.timeout_ms else None
+        )
+
+        timed_out = False
+        self.store.push_level()
+        try:
+            self._dfs()
+        except _Budget:
+            timed_out = True
+        except Inconsistency:
+            # Root-level failure (can happen if _apply_bound fires at root).
+            pass
+        finally:
+            self.store.pop_level()
+        self.stats.time_ms = (time.monotonic() - self._t0) * 1000.0
+
+        if self._found:
+            if objective is None:
+                status = SolveStatus.OPTIMAL  # satisfaction: found == done
+            else:
+                status = SolveStatus.FEASIBLE if timed_out else SolveStatus.OPTIMAL
+            return SearchResult(
+                status=status,
+                objective=self._best_obj,
+                assignment=self._best_assignment,
+                stats=self.stats,
+            )
+        return SearchResult(
+            status=SolveStatus.TIMEOUT if timed_out else SolveStatus.INFEASIBLE,
+            stats=self.stats,
+        )

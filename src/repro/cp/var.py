@@ -1,0 +1,86 @@
+"""Finite-domain integer variables."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.cp.domain import Domain
+from repro.cp.engine import Constraint, Store
+
+_counter = 0
+
+
+def _fresh_name() -> str:
+    global _counter
+    _counter += 1
+    return f"_v{_counter}"
+
+
+class IntVar:
+    """A finite-domain integer variable owned by a :class:`Store`.
+
+    Construction registers the variable with the store.  All narrowing
+    goes through the store so it can be trailed and watchers woken:
+
+    >>> store = Store()
+    >>> x = IntVar(store, 0, 9, name="x")
+    >>> store.set_min(x, 3)
+    >>> x.min()
+    3
+    """
+
+    __slots__ = ("store", "name", "domain", "watchers", "_stamp", "index")
+
+    def __init__(
+        self,
+        store: Store,
+        lo_or_domain: Union[int, Domain],
+        hi: Optional[int] = None,
+        name: Optional[str] = None,
+    ):
+        if isinstance(lo_or_domain, Domain):
+            dom = lo_or_domain
+        else:
+            if hi is None:
+                hi = lo_or_domain
+            dom = Domain.interval(int(lo_or_domain), int(hi))
+        if dom.is_empty():
+            raise ValueError("cannot create variable with empty domain")
+        self.store = store
+        self.name = name or _fresh_name()
+        self.domain = dom
+        self.watchers: List[Constraint] = []
+        self._stamp = -1
+        self.index = store.register_var(self)
+
+    # -- queries -------------------------------------------------------
+    def min(self) -> int:
+        return self.domain.min()
+
+    def max(self) -> int:
+        return self.domain.max()
+
+    def size(self) -> int:
+        return len(self.domain)
+
+    def is_assigned(self) -> bool:
+        return self.domain.is_singleton()
+
+    def value(self) -> int:
+        return self.domain.value()
+
+    def __contains__(self, v: int) -> bool:
+        return v in self.domain
+
+    def __repr__(self) -> str:
+        return f"{self.name}{self.domain!r}"
+
+    # -- sugar used by model-building code ------------------------------
+    def set_bounds(self, lo: int, hi: int) -> None:
+        self.store.set_min(self, lo)
+        self.store.set_max(self, hi)
+
+
+def const(store: Store, value: int, name: Optional[str] = None) -> IntVar:
+    """A variable fixed to ``value`` (handy where the model wants an IntVar)."""
+    return IntVar(store, value, value, name=name or f"c{value}")

@@ -1,0 +1,42 @@
+"""Python-embedded DSL for the EIT architecture (section 3.1).
+
+The paper embeds its DSL in Scala; this reproduction embeds the same
+language in Python (a documented substitution — see DESIGN.md).  The
+programmer manipulates architecture-specific data types —
+:class:`EITScalar`, :class:`EITVector`, :class:`EITMatrix` — and every
+operation both *computes* (complex-valued functional semantics, so DSL
+programs are debuggable by running them) and *traces* into the IR
+dataflow graph.
+
+Listing 1 of the paper, ported:
+
+>>> from repro.dsl import EITMatrix, EITVector, trace
+>>> with trace("matmul") as t:
+...     v1 = EITVector(1, 2, 3, 4)
+...     v2 = EITVector(2, 3, 4, 5)
+...     v3 = EITVector(3, 4, 5, 6)
+...     v4 = EITVector(4, 5, 6, 7)
+...     A = EITMatrix(v1, v2, v3, v4)
+...     rows = []
+...     for i in range(4):
+...         scalars = [A(i).dotP(A.col(j)) for j in range(4)]
+...         rows.append(EITVector(*scalars))
+>>> graph = t.graph
+>>> graph.n_nodes() > 0
+True
+"""
+
+from repro.dsl.trace import TraceContext, current_trace, trace
+from repro.dsl.values import EITMatrix, EITScalar, EITVector
+from repro.dsl.semantics import apply_op, eval_expr
+
+__all__ = [
+    "EITMatrix",
+    "EITScalar",
+    "EITVector",
+    "TraceContext",
+    "apply_op",
+    "current_trace",
+    "eval_expr",
+    "trace",
+]

@@ -1,0 +1,153 @@
+"""Functional semantics of every architecture operation.
+
+The DSL uses these to compute concrete values while tracing (the paper's
+"this run can be used for debugging as well"), and the cycle-accurate
+simulator uses the very same functions to execute generated machine
+code — which is what lets integration tests assert that a scheduled,
+memory-allocated, code-generated program computes exactly what the DSL
+program computed.
+
+Value representation: scalars are Python ``complex``; vectors are
+4-tuples of ``complex``.  Matrix-valued operations return tuples of row
+vectors.
+"""
+
+from __future__ import annotations
+
+import cmath
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+Scalar = complex
+Vector = Tuple[complex, complex, complex, complex]
+Value = Union[Scalar, Vector, Tuple[Vector, ...]]
+
+VECTOR_WIDTH = 4
+
+
+def as_scalar(v: Any) -> Scalar:
+    return complex(v)
+
+
+def as_vector(v: Sequence[Any]) -> Vector:
+    t = tuple(complex(x) for x in v)
+    if len(t) != VECTOR_WIDTH:
+        raise ValueError(f"vector must have {VECTOR_WIDTH} elements, got {len(t)}")
+    return t  # type: ignore[return-value]
+
+
+def _ew(f, a: Vector, b: Vector) -> Vector:
+    return tuple(f(x, y) for x, y in zip(a, b))  # type: ignore[return-value]
+
+
+def _sort_key(z: complex) -> Tuple[float, float, float]:
+    return (abs(z), z.real, z.imag)
+
+
+def _rotate(v: Vector, k: int) -> Vector:
+    k %= VECTOR_WIDTH
+    return v[k:] + v[:k]  # type: ignore[return-value]
+
+
+def apply_op(
+    name: str,
+    operands: Sequence[Value],
+    attrs: Optional[Mapping[str, Any]] = None,
+) -> Value:
+    """Evaluate one operation on concrete operand values."""
+    attrs = attrs or {}
+    o = operands
+
+    # -- vector core ----------------------------------------------------
+    if name == "v_add":
+        return _ew(lambda x, y: x + y, o[0], o[1])
+    if name == "v_sub":
+        return _ew(lambda x, y: x - y, o[0], o[1])
+    if name == "v_mul":
+        return _ew(lambda x, y: x * y, o[0], o[1])
+    if name == "v_dotP":
+        return sum(x * y for x, y in zip(o[0], o[1]))
+    if name == "v_cdotP":
+        return sum(x * y.conjugate() for x, y in zip(o[0], o[1]))
+    if name == "v_scale":
+        s = o[1]
+        return tuple(x * s for x in o[0])
+    if name == "v_axpy":  # (a, x, y) -> a*x + y, a scalar
+        a, x, y = o
+        return tuple(a * xi + yi for xi, yi in zip(x, y))
+    if name == "v_axmy":  # (a, x, y) -> y - a*x, a scalar
+        a, x, y = o
+        return tuple(yi - a * xi for xi, yi in zip(x, y))
+    if name == "v_squsum":
+        return complex(sum(abs(x) ** 2 for x in o[0]), 0.0)
+    if name == "v_conj" or name == "v_hermit":
+        return tuple(x.conjugate() for x in o[0])
+    if name == "v_mask":
+        return _ew(lambda x, m: x if m != 0 else 0j, o[0], o[1])
+    if name == "v_sort":
+        return tuple(sorted(o[0], key=_sort_key))
+    if name == "v_shift":  # (v, k) rotate left by int(k.real)
+        return _rotate(o[0], int(o[1].real))
+    if name == "v_neg":
+        return tuple(-x for x in o[0])
+
+    # -- matrix variants (operands laid out one 4-row group per operand) --
+    if name in ("m_add", "m_sub", "m_mul"):
+        base = {"m_add": "v_add", "m_sub": "v_sub", "m_mul": "v_mul"}[name]
+        rows_a, rows_b = o[:4], o[4:8]
+        return tuple(apply_op(base, (a, b)) for a, b in zip(rows_a, rows_b))
+    if name == "m_scale":
+        rows, s = o[:4], o[4]
+        return tuple(apply_op("v_scale", (r, s)) for r in rows)
+    if name == "m_squsum":
+        return as_vector([apply_op("v_squsum", (r,)) for r in o[:4]])
+    if name == "m_vmul":  # (row0..row3, x) -> [dotP(row_k, x)]
+        rows, x = o[:4], o[4]
+        return as_vector([apply_op("v_dotP", (r, x)) for r in rows])
+    if name == "m_hermitian":
+        rows = o[:4]
+        return tuple(
+            tuple(rows[r][c].conjugate() for r in range(4)) for c in range(4)
+        )
+
+    # -- scalar accelerator ------------------------------------------------
+    if name == "s_sqrt":
+        return cmath.sqrt(o[0])
+    if name == "s_rsqrt":
+        return 1.0 / cmath.sqrt(o[0])
+    if name == "s_div":
+        return o[0] / o[1]
+    if name == "s_recip":
+        return 1.0 / o[0]
+    if name == "s_add":
+        return o[0] + o[1]
+    if name == "s_sub":
+        return o[0] - o[1]
+    if name == "s_mul":
+        return o[0] * o[1]
+    if name == "s_cordic_rot":  # rotate o[0] by angle Re(o[1])
+        return o[0] * cmath.exp(1j * o[1].real)
+    if name == "s_cordic_vec":  # vectoring: (magnitude, phase) packed
+        return complex(abs(o[0]), cmath.phase(o[0]) if o[0] != 0 else 0.0)
+
+    # -- index / merge ------------------------------------------------------
+    if name == "index":
+        return o[0][attrs["i"]]
+    if name == "merge":
+        return as_vector(list(o))
+    if name == "col_access":
+        j = attrs["j"]
+        return as_vector([row[j] for row in o])
+
+    raise KeyError(f"no semantics for operation {name!r}")
+
+
+def eval_expr(expr, operands: Sequence[Value]) -> Value:
+    """Evaluate a merged-node expression tree (see repro.ir.transform).
+
+    Leaves are integers indexing ``operands``; inner nodes are
+    ``(op_name, children)``.
+    """
+    if isinstance(expr, int):
+        return operands[expr]
+    name, children = expr
+    return apply_op(name, [eval_expr(c, operands) for c in children])

@@ -1,0 +1,109 @@
+"""Trace context: running a DSL program builds its IR graph.
+
+Mirrors the paper's flow (figure 2): "When the application written in
+the DSL is run, an intermediate representation of the application is
+generated.  This run can be used for debugging as well."
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.arch.isa import OpCategory, lookup_op
+from repro.ir.graph import DataNode, Graph, OpNode
+
+_state = threading.local()
+
+
+class DSLError(RuntimeError):
+    """Misuse of the DSL (e.g. values created outside a trace)."""
+
+
+def current_trace() -> "TraceContext":
+    ctx = getattr(_state, "stack", None)
+    if not ctx:
+        raise DSLError(
+            "no active trace: create DSL values inside `with trace(...):`"
+        )
+    return ctx[-1]
+
+
+class TraceContext:
+    """Builds the IR graph as a DSL program executes."""
+
+    def __init__(self, name: str = "kernel"):
+        self.graph = Graph(name)
+
+    # -- context management ------------------------------------------------
+    def __enter__(self) -> "TraceContext":
+        stack = getattr(_state, "stack", None)
+        if stack is None:
+            stack = _state.stack = []
+        stack.append(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _state.stack.pop()
+
+    # -- node creation ------------------------------------------------------
+    def input_data(
+        self, category: OpCategory, value: Any, name: Optional[str] = None
+    ) -> DataNode:
+        return self.graph.add_data(category, name=name, value=value)
+
+    def operation(
+        self,
+        op_name: str,
+        operands: Sequence[DataNode],
+        result_value: Any,
+        result_category: OpCategory,
+        name: Optional[str] = None,
+        result_name: Optional[str] = None,
+        **attrs: Any,
+    ) -> Tuple[OpNode, DataNode]:
+        """Add one operation node and its single result data node."""
+        op = lookup_op(op_name)
+        if len(operands) != op.arity:
+            raise DSLError(
+                f"{op_name} expects {op.arity} operands, got {len(operands)}"
+            )
+        node = self.graph.add_op(op, name=name, **attrs)
+        for d in operands:
+            self.graph.add_edge(d, node)
+        out = self.graph.add_data(
+            result_category,
+            name=result_name or f"{node.name}.out",
+            value=result_value,
+        )
+        self.graph.add_edge(node, out)
+        return node, out
+
+    def matrix_operation(
+        self,
+        op_name: str,
+        operands: Sequence[DataNode],
+        row_values: Sequence[Any],
+        name: Optional[str] = None,
+        **attrs: Any,
+    ) -> Tuple[OpNode, List[DataNode]]:
+        """Add a matrix operation with one vector data node per result row."""
+        op = lookup_op(op_name)
+        node = self.graph.add_op(op, name=name, **attrs)
+        for d in operands:
+            self.graph.add_edge(d, node)
+        outs = []
+        for i, rv in enumerate(row_values):
+            out = self.graph.add_data(
+                OpCategory.VECTOR_DATA,
+                name=f"{node.name}.row{i}",
+                value=rv,
+            )
+            self.graph.add_edge(node, out)
+            outs.append(out)
+        return node, outs
+
+
+def trace(name: str = "kernel") -> TraceContext:
+    """Create a trace context: ``with trace("qrd") as t: ... t.graph``."""
+    return TraceContext(name)

@@ -1,0 +1,319 @@
+"""Architecture-specific DSL data types: EITScalar, EITVector, EITMatrix.
+
+These mirror the paper's Scala types (section 3.1).  Every operation on
+them simultaneously
+
+* computes the concrete complex-valued result (functional semantics —
+  the debugging run of figure 2), and
+* records an operation node plus result data node in the active trace's
+  IR graph.
+
+Conversions between the types are handled implicitly where the paper's
+DSL does so: numbers become scalar inputs, a matrix is just four row
+vectors (matrix *data* never reaches the IR, section 3.2.1), and
+building a vector from four scalars introduces a ``merge`` node
+(figures 3 and 5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.arch.isa import OpCategory
+from repro.dsl.semantics import VECTOR_WIDTH, apply_op, as_scalar, as_vector
+from repro.dsl.trace import DSLError, current_trace
+
+Number = Union[int, float, complex]
+
+
+def _wrap_scalar(x: Union["EITScalar", Number], name: Optional[str] = None) -> "EITScalar":
+    if isinstance(x, EITScalar):
+        return x
+    return EITScalar(x, name=name)
+
+
+class EITScalar:
+    """A complex scalar living in the accelerator/scalar domain."""
+
+    __slots__ = ("value", "node")
+
+    def __init__(self, value: Number, name: Optional[str] = None, _node=None):
+        self.value = as_scalar(value)
+        if _node is not None:
+            self.node = _node
+        else:
+            self.node = current_trace().input_data(
+                OpCategory.SCALAR_DATA, self.value, name=name
+            )
+
+    @staticmethod
+    def _from_op(op_name: str, operands: Sequence["EITScalar"], **attrs) -> "EITScalar":
+        t = current_trace()
+        value = apply_op(op_name, [o.value for o in operands], attrs)
+        _, out = t.operation(
+            op_name,
+            [o.node for o in operands],
+            value,
+            OpCategory.SCALAR_DATA,
+            **attrs,
+        )
+        return EITScalar.__new__(EITScalar)._init_traced(value, out)
+
+    def _init_traced(self, value: complex, node) -> "EITScalar":
+        self.value = value
+        self.node = node
+        return self
+
+    # -- arithmetic (scalar accelerator) ---------------------------------
+    def __add__(self, other) -> "EITScalar":
+        return EITScalar._from_op("s_add", [self, _wrap_scalar(other)])
+
+    def __sub__(self, other) -> "EITScalar":
+        return EITScalar._from_op("s_sub", [self, _wrap_scalar(other)])
+
+    def __mul__(self, other) -> "EITScalar":
+        return EITScalar._from_op("s_mul", [self, _wrap_scalar(other)])
+
+    def __truediv__(self, other) -> "EITScalar":
+        return EITScalar._from_op("s_div", [self, _wrap_scalar(other)])
+
+    def sqrt(self) -> "EITScalar":
+        return EITScalar._from_op("s_sqrt", [self])
+
+    def rsqrt(self) -> "EITScalar":
+        """Reciprocal square root — the MGS normalization primitive."""
+        return EITScalar._from_op("s_rsqrt", [self])
+
+    def recip(self) -> "EITScalar":
+        return EITScalar._from_op("s_recip", [self])
+
+    def cordic_rot(self, angle) -> "EITScalar":
+        return EITScalar._from_op("s_cordic_rot", [self, _wrap_scalar(angle)])
+
+    def cordic_vec(self) -> "EITScalar":
+        return EITScalar._from_op("s_cordic_vec", [self])
+
+    def __repr__(self) -> str:
+        return f"EITScalar({self.value})"
+
+
+class EITVector:
+    """A four-element complex vector, the architecture's native datum.
+
+    Constructors:
+
+    * ``EITVector(1, 2, 3, 4)`` — an application input (literal values);
+    * ``EITVector(s0, s1, s2, s3)`` with :class:`EITScalar` arguments —
+      a ``merge`` operation packing computed scalars (listing 1 line 18);
+    * internal: results of vector operations.
+    """
+
+    __slots__ = ("values", "node")
+
+    def __init__(self, *elements, name: Optional[str] = None, _values=None, _node=None):
+        if _node is not None:
+            self.values = _values
+            self.node = _node
+            return
+        if len(elements) == 1 and isinstance(elements[0], (list, tuple)):
+            elements = tuple(elements[0])
+        if len(elements) != VECTOR_WIDTH:
+            raise DSLError(
+                f"EITVector takes {VECTOR_WIDTH} elements, got {len(elements)}"
+            )
+        if any(isinstance(e, EITScalar) for e in elements):
+            # Merge computed scalars into a vector -> merge node.
+            scalars = [_wrap_scalar(e) for e in elements]
+            t = current_trace()
+            value = apply_op("merge", [s.value for s in scalars])
+            _, out = t.operation(
+                "merge",
+                [s.node for s in scalars],
+                value,
+                OpCategory.VECTOR_DATA,
+                result_name=name,
+            )
+            self.values = value
+            self.node = out
+        else:
+            self.values = as_vector(elements)
+            self.node = current_trace().input_data(
+                OpCategory.VECTOR_DATA, self.values, name=name
+            )
+
+    @staticmethod
+    def _traced(values, node) -> "EITVector":
+        v = EITVector.__new__(EITVector)
+        v.values = values
+        v.node = node
+        return v
+
+    @staticmethod
+    def _from_op(op_name: str, operands: Sequence[object], **attrs):
+        """Run+trace an op over a flat operand list (vectors/scalars)."""
+        t = current_trace()
+        values = [
+            o.values if isinstance(o, EITVector) else o.value for o in operands
+        ]
+        value = apply_op(op_name, values, attrs)
+        nodes = [o.node for o in operands]  # type: ignore[union-attr]
+        from repro.arch.isa import lookup_op
+
+        result_scalar = lookup_op(op_name).result_is_scalar
+        cat = OpCategory.SCALAR_DATA if result_scalar else OpCategory.VECTOR_DATA
+        _, out = t.operation(op_name, nodes, value, cat, **attrs)
+        if result_scalar:
+            return EITScalar.__new__(EITScalar)._init_traced(value, out)
+        return EITVector._traced(value, out)
+
+    # -- element access ----------------------------------------------------
+    def __getitem__(self, i: int) -> EITScalar:
+        if not 0 <= i < VECTOR_WIDTH:
+            raise IndexError(i)
+        t = current_trace()
+        value = apply_op("index", [self.values], {"i": i})
+        _, out = t.operation(
+            "index", [self.node], value, OpCategory.SCALAR_DATA, i=i
+        )
+        return EITScalar.__new__(EITScalar)._init_traced(value, out)
+
+    # -- vector core operations ---------------------------------------------
+    def __add__(self, other: "EITVector") -> "EITVector":
+        return EITVector._from_op("v_add", [self, other])
+
+    def __sub__(self, other: "EITVector") -> "EITVector":
+        return EITVector._from_op("v_sub", [self, other])
+
+    def __mul__(self, other: "EITVector") -> "EITVector":
+        """Element-wise complex multiplication."""
+        return EITVector._from_op("v_mul", [self, other])
+
+    def dotP(self, other: "EITVector") -> EITScalar:
+        """Complex dot product (the paper's ``v_dotP``)."""
+        return EITVector._from_op("v_dotP", [self, other])
+
+    def cdotP(self, other: "EITVector") -> EITScalar:
+        """Conjugated dot product ⟨self, conj(other)⟩ (MGS projections)."""
+        return EITVector._from_op("v_cdotP", [self, other])
+
+    def scale(self, s: Union[EITScalar, Number]) -> "EITVector":
+        return EITVector._from_op("v_scale", [self, _wrap_scalar(s)])
+
+    def axpy(self, a: Union[EITScalar, Number], y: "EITVector") -> "EITVector":
+        """``a * self + y`` fused multiply-add."""
+        return EITVector._from_op("v_axpy", [_wrap_scalar(a), self, y])
+
+    def squsum(self) -> EITScalar:
+        """Sum of squared magnitudes (figure 5's ``v_squsum``)."""
+        return EITVector._from_op("v_squsum", [self])
+
+    def conj(self) -> "EITVector":
+        return EITVector._from_op("v_conj", [self])
+
+    def hermit(self) -> "EITVector":
+        """Hermitian pre-processing transform (pre-stage, figure 6)."""
+        return EITVector._from_op("v_hermit", [self])
+
+    def mask(self, m: "EITVector") -> "EITVector":
+        return EITVector._from_op("v_mask", [self, m])
+
+    def sort(self) -> "EITVector":
+        """Post-processing sort (by magnitude, figure 6)."""
+        return EITVector._from_op("v_sort", [self])
+
+    def shift(self, k: Union[EITScalar, Number]) -> "EITVector":
+        return EITVector._from_op("v_shift", [self, _wrap_scalar(k)])
+
+    def neg(self) -> "EITVector":
+        return EITVector._from_op("v_neg", [self])
+
+    def __repr__(self) -> str:
+        return f"EITVector{self.values}"
+
+
+class EITMatrix:
+    """Four row vectors; expanded to vector nodes in the IR (section 3.2.1)."""
+
+    __slots__ = ("rows",)
+
+    def __init__(self, *rows: EITVector):
+        if len(rows) == 1 and isinstance(rows[0], (list, tuple)):
+            rows = tuple(rows[0])
+        if len(rows) != VECTOR_WIDTH:
+            raise DSLError(f"EITMatrix takes {VECTOR_WIDTH} rows, got {len(rows)}")
+        if not all(isinstance(r, EITVector) for r in rows):
+            raise DSLError("EITMatrix rows must be EITVector")
+        self.rows: Tuple[EITVector, ...] = tuple(rows)
+
+    # Scala-style row access: ``A(i)``
+    def __call__(self, i: int) -> EITVector:
+        return self.rows[i]
+
+    def __getitem__(self, i: int) -> EITVector:
+        return self.rows[i]
+
+    def col(self, j: int) -> EITVector:
+        """Column access, served by the banked memory's access patterns.
+
+        Listing 1 accesses "each jth vector in A as a column vector";
+        in the IR this is a ``col_access`` node over the four rows.
+        """
+        t = current_trace()
+        value = apply_op("col_access", [r.values for r in self.rows], {"j": j})
+        _, out = t.operation(
+            "col_access", [r.node for r in self.rows], value,
+            OpCategory.VECTOR_DATA, j=j,
+        )
+        return EITVector._traced(value, out)
+
+    def _matrix_result(self, op_name: str, operands_nodes, operand_values, **attrs) -> "EITMatrix":
+        t = current_trace()
+        row_values = apply_op(op_name, operand_values, attrs)
+        _, outs = t.matrix_operation(op_name, operands_nodes, row_values, **attrs)
+        return EITMatrix(
+            *[EITVector._traced(v, n) for v, n in zip(row_values, outs)]
+        )
+
+    def __add__(self, other: "EITMatrix") -> "EITMatrix":
+        nodes = [r.node for r in self.rows] + [r.node for r in other.rows]
+        vals = [r.values for r in self.rows] + [r.values for r in other.rows]
+        return self._matrix_result("m_add", nodes, vals)
+
+    def __sub__(self, other: "EITMatrix") -> "EITMatrix":
+        nodes = [r.node for r in self.rows] + [r.node for r in other.rows]
+        vals = [r.values for r in self.rows] + [r.values for r in other.rows]
+        return self._matrix_result("m_sub", nodes, vals)
+
+    def __mul__(self, other: "EITMatrix") -> "EITMatrix":
+        """Element-wise matrix multiply (Hadamard), four lanes at once."""
+        nodes = [r.node for r in self.rows] + [r.node for r in other.rows]
+        vals = [r.values for r in self.rows] + [r.values for r in other.rows]
+        return self._matrix_result("m_mul", nodes, vals)
+
+    def scale(self, s: Union[EITScalar, Number]) -> "EITMatrix":
+        sc = _wrap_scalar(s)
+        nodes = [r.node for r in self.rows] + [sc.node]
+        vals = [r.values for r in self.rows] + [sc.value]
+        return self._matrix_result("m_scale", nodes, vals)
+
+    def squsum(self) -> EITVector:
+        """Figure 4: ``A.m_squsum`` — one vector of per-row square sums."""
+        t = current_trace()
+        value = apply_op("m_squsum", [r.values for r in self.rows])
+        _, out = t.operation(
+            "m_squsum",
+            [r.node for r in self.rows],
+            value,
+            OpCategory.VECTOR_DATA,
+        )
+        return EITVector._traced(value, out)
+
+    def hermitian(self) -> "EITMatrix":
+        return self._matrix_result(
+            "m_hermitian",
+            [r.node for r in self.rows],
+            [r.values for r in self.rows],
+        )
+
+    def __repr__(self) -> str:
+        return "EITMatrix(\n  " + ",\n  ".join(repr(r) for r in self.rows) + "\n)"

@@ -1,0 +1,53 @@
+"""Intermediate representation: bipartite dataflow DAGs (section 3.2).
+
+The IR is a directed acyclic graph whose vertices are either *operation*
+nodes or *data* nodes, strictly alternating (bipartite): every non-input
+data node has exactly one producing operation, every operation produces
+exactly one data node (a matrix-valued result appears as several vector
+data nodes).  Node categories follow the paper: ``vector_op``,
+``matrix_op``, ``scalar_op``, ``index``, ``merge``, ``vector_data``,
+``scalar_data``.
+
+Submodules:
+
+* :mod:`repro.ir.graph` — the DAG itself;
+* :mod:`repro.ir.xmlio` — the XML exchange format the DSL emits
+  (figure 2's DSL → IR arrow);
+* :mod:`repro.ir.analysis` — validation, statistics, critical path;
+* :mod:`repro.ir.transform` — matrix↔vector rewrites (figures 4-5) and
+  the pre/core/post merging pass (figure 6);
+* :mod:`repro.ir.dot` — Graphviz export in the style of figure 3.
+"""
+
+from repro.ir.graph import DataNode, Graph, Node, OpNode
+from repro.ir.analysis import GraphStats, critical_path, stats, validate
+from repro.ir.xmlio import from_xml, parse_file, to_xml, write_file
+from repro.ir.transform import (
+    common_subexpression_elimination,
+    matrix_op_to_vector_ops,
+    merge_pipeline_ops,
+    vector_ops_to_matrix_op,
+)
+from repro.ir.dot import to_dot
+from repro.ir.evaluate import evaluate
+
+__all__ = [
+    "DataNode",
+    "Graph",
+    "GraphStats",
+    "Node",
+    "OpNode",
+    "common_subexpression_elimination",
+    "critical_path",
+    "evaluate",
+    "from_xml",
+    "matrix_op_to_vector_ops",
+    "merge_pipeline_ops",
+    "parse_file",
+    "stats",
+    "to_dot",
+    "to_xml",
+    "validate",
+    "vector_ops_to_matrix_op",
+    "write_file",
+]

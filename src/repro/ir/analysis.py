@@ -1,0 +1,113 @@
+"""IR validation, statistics and critical-path analysis.
+
+The paper reports ``(|V|, |E|, |Cr.P|)`` for every kernel (Tables 1 and
+3); ``|Cr.P|`` is the length of the critical path *in clock cycles*,
+i.e. the longest latency-weighted path through the DAG — the hard lower
+bound that dominates the QRD schedule length in Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.arch.eit import DEFAULT_CONFIG, EITConfig
+from repro.arch.isa import OpCategory
+from repro.ir.graph import DataNode, Graph, Node, OpNode
+
+
+def validate(graph: Graph) -> None:
+    """Check the structural invariants of section 3.2; raises ValueError.
+
+    * acyclic;
+    * bipartite: edges only connect operation and data nodes;
+    * every non-input data node has exactly one producing operation;
+    * every operation node has exactly one output data node;
+    * operation arity: at least one input, and for fixed-arity ops the
+      declared number of operands.
+    """
+    graph.topological_order()  # raises on cycles
+    for u, v in graph.edges():
+        if u.is_op == v.is_op:
+            raise ValueError(
+                f"edge {u.name} -> {v.name} violates bipartiteness"
+            )
+    for d in graph.data_nodes():
+        n_prod = graph.in_degree(d)
+        if n_prod > 1:
+            raise ValueError(f"data node {d.name} has {n_prod} producers")
+    for o in graph.op_nodes():
+        n_out = graph.out_degree(o)
+        # Matrix-valued operations appear with one output data node per
+        # row vector (matrix *data* does not exist in the IR, §3.2.1).
+        max_out = 4 if o.category is OpCategory.MATRIX_OP else 1
+        if not 1 <= n_out <= max_out:
+            raise ValueError(
+                f"operation node {o.name} has {n_out} outputs, "
+                f"expected 1..{max_out}"
+            )
+        if graph.in_degree(o) == 0:
+            raise ValueError(f"operation node {o.name} has no inputs")
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """The per-kernel numbers reported in Tables 1 and 3."""
+
+    n_nodes: int
+    n_edges: int
+    critical_path: int
+    n_vector_data: int
+    n_ops: int
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        """``(|V|, |E|, |Cr.P|)`` as printed in Table 3."""
+        return (self.n_nodes, self.n_edges, self.critical_path)
+
+
+def _latency(node: Node, cfg: EITConfig) -> int:
+    if isinstance(node, OpNode):
+        return node.op.latency(cfg)
+    return 0
+
+
+def critical_path(
+    graph: Graph, cfg: EITConfig = DEFAULT_CONFIG
+) -> Tuple[int, List[Node]]:
+    """Longest latency-weighted path: ``(length_in_cycles, path_nodes)``.
+
+    Data nodes contribute zero latency; operation nodes contribute their
+    architectural latency (pipeline depth for vector/matrix operations).
+    The length equals the earliest possible completion time of the last
+    node on the path, hence a lower bound on the schedule length.
+    """
+    dist: Dict[int, int] = {}
+    best_pred: Dict[int, int] = {}
+    order = graph.topological_order()
+    for node in order:
+        preds = graph.preds(node)
+        if preds:
+            p = max(preds, key=lambda q: dist[q.nid])
+            dist[node.nid] = dist[p.nid] + _latency(node, cfg)
+            best_pred[node.nid] = p.nid
+        else:
+            dist[node.nid] = _latency(node, cfg)
+    if not dist:
+        return 0, []
+    end = max(dist, key=lambda nid: dist[nid])
+    path = [end]
+    while path[-1] in best_pred:
+        path.append(best_pred[path[-1]])
+    path.reverse()
+    return dist[end], [graph.node(nid) for nid in path]
+
+
+def stats(graph: Graph, cfg: EITConfig = DEFAULT_CONFIG) -> GraphStats:
+    cp, _ = critical_path(graph, cfg)
+    return GraphStats(
+        n_nodes=graph.n_nodes(),
+        n_edges=graph.n_edges(),
+        critical_path=cp,
+        n_vector_data=len(graph.nodes_of(OpCategory.VECTOR_DATA)),
+        n_ops=len(graph.op_nodes()),
+    )

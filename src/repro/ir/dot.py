@@ -1,0 +1,52 @@
+"""Graphviz export of IR graphs, in the visual style of figure 3.
+
+Data nodes are drawn as rectangles, operation nodes as ovals, exactly as
+the paper's figures 3-6.  The output is plain DOT text; no Graphviz
+installation is required to generate it (only to render it).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.isa import OpCategory
+from repro.ir.graph import DataNode, Graph, OpNode
+
+_OP_COLORS = {
+    OpCategory.VECTOR_OP: "lightblue",
+    OpCategory.MATRIX_OP: "steelblue",
+    OpCategory.SCALAR_OP: "lightsalmon",
+    OpCategory.INDEX: "lightgrey",
+    OpCategory.MERGE: "lightgrey",
+}
+
+
+def _escape(s: str) -> str:
+    return s.replace('"', '\\"')
+
+
+def to_dot(graph: Graph, title: Optional[str] = None) -> str:
+    lines = [f'digraph "{_escape(title or graph.name)}" {{']
+    lines.append("  rankdir=TB;")
+    lines.append('  node [fontname="Helvetica", fontsize=10];')
+    for node in graph.nodes():
+        if isinstance(node, OpNode):
+            label = node.op.name
+            if node.merged_from:
+                label = "|".join(node.merged_from)
+            color = _OP_COLORS.get(node.category, "white")
+            lines.append(
+                f'  n{node.nid} [shape=oval, style=filled, '
+                f'fillcolor={color}, label="{_escape(label)}"];'
+            )
+        else:
+            assert isinstance(node, DataNode)
+            shape = "box"
+            label = node.name
+            lines.append(
+                f'  n{node.nid} [shape={shape}, label="{_escape(label)}"];'
+            )
+    for u, v in graph.edges():
+        lines.append(f"  n{u.nid} -> n{v.nid};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,293 @@
+"""The IR dataflow graph: bipartite DAG of operation and data nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.arch.isa import OpCategory, Operation, lookup_op
+
+
+@dataclass(eq=False)
+class Node:
+    """Common behaviour of operation and data nodes."""
+
+    nid: int
+    name: str
+    category: OpCategory
+
+    @property
+    def is_op(self) -> bool:
+        return self.category.is_operation
+
+    @property
+    def is_data(self) -> bool:
+        return self.category.is_data
+
+    def __hash__(self) -> int:
+        return self.nid
+
+    def __repr__(self) -> str:
+        return f"<{self.category.value} {self.name}#{self.nid}>"
+
+
+@dataclass(eq=False)
+class OpNode(Node):
+    """An operation node; ``op(i)`` in the paper's notation is ``.op.name``."""
+
+    op: Operation = None  # type: ignore[assignment]
+    #: for merged pipeline nodes: the names of the original operations
+    merged_from: Tuple[str, ...] = ()
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def config_class(self) -> str:
+        return self.op.config()
+
+
+@dataclass(eq=False)
+class DataNode(Node):
+    """A data node; carries the traced functional value when available."""
+
+    value: Any = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+class Graph:
+    """Bipartite dataflow DAG ``G = (V, E)`` with category annotations.
+
+    Edges run producer → consumer.  Use :meth:`add_op`, :meth:`add_data`
+    and :meth:`add_edge` to build; :func:`repro.ir.analysis.validate`
+    checks the paper's structural invariants (acyclic, bipartite, single
+    producer per data node, single output per operation).
+    """
+
+    def __init__(self, name: str = "kernel"):
+        self.name = name
+        self._nodes: Dict[int, Node] = {}
+        self._succs: Dict[int, List[int]] = {}
+        self._preds: Dict[int, List[int]] = {}
+        #: edges in insertion order.  Operand order is semantically
+        #: meaningful (v_sub, v_scale, ...), and per-node predecessor /
+        #: successor orders both derive from this chronological list, so
+        #: copy() and the XML round-trip replay it to preserve them.
+        self._edges: List[Tuple[int, int]] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _new_id(self) -> int:
+        nid = self._next_id
+        self._next_id += 1
+        return nid
+
+    def add_op(
+        self,
+        op: Operation | str,
+        name: Optional[str] = None,
+        merged_from: Tuple[str, ...] = (),
+        **attrs: Any,
+    ) -> OpNode:
+        if isinstance(op, str):
+            op = lookup_op(op)
+        nid = self._new_id()
+        node = OpNode(
+            nid=nid,
+            name=name or f"{op.name}_{nid}",
+            category=op.category,
+            op=op,
+            merged_from=merged_from,
+            attrs=attrs,
+        )
+        self._install(node)
+        return node
+
+    def add_data(
+        self,
+        category: OpCategory,
+        name: Optional[str] = None,
+        value: Any = None,
+        **attrs: Any,
+    ) -> DataNode:
+        if not category.is_data:
+            raise ValueError(f"{category} is not a data category")
+        nid = self._new_id()
+        node = DataNode(
+            nid=nid,
+            name=name or f"{category.value}_{nid}",
+            category=category,
+            value=value,
+            attrs=attrs,
+        )
+        self._install(node)
+        return node
+
+    def _install(self, node: Node) -> None:
+        self._nodes[node.nid] = node
+        self._succs[node.nid] = []
+        self._preds[node.nid] = []
+
+    def add_edge(self, src: Node, dst: Node) -> None:
+        if src.nid not in self._nodes or dst.nid not in self._nodes:
+            raise ValueError("both endpoints must belong to this graph")
+        self._succs[src.nid].append(dst.nid)
+        self._preds[dst.nid].append(src.nid)
+        self._edges.append((src.nid, dst.nid))
+
+    def remove_node(self, node: Node) -> None:
+        """Remove a node and all its edges (used by the rewrite passes)."""
+        for p in list(self._preds[node.nid]):
+            self._succs[p] = [s for s in self._succs[p] if s != node.nid]
+        for s in list(self._succs[node.nid]):
+            self._preds[s] = [p for p in self._preds[s] if p != node.nid]
+        self._edges = [
+            (u, v) for u, v in self._edges
+            if u != node.nid and v != node.nid
+        ]
+        del self._preds[node.nid]
+        del self._succs[node.nid]
+        del self._nodes[node.nid]
+
+    def redirect_edge(self, src: Node, old_dst: Node, new_dst: Node) -> None:
+        """Replace one ``src → old_dst`` edge with ``src → new_dst``."""
+        self._succs[src.nid] = [
+            new_dst.nid if s == old_dst.nid else s for s in self._succs[src.nid]
+        ]
+        self._preds[old_dst.nid] = [
+            p for p in self._preds[old_dst.nid] if p != src.nid
+        ]
+        self._preds[new_dst.nid].append(src.nid)
+        self._edges = [
+            (u, new_dst.nid) if (u, v) == (src.nid, old_dst.nid) else (u, v)
+            for u, v in self._edges
+        ]
+
+    def redirect_source(self, old_src: Node, dst: Node, new_src: Node) -> None:
+        """Replace one ``old_src → dst`` edge with ``new_src → dst``,
+        preserving the operand position in ``dst``'s predecessor list."""
+        self._preds[dst.nid] = [
+            new_src.nid if p == old_src.nid else p for p in self._preds[dst.nid]
+        ]
+        self._succs[old_src.nid] = [
+            s for s in self._succs[old_src.nid] if s != dst.nid
+        ]
+        self._succs[new_src.nid].append(dst.nid)
+        self._edges = [
+            (new_src.nid, v) if (u, v) == (old_src.nid, dst.nid) else (u, v)
+            for u, v in self._edges
+        ]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def node(self, nid: int) -> Node:
+        return self._nodes[nid]
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def op_nodes(self) -> List[OpNode]:
+        return [n for n in self._nodes.values() if isinstance(n, OpNode)]
+
+    def data_nodes(self) -> List[DataNode]:
+        return [n for n in self._nodes.values() if isinstance(n, DataNode)]
+
+    def nodes_of(self, *categories: OpCategory) -> List[Node]:
+        cats = set(categories)
+        return [n for n in self._nodes.values() if n.category in cats]
+
+    def preds(self, node: Node) -> List[Node]:
+        return [self._nodes[p] for p in self._preds[node.nid]]
+
+    def succs(self, node: Node) -> List[Node]:
+        return [self._nodes[s] for s in self._succs[node.nid]]
+
+    def in_degree(self, node: Node) -> int:
+        return len(self._preds[node.nid])
+
+    def out_degree(self, node: Node) -> int:
+        return len(self._succs[node.nid])
+
+    def edges(self) -> List[Tuple[Node, Node]]:
+        """Edges in insertion order (operand order preserved)."""
+        return [(self._nodes[u], self._nodes[v]) for u, v in self._edges]
+
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    def n_edges(self) -> int:
+        return len(self._edges)
+
+    def inputs(self) -> List[DataNode]:
+        """Application inputs: data nodes without a producer."""
+        return [
+            n
+            for n in self.data_nodes()
+            if not self._preds[n.nid]
+        ]
+
+    def outputs(self) -> List[DataNode]:
+        """Application outputs: data nodes without consumers."""
+        return [n for n in self.data_nodes() if not self._succs[n.nid]]
+
+    def producer(self, data: DataNode) -> Optional[OpNode]:
+        ps = self._preds[data.nid]
+        if not ps:
+            return None
+        if len(ps) > 1:
+            raise ValueError(f"data node {data.name} has {len(ps)} producers")
+        node = self._nodes[ps[0]]
+        assert isinstance(node, OpNode)
+        return node
+
+    def result(self, op: OpNode) -> DataNode:
+        """The single data node an operation produces."""
+        ss = self._succs[op.nid]
+        if len(ss) != 1:
+            raise ValueError(
+                f"operation {op.name} has {len(ss)} outputs, expected 1"
+            )
+        node = self._nodes[ss[0]]
+        assert isinstance(node, DataNode)
+        return node
+
+    def topological_order(self) -> List[Node]:
+        """Kahn topological order; raises on cycles."""
+        indeg = {nid: len(ps) for nid, ps in self._preds.items()}
+        ready = [nid for nid, d in indeg.items() if d == 0]
+        order: List[Node] = []
+        while ready:
+            nid = ready.pop()
+            order.append(self._nodes[nid])
+            for s in self._succs[nid]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    ready.append(s)
+        if len(order) != len(self._nodes):
+            raise ValueError("graph contains a cycle")
+        return order
+
+    def copy(self) -> "Graph":
+        """Structural copy (shares Operation objects, copies attrs dicts)."""
+        g = Graph(self.name)
+        mapping: Dict[int, Node] = {}
+        for n in self._nodes.values():
+            if isinstance(n, OpNode):
+                m = g.add_op(
+                    n.op, name=n.name, merged_from=n.merged_from, **dict(n.attrs)
+                )
+            else:
+                assert isinstance(n, DataNode)
+                m = g.add_data(
+                    n.category, name=n.name, value=n.value, **dict(n.attrs)
+                )
+            mapping[n.nid] = m
+        for u, v in self._edges:
+            g.add_edge(mapping[u], mapping[v])
+        return g
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph({self.name!r}, |V|={self.n_nodes()}, |E|={self.n_edges()})"
+        )

@@ -1,0 +1,400 @@
+"""IR rewrite passes: figure 4-5 matrix↔vector rewrites, figure 6 merging.
+
+Merging (``merge_pipeline_ops``)
+--------------------------------
+The vector block is a seven-stage pipeline (load, pre, 2x core, 2x post,
+write-back).  To model the pipeline as a whole — one node, latency 7 —
+operations that follow the pre-, core-, post-processing pattern are
+merged into single nodes before scheduling (section 3.3.1, figure 6):
+
+* a *pre-processing* vector operation whose result is consumed by
+  exactly one core vector/matrix operation folds into it;
+* a core vector/matrix operation whose single vector result is consumed
+  by exactly one *post-processing* vector operation folds into it.
+
+A merged node keeps an ``expr`` attribute — a nested
+``(op_name, operands)`` tree with integer leaves indexing the node's
+predecessors — so the simulator can still evaluate it functionally.
+
+Matrix rewrites
+---------------
+``matrix_op_to_vector_ops`` expands one matrix operation into four
+per-lane vector operations (plus a ``merge`` node when the matrix result
+is a single vector built from four scalars, as in figure 5).
+``vector_ops_to_matrix_op`` performs the reverse optimization the paper
+recommends ("using the matrix versions ... removes these merge nodes"):
+four parallel same-op vector operations feeding one merge collapse into
+the matrix variant.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple, Union
+
+from repro.arch.isa import (
+    OP_TABLE,
+    OpCategory,
+    Operation,
+    PipelineRole,
+    lookup_op,
+    matrix_variant,
+)
+from repro.arch.eit import ResourceKind
+from repro.ir.graph import DataNode, Graph, Node, OpNode
+
+#: expression tree: integer = predecessor index, tuple = (op, [children])
+Expr = Union[int, Tuple[str, List["Expr"]]]
+
+
+def leaf_expr(op: OpNode, graph: Graph) -> Expr:
+    return (op.op.name, list(range(graph.in_degree(op))))
+
+
+def _node_expr(op: OpNode, graph: Graph) -> Expr:
+    return op.attrs.get("expr") or leaf_expr(op, graph)
+
+
+def _shift_leaves(expr: Expr, offset: int) -> Expr:
+    if isinstance(expr, int):
+        return expr + offset
+    name, children = expr
+    return (name, [_shift_leaves(c, offset) for c in children])
+
+
+def _substitute(expr: Expr, mapping) -> Expr:
+    """Replace integer leaves via ``mapping(leaf) -> Expr``."""
+    if isinstance(expr, int):
+        return mapping(expr)
+    name, children = expr
+    return (name, [_substitute(c, mapping) for c in children])
+
+
+def _has_role(op: OpNode, role: PipelineRole) -> bool:
+    if op.merged_from:
+        return role.value in op.attrs.get("roles", ())
+    return op.op.pipeline_role is role
+
+
+def _is_pure_pre(op: OpNode) -> bool:
+    return (
+        not op.merged_from
+        and op.category is OpCategory.VECTOR_OP
+        and op.op.pipeline_role is PipelineRole.PRE
+    )
+
+
+def _is_pure_post(op: OpNode) -> bool:
+    return (
+        not op.merged_from
+        and op.category is OpCategory.VECTOR_OP
+        and op.op.pipeline_role is PipelineRole.POST
+    )
+
+
+def _is_core_like(op: OpNode) -> bool:
+    return op.category in (OpCategory.VECTOR_OP, OpCategory.MATRIX_OP) and (
+        op.merged_from or op.op.pipeline_role in (PipelineRole.CORE, PipelineRole.WHOLE)
+    )
+
+
+def _merged_operation(first: OpNode, second: OpNode, arity: int) -> Operation:
+    """Synthetic Operation for the fused pipeline node."""
+    name = f"{first.op.name}+{second.op.name}"
+    category = (
+        OpCategory.MATRIX_OP
+        if OpCategory.MATRIX_OP in (first.category, second.category)
+        else OpCategory.VECTOR_OP
+    )
+    # The core operation determines whether the result is scalar.
+    result_is_scalar = second.op.result_is_scalar
+    return Operation(
+        name=name,
+        category=category,
+        resource=ResourceKind.VECTOR_CORE,
+        pipeline_role=PipelineRole.WHOLE,
+        config_class=name,
+        arity=arity,
+        result_is_scalar=result_is_scalar,
+    )
+
+
+def _fuse(graph: Graph, producer: OpNode, data: DataNode, consumer: OpNode) -> OpNode:
+    """Fuse ``producer -> data -> consumer`` into one node.
+
+    Producer's inputs come first in the fused node's predecessor list,
+    then the consumer's remaining inputs in their original order.
+    """
+    p_preds = graph.preds(producer)
+    c_preds = graph.preds(consumer)
+    a = len(p_preds)
+    p_expr = _shift_leaves(_node_expr(producer, graph), 0)
+
+    # Build the index mapping for the consumer's leaves.
+    remaining = [p for p in c_preds if p.nid != data.nid]
+    index_of_remaining = {p.nid: a + i for i, p in enumerate(remaining)}
+
+    def map_leaf(i: int) -> Expr:
+        pred = c_preds[i]
+        if pred.nid == data.nid:
+            return p_expr
+        return index_of_remaining[pred.nid]
+
+    fused_expr = _substitute(_node_expr(consumer, graph), map_leaf)
+
+    merged_names = (
+        (producer.merged_from or (producer.op.name,))
+        + (consumer.merged_from or (consumer.op.name,))
+    )
+    roles = tuple(
+        sorted(
+            set(producer.attrs.get("roles", (producer.op.pipeline_role.value,)))
+            | set(consumer.attrs.get("roles", (consumer.op.pipeline_role.value,)))
+        )
+    )
+    new_op = _merged_operation(producer, consumer, arity=a + len(remaining))
+    node = graph.add_op(
+        new_op,
+        name=f"{producer.name}|{consumer.name}",
+        merged_from=merged_names,
+        expr=fused_expr,
+        roles=roles,
+    )
+    for p in p_preds:
+        graph.add_edge(p, node)
+    for p in remaining:
+        graph.add_edge(p, node)
+    for out in graph.succs(consumer):
+        graph.add_edge(node, out)
+    graph.remove_node(consumer)
+    graph.remove_node(data)
+    graph.remove_node(producer)
+    return node
+
+
+def _find_merge_pair(graph: Graph) -> Optional[Tuple[OpNode, DataNode, OpNode]]:
+    for data in graph.data_nodes():
+        if graph.out_degree(data) != 1:
+            continue
+        producer = graph.producer(data)
+        if producer is None or graph.out_degree(producer) != 1:
+            continue
+        (consumer,) = graph.succs(data)
+        if not isinstance(consumer, OpNode):
+            continue
+        # pre -> core
+        if (
+            _is_pure_pre(producer)
+            and _is_core_like(consumer)
+            and not _has_role(consumer, PipelineRole.PRE)
+        ):
+            return producer, data, consumer
+        # core -> post (figure 6 right: incl. matrix op with vector output)
+        if (
+            _is_core_like(producer)
+            and not _has_role(producer, PipelineRole.POST)
+            and _is_pure_post(consumer)
+        ):
+            return producer, data, consumer
+    return None
+
+
+def merge_pipeline_ops(graph: Graph, inplace: bool = False) -> Graph:
+    """Apply the figure-6 merging pass until fixpoint.
+
+    Returns the transformed graph (a copy unless ``inplace``).
+    """
+    g = graph if inplace else graph.copy()
+    while True:
+        found = _find_merge_pair(g)
+        if found is None:
+            return g
+        _fuse(g, *found)
+
+
+# ----------------------------------------------------------------------
+# Matrix <-> vector rewrites (figures 4 and 5)
+# ----------------------------------------------------------------------
+_VECTOR_OF_MATRIX = {
+    "m_add": "v_add",
+    "m_sub": "v_sub",
+    "m_mul": "v_mul",
+    "m_scale": "v_scale",
+    "m_squsum": "v_squsum",
+    "m_hermitian": "v_hermit",
+}
+
+
+def matrix_op_to_vector_ops(graph: Graph, node: OpNode, inplace: bool = True) -> Graph:
+    """Expand one matrix operation into four per-lane vector operations.
+
+    For matrix operations whose result is a single vector assembled from
+    four per-lane scalars (e.g. ``m_squsum``, figure 4), the expansion
+    introduces four scalar data nodes and a ``merge`` node (figure 5).
+    For matrix operations with four vector outputs, each lane's vector
+    operation adopts one output directly.
+    """
+    g = graph if inplace else graph.copy()
+    if not inplace:
+        node = next(n for n in g.op_nodes() if n.name == node.name)
+    if node.category is not OpCategory.MATRIX_OP:
+        raise ValueError(f"{node.name} is not a matrix operation")
+    if node.merged_from:
+        raise ValueError("expand before merging, not after")
+    vec_name = _VECTOR_OF_MATRIX.get(node.op.name)
+    if vec_name is None:
+        raise ValueError(f"no vector equivalent for {node.op.name}")
+    vec_op = lookup_op(vec_name)
+
+    preds = g.preds(node)
+    outs = g.succs(node)
+    width = 4
+    if len(preds) % width != 0:
+        raise ValueError(
+            f"{node.name}: {len(preds)} inputs not a multiple of {width}"
+        )
+    # Operand layout: one contiguous group of 4 lanes per operand,
+    # i.e. [a0..a3] for unary, [a0..a3, b0..b3] for binary.
+    n_operands = len(preds) // width
+    lanes_inputs: List[List[Node]] = [
+        [preds[operand * width + lane] for operand in range(n_operands)]
+        for lane in range(width)
+    ]
+
+    lane_ops: List[OpNode] = []
+    for lane, lane_in in enumerate(lanes_inputs):
+        o = g.add_op(vec_op, name=f"{node.name}.lane{lane}")
+        for p in lane_in:
+            g.add_edge(p, o)
+        lane_ops.append(o)
+
+    if vec_op.result_is_scalar and len(outs) == 1:
+        # figure 5: four scalars merged back into the vector result
+        scalars = [
+            g.add_data(OpCategory.SCALAR_DATA, name=f"{node.name}.s{lane}")
+            for lane in range(width)
+        ]
+        for o, s in zip(lane_ops, scalars):
+            g.add_edge(o, s)
+        m = g.add_op("merge", name=f"{node.name}.merge")
+        for s in scalars:
+            g.add_edge(s, m)
+        g.add_edge(m, outs[0])
+    elif len(outs) == width:
+        for o, out in zip(lane_ops, outs):
+            g.add_edge(o, out)
+    else:
+        raise ValueError(
+            f"{node.name}: cannot expand {len(outs)} outputs with "
+            f"{'scalar' if vec_op.result_is_scalar else 'vector'} lanes"
+        )
+    g.remove_node(node)
+    return g
+
+
+def vector_ops_to_matrix_op(graph: Graph, inplace: bool = False) -> Graph:
+    """Collapse four parallel same-op vector ops + merge into a matrix op.
+
+    The reverse of figure 5: when four vector operations of the same kind
+    (with a defined matrix variant) each produce a scalar consumed only
+    by one shared ``merge`` node, replace the whole pattern by the matrix
+    operation producing the merged vector directly (figure 4).
+    """
+    g = graph if inplace else graph.copy()
+    changed = True
+    while changed:
+        changed = False
+        for m in list(g.op_nodes()):
+            if m.op.name != "merge":
+                continue
+            scalars = g.preds(m)
+            if len(scalars) != 4:
+                continue
+            if any(g.out_degree(s) != 1 for s in scalars):
+                continue
+            producers = [g.producer(s) for s in scalars]  # type: ignore[arg-type]
+            if any(p is None or p.merged_from for p in producers):
+                continue
+            names = {p.op.name for p in producers}  # type: ignore[union-attr]
+            if len(names) != 1:
+                continue
+            mat = matrix_variant(names.pop())
+            if mat is None:
+                continue
+            if any(g.out_degree(p) != 1 for p in producers):  # type: ignore[arg-type]
+                continue
+            # Gather lane-major operands: lane i's operands in order.
+            arities = {g.in_degree(p) for p in producers}  # type: ignore[arg-type]
+            if len(arities) != 1:
+                continue
+            n_operands = arities.pop()
+            out = g.succs(m)[0]
+            node = g.add_op(mat, name=f"{mat.name}_{m.nid}")
+            for operand in range(n_operands):
+                for p in producers:
+                    g.add_edge(g.preds(p)[operand], node)  # type: ignore[arg-type]
+            g.add_edge(node, out)
+            for p, s in zip(producers, scalars):
+                g.remove_node(p)  # type: ignore[arg-type]
+                g.remove_node(s)
+            g.remove_node(m)
+            changed = True
+            break
+    return g
+
+
+# ----------------------------------------------------------------------
+# Common-subexpression elimination
+# ----------------------------------------------------------------------
+#: operations whose operand order does not affect the result
+_COMMUTATIVE = {"v_add", "v_mul", "v_dotP", "s_add", "s_mul", "m_add", "m_mul"}
+
+
+def common_subexpression_elimination(graph: Graph, inplace: bool = False) -> Graph:
+    """Merge operation nodes that compute the same value.
+
+    Two single-output operations are equivalent when they run the same
+    opcode with the same attributes on the same operand data nodes
+    (order-insensitively for commutative operations).  The duplicate's
+    consumers are redirected to the surviving result; the pass iterates
+    in topological order so chains of duplicates collapse in one sweep.
+
+    A DSL program like listing 1 computes both ``dotP(A_i, A_j)`` and
+    ``dotP(A_j, A_i)`` — CSE halves those sixteen dot products to ten.
+    Not applied by default anywhere (it changes the graph census the
+    paper reports); offered as an expert/architect-level optimization.
+    """
+    g = graph if inplace else graph.copy()
+    changed = True
+    while changed:
+        changed = False
+        seen: dict = {}
+        for node in g.topological_order():
+            if not isinstance(node, OpNode):
+                continue
+            if g.out_degree(node) != 1:
+                continue  # multi-output matrix ops: skip (conservative)
+            operands = tuple(p.nid for p in g.preds(node))
+            if node.op.name in _COMMUTATIVE:
+                operands = tuple(sorted(operands))
+            attrs = tuple(
+                sorted(
+                    (k, v)
+                    for k, v in node.attrs.items()
+                    if k not in ("expr", "roles") and isinstance(v, (int, str))
+                )
+            )
+            key = (node.op.name, node.merged_from, operands, attrs)
+            keeper = seen.get(key)
+            if keeper is None:
+                seen[key] = node
+                continue
+            # merge: consumers of node's result use keeper's result
+            dup_out = g.result(node)
+            kept_out = g.result(keeper)
+            for consumer in list(g.succs(dup_out)):
+                g.redirect_source(dup_out, consumer, kept_out)
+            g.remove_node(dup_out)
+            g.remove_node(node)
+            changed = True
+            break
+    return g

@@ -1,0 +1,148 @@
+"""XML exchange format for the IR.
+
+The paper's DSL emits the dataflow graph "in XML format ... which is
+later on input to the code generation tool chain" (section 3.2).  This
+module provides a faithful, round-trippable encoding: nodes with their
+category/operation annotations (including synthetic merged operations
+from the figure-6 pass) and producer → consumer edges.  Traced values
+are serialized too, so a graph written after DSL execution keeps its
+debugging payload.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.arch.eit import ResourceKind
+from repro.arch.isa import OP_TABLE, OpCategory, Operation, PipelineRole
+from repro.ir.graph import DataNode, Graph, OpNode
+
+
+def _value_to_str(value: Any) -> Optional[str]:
+    if value is None:
+        return None
+    if isinstance(value, (tuple, list)):
+        return ";".join(repr(complex(v)) for v in value)
+    return repr(complex(value))
+
+
+def _value_from_str(text: Optional[str]) -> Any:
+    if text is None or text == "":
+        return None
+    if ";" in text:
+        return tuple(complex(part) for part in text.split(";"))
+    return complex(text)
+
+
+def to_xml(graph: Graph) -> ET.Element:
+    root = ET.Element("ir", {"name": graph.name})
+    for node in graph.nodes():
+        if isinstance(node, OpNode):
+            el = ET.SubElement(
+                root,
+                "node",
+                {
+                    "id": str(node.nid),
+                    "kind": "op",
+                    "name": node.name,
+                    "category": node.category.value,
+                    "op": node.op.name,
+                    "resource": node.op.resource.value,
+                    "role": node.op.pipeline_role.value,
+                    "arity": str(node.op.arity),
+                    "scalar_out": "1" if node.op.result_is_scalar else "0",
+                    "config": node.op.config(),
+                },
+            )
+            if node.merged_from:
+                el.set("merged_from", ",".join(node.merged_from))
+        else:
+            assert isinstance(node, DataNode)
+            el = ET.SubElement(
+                root,
+                "node",
+                {
+                    "id": str(node.nid),
+                    "kind": "data",
+                    "name": node.name,
+                    "category": node.category.value,
+                },
+            )
+            val = _value_to_str(node.value)
+            if val is not None:
+                el.set("value", val)
+        for k, v in getattr(node, "attrs", {}).items():
+            if isinstance(v, (str, int, float)):
+                el.set(f"attr_{k}", str(v))
+    for u, v in graph.edges():
+        ET.SubElement(root, "edge", {"src": str(u.nid), "dst": str(v.nid)})
+    return root
+
+
+def _rebuild_operation(el: ET.Element) -> Operation:
+    """Resolve the operation: table lookup, or rebuild a merged synthetic."""
+    name = el.get("op", "")
+    merged = el.get("merged_from")
+    if name in OP_TABLE and not merged:
+        return OP_TABLE[name]
+    return Operation(
+        name=name,
+        category=OpCategory(el.get("category")),
+        resource=ResourceKind(el.get("resource")),
+        pipeline_role=PipelineRole(el.get("role", "whole")),
+        config_class=el.get("config") or None,
+        arity=int(el.get("arity", "2")),
+        result_is_scalar=el.get("scalar_out") == "1",
+    )
+
+
+def _parse_attrs(el: ET.Element) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for k, v in el.attrib.items():
+        if k.startswith("attr_"):
+            try:
+                out[k[5:]] = int(v)
+            except ValueError:
+                out[k[5:]] = v
+    return out
+
+
+def from_xml(root: ET.Element) -> Graph:
+    if root.tag != "ir":
+        raise ValueError(f"expected <ir> root, got <{root.tag}>")
+    graph = Graph(root.get("name", "kernel"))
+    id_map: Dict[int, Any] = {}
+    for el in root.findall("node"):
+        nid = int(el.get("id"))
+        attrs = _parse_attrs(el)
+        if el.get("kind") == "op":
+            op = _rebuild_operation(el)
+            merged = tuple(
+                s for s in (el.get("merged_from") or "").split(",") if s
+            )
+            node = graph.add_op(
+                op, name=el.get("name"), merged_from=merged, **attrs
+            )
+        else:
+            node = graph.add_data(
+                OpCategory(el.get("category")),
+                name=el.get("name"),
+                value=_value_from_str(el.get("value")),
+                **attrs,
+            )
+        id_map[nid] = node
+    for el in root.findall("edge"):
+        graph.add_edge(id_map[int(el.get("src"))], id_map[int(el.get("dst"))])
+    return graph
+
+
+def write_file(graph: Graph, path: Union[str, Path]) -> None:
+    tree = ET.ElementTree(to_xml(graph))
+    ET.indent(tree)
+    tree.write(str(path), encoding="unicode", xml_declaration=True)
+
+
+def parse_file(path: Union[str, Path]) -> Graph:
+    return from_xml(ET.parse(str(path)).getroot())

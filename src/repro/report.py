@@ -1,0 +1,156 @@
+"""Human-readable schedule reports: Gantt charts, memory maps, windows.
+
+Plain-text renderings for terminals and logs — what an architect looks
+at when judging a schedule:
+
+* :func:`gantt` — per-unit timeline of one iteration (vector lanes,
+  scalar accelerator, index/merge), reconfigurations marked;
+* :func:`memory_map` — slot occupancy over time (which vector lives in
+  which slot when), directly visualizing the Diff2 packing of eq. 11;
+* :func:`modulo_window` — the steady-state II window of a modulo
+  schedule with per-offset configuration and resource usage;
+* :func:`schedule_summary` — the one-paragraph numbers.
+
+Everything is pure string formatting over the result objects; nothing
+here affects scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.arch.eit import ResourceKind
+from repro.arch.isa import OpCategory
+from repro.ir.graph import Graph, OpNode
+from repro.sched.modulo import ModuloResult, window_config_stream
+from repro.sched.result import Schedule
+
+_MAX_WIDTH = 120
+
+
+def _clip(label: str, width: int) -> str:
+    return label[:width].ljust(width)
+
+
+def gantt(sched: Schedule, max_cycles: Optional[int] = None) -> str:
+    """Per-unit issue timeline. ``*`` marks a reconfiguration cycle."""
+    n = min(sched.makespan + 1, max_cycles or _MAX_WIDTH)
+    lanes = [["."] * n for _ in range(sched.cfg.n_lanes)]
+    scalar = ["."] * n
+    idx = ["."] * n
+    lane_cursor: Dict[int, int] = {}
+
+    for op in sorted(sched.graph.op_nodes(), key=lambda o: o.nid):
+        t = sched.start(op)
+        if t >= n:
+            continue
+        res = op.op.resource
+        mark = op.op.name[0] if not op.merged_from else "+"
+        if res is ResourceKind.VECTOR_CORE:
+            width = op.op.lanes(sched.cfg)
+            base = lane_cursor.get(t, 0)
+            for l in range(base, min(base + width, sched.cfg.n_lanes)):
+                lanes[l][t] = mark
+            lane_cursor[t] = base + width
+        elif res is ResourceKind.SCALAR_UNIT:
+            for u in range(t, min(t + op.op.duration(sched.cfg), n)):
+                scalar[u] = mark
+        else:
+            idx[t] = mark
+
+    # reconfiguration row from the config stream
+    stream = sched.vector_config_stream()
+    reconf = ["."] * n
+    prev = None
+    for t, c in enumerate(stream[:n]):
+        if c is not None:
+            if prev is not None and c != prev:
+                reconf[t] = "*"
+            prev = c
+
+    header = "cycle    " + "".join(
+        str(t // 10 % 10) if t % 10 == 0 else " " for t in range(n)
+    )
+    rows = [header]
+    for i, lane in enumerate(lanes):
+        rows.append(f"lane {i}   " + "".join(lane))
+    rows.append("scalar   " + "".join(scalar))
+    rows.append("idx/mrg  " + "".join(idx))
+    rows.append("reconfig " + "".join(reconf))
+    if sched.makespan + 1 > n:
+        rows.append(f"... clipped at {n} of {sched.makespan + 1} cycles")
+    return "\n".join(rows)
+
+
+def memory_map(sched: Schedule, max_cycles: Optional[int] = None) -> str:
+    """Slot occupancy over time: one row per used slot.
+
+    Each vector's occupancy interval ``[start, start+lifetime]`` is drawn
+    with a per-vector letter; overlaps (which eq. 11 forbids) would show
+    as ``!`` and are worth staring at.
+    """
+    if not sched.slots:
+        return "(no memory allocation in this schedule)"
+    n = min(sched.makespan + 1, max_cycles or _MAX_WIDTH)
+    used = sorted(set(sched.slots.values()))
+    grid = {slot: [" "] * n for slot in used}
+    letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    legend: List[str] = []
+    for i, d in enumerate(
+        sorted(
+            sched.graph.nodes_of(OpCategory.VECTOR_DATA),
+            key=lambda x: sched.start(x),
+        )
+    ):
+        mark = letters[i % len(letters)]
+        slot = sched.slots[d.nid]
+        a = sched.start(d)
+        b = a + sched.lifetime(d)  # type: ignore[arg-type]
+        for t in range(a, min(b + 1, n)):
+            grid[slot][t] = mark if grid[slot][t] == " " else "!"
+        legend.append(f"{mark}={d.name}")
+    rows = [
+        f"slot {slot:3d} |" + "".join(cells) + "|" for slot, cells in grid.items()
+    ]
+    rows.append("legend: " + "  ".join(legend[: min(len(legend), 16)]) +
+                (" ..." if len(legend) > 16 else ""))
+    return "\n".join(rows)
+
+
+def modulo_window(result: ModuloResult, graph: Graph) -> str:
+    """The steady-state window: per-offset configuration and load."""
+    if not result.found:
+        return f"(no modulo schedule: {result.status.value})"
+    W = result.ii
+    stream = window_config_stream(graph, result.offsets, W)
+    by_offset: Dict[int, List[OpNode]] = {o: [] for o in range(W)}
+    for op in graph.op_nodes():
+        by_offset[result.offsets[op.nid]].append(op)
+    rows = [
+        f"steady-state window: II = {W}"
+        + (" (reconfigurations inside the model)" if result.include_reconfigs
+           else f" + {result.actual_ii - W} reconfig cycles "
+                f"= actual II {result.actual_ii}")
+    ]
+    for o in range(W):
+        ops = by_offset[o]
+        config = stream[o] or "-"
+        names = ", ".join(
+            f"{op.op.name}" for op in sorted(ops, key=lambda x: x.nid)
+        )
+        rows.append(f"  o={o:3d}  [{_clip(config, 18)}] {names}")
+    return "\n".join(rows)
+
+
+def schedule_summary(sched: Schedule) -> str:
+    parts = [
+        f"kernel {sched.graph.name}: {sched.makespan} cycles "
+        f"({sched.status.value})",
+        f"{len(sched.graph.op_nodes())} operations over "
+        f"{len(sched.issue_map())} issue cycles",
+        f"vector-core utilization {sched.vector_core_utilization():.1%}",
+    ]
+    if sched.slots:
+        parts.append(f"{sched.slots_used()} memory slots used "
+                     f"of {sched.cfg.n_slots}")
+    return "; ".join(parts)

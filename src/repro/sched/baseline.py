@@ -1,0 +1,240 @@
+"""The architects' manual implementation (Table 2's "Manual" column).
+
+Section 4.3 describes the hand flow: "the instructions for a single
+iteration are selected and ordered, usually with the objective of
+minimizing the number of effective (non-nop) instructions", then
+overlapped execution is applied.  No memory allocation is performed —
+that is exactly why the paper's manual numbers beat the automated flow
+("the manual implementation does not include memory allocation and
+involves tedious man-hours").
+
+We reproduce the *procedure*:
+
+1. **Expert instruction selection** (:func:`architect_optimize`): IR
+   rewrites a designer applies but the DSL translation does not —
+
+   * the figure-6 pipeline merging (the expert merges at least as well
+     as the compiler),
+   * fusing ``v_scale`` + single-consumer ``v_sub`` into the CMAC's
+     multiply-subtract (``v_axmy``) — one instruction instead of two,
+   * collapsing four dot products that share one operand and feed a
+     ``merge`` into a single matrix-vector product (``m_vmul``),
+   * collapsing remaining merge + 4x same-op patterns into matrix ops
+     (:func:`repro.ir.transform.vector_ops_to_matrix_op`);
+
+2. **Instruction ordering/bundling**
+   (:func:`manual_instruction_sequence`): a config-aware bundler that
+   packs up to ``n_lanes`` ready same-configuration vector operations
+   per instruction, lets scalar/index operations ride along on their own
+   units, and keeps the current configuration as long as possible so the
+   overlapped execution pays the minimum number of reconfigurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.eit import DEFAULT_CONFIG, EITConfig, ResourceKind
+from repro.arch.isa import OpCategory, lookup_op
+from repro.ir.graph import DataNode, Graph, OpNode
+from repro.ir.transform import vector_ops_to_matrix_op, merge_pipeline_ops
+from repro.sched.overlap import InstructionBlock
+
+
+# ----------------------------------------------------------------------
+# Expert rewrites
+# ----------------------------------------------------------------------
+def _fuse_scale_sub(g: Graph) -> int:
+    """``y - s*x``: v_scale feeding a single v_sub becomes one v_axmy.
+
+    Returns the number of fusions performed.
+    """
+    n = 0
+    changed = True
+    while changed:
+        changed = False
+        for sub in list(g.op_nodes()):
+            if sub.op.name != "v_sub" or sub.merged_from:
+                continue
+            y_data, scaled = g.preds(sub)
+            if not isinstance(scaled, DataNode):
+                continue
+            prod = g.producer(scaled)
+            if (
+                prod is None
+                or prod.op.name != "v_scale"
+                or prod.merged_from
+                or g.out_degree(scaled) != 1
+            ):
+                continue
+            x_data, s_data = g.preds(prod)
+            out = g.result(sub)
+            fused = g.add_op(
+                "v_axmy", name=f"axmy_{sub.nid}"
+            )
+            # v_axmy operand order: (s, x, y) -> y - s*x
+            g.add_edge(s_data, fused)
+            g.add_edge(x_data, fused)
+            g.add_edge(y_data, fused)
+            g.add_edge(fused, out)
+            g.remove_node(sub)
+            g.remove_node(scaled)
+            g.remove_node(prod)
+            n += 1
+            changed = True
+            break
+    return n
+
+
+def _collapse_vmul(g: Graph) -> int:
+    """Four dotPs sharing one operand + merge → one ``m_vmul``.
+
+    The MATMUL pattern: result row i is ``[dotP(A_i, A_j) for j]``,
+    which shares operand ``A_i`` across the four products — exactly a
+    matrix-vector product the architecture executes in one matrix
+    instruction (all four lanes).
+    """
+    n = 0
+    changed = True
+    while changed:
+        changed = False
+        for m in list(g.op_nodes()):
+            if m.op.name != "merge":
+                continue
+            scalars = g.preds(m)
+            if len(scalars) != 4 or any(g.out_degree(s) != 1 for s in scalars):
+                continue
+            prods = [g.producer(s) for s in scalars]  # type: ignore[arg-type]
+            if any(
+                p is None or p.op.name != "v_dotP" or p.merged_from
+                or g.out_degree(p) != 1
+                for p in prods
+            ):
+                continue
+            operand_sets = [tuple(x.nid for x in g.preds(p)) for p in prods]  # type: ignore[arg-type]
+            # find an operand common to all four products
+            common = set(operand_sets[0])
+            for s_ in operand_sets[1:]:
+                common &= set(s_)
+            if not common:
+                continue
+            shared_nid = sorted(common)[0]
+            lanes = []
+            ok = True
+            for p, ops_ in zip(prods, operand_sets):
+                # remove ONE occurrence of the shared operand; the
+                # diagonal product dotP(x, x) then contributes x itself
+                # as its lane operand.
+                rest = list(ops_)
+                rest.remove(shared_nid)
+                if len(rest) != 1:
+                    ok = False
+                    break
+                lanes.append(rest[0])
+            if not ok:
+                continue
+            out = g.succs(m)[0]
+            node = g.add_op("m_vmul", name=f"m_vmul_{m.nid}")
+            for nid in lanes:
+                g.add_edge(g.node(nid), node)
+            g.add_edge(g.node(shared_nid), node)
+            g.add_edge(node, out)
+            for p, s in zip(prods, scalars):
+                g.remove_node(p)  # type: ignore[arg-type]
+                g.remove_node(s)
+            g.remove_node(m)
+            n += 1
+            changed = True
+            break
+    return n
+
+
+def architect_optimize(graph: Graph) -> Graph:
+    """All expert rewrites, on a copy of the graph."""
+    g = merge_pipeline_ops(graph)  # copies
+    _collapse_vmul(g)
+    vector_ops_to_matrix_op(g, inplace=True)
+    _fuse_scale_sub(g)
+    return g
+
+
+# ----------------------------------------------------------------------
+# Config-aware instruction bundling
+# ----------------------------------------------------------------------
+def manual_instruction_sequence(
+    graph: Graph, cfg: EITConfig = DEFAULT_CONFIG
+) -> Tuple[List[InstructionBlock], Graph]:
+    """The architect's ordered instruction sequence for one iteration.
+
+    Returns ``(blocks, optimized_graph)``.  Greedy config-aware
+    bundling: among operations whose producers are already placed, keep
+    issuing the current vector-core configuration while any of it is
+    ready (minimizing switches), pack up to ``n_lanes`` lanes per
+    instruction, and let at most one scalar and one index/merge
+    operation ride along per instruction (their units are free).
+    """
+    g = architect_optimize(graph)
+    placed: set = set()
+    remaining: List[OpNode] = list(g.op_nodes())
+
+    def ready(op: OpNode) -> bool:
+        for d in g.preds(op):
+            p = g.producer(d)  # type: ignore[arg-type]
+            if p is not None and p.nid not in placed:
+                return False
+        return True
+
+    blocks: List[InstructionBlock] = []
+    prev_config: Optional[str] = None
+    while remaining:
+        ready_ops = [o for o in remaining if ready(o)]
+        assert ready_ops, "cyclic IR?"
+        by_config: Dict[str, List[OpNode]] = {}
+        others: List[OpNode] = []
+        for o in ready_ops:
+            if o.op.resource is ResourceKind.VECTOR_CORE:
+                by_config.setdefault(o.config_class, []).append(o)
+            else:
+                others.append(o)
+
+        bundle: List[OpNode] = []
+        config: Optional[str] = None
+        if by_config:
+            if prev_config in by_config:
+                config = prev_config
+            else:
+                config = max(by_config, key=lambda c: len(by_config[c]))
+            lanes_left = cfg.n_lanes
+            for o in by_config[config]:
+                need = o.op.lanes(cfg)
+                if need <= lanes_left:
+                    bundle.append(o)
+                    lanes_left -= need
+                if lanes_left == 0:
+                    break
+            prev_config = config
+        # scalar / index-merge ride-alongs (one per unit)
+        for res in (ResourceKind.SCALAR_UNIT, ResourceKind.INDEX_MERGE):
+            for o in others:
+                if o.op.resource is res:
+                    bundle.append(o)
+                    break
+        if not bundle:
+            # only non-vector work left and none picked (can't happen,
+            # but keep the loop safe)
+            bundle = [others[0]]
+
+        # ops bundled together must be mutually independent; enforced by
+        # the `ready` definition (producers placed in *earlier* blocks)
+        blocks.append(
+            InstructionBlock(
+                index=len(blocks),
+                ops=tuple(bundle),
+                config=config,
+                latency=max(o.op.latency(cfg) for o in bundle),
+            )
+        )
+        placed.update(o.nid for o in bundle)
+        remaining = [o for o in remaining if o.nid not in placed]
+    return blocks, g

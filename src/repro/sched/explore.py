@@ -1,0 +1,109 @@
+"""Design-space exploration: kernels x architecture profiles.
+
+The paper's future-work direction ("targeting other vector
+architectures") made systematic: sweep a set of :class:`EITConfig`
+profiles over a set of kernels, collecting single-iteration makespan,
+memory footprint and steady-state modulo throughput — the numbers an
+architecture team trades off when sizing lanes, pipeline depth and the
+banked memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.arch.eit import DEFAULT_CONFIG, EITConfig
+from repro.ir import merge_pipeline_ops
+from repro.ir.graph import Graph
+from repro.sched.modulo import modulo_schedule
+from repro.sched.scheduler import schedule
+
+#: ready-made profiles for sweeps (the paper's instance plus variants)
+STANDARD_PROFILES: Dict[str, EITConfig] = {
+    "eit": DEFAULT_CONFIG,
+    "narrow2": EITConfig(n_lanes=2),
+    "wide8": EITConfig(n_lanes=8),
+    "shallow5": EITConfig(pipeline_depth=5),
+    "deep9": EITConfig(pipeline_depth=9),
+    "smallmem": EITConfig(n_slots=16),
+}
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One (kernel, profile) evaluation."""
+
+    kernel: str
+    profile: str
+    makespan: int
+    slots_used: int
+    status: str
+    modulo_ii: int
+    modulo_throughput: float
+
+    @property
+    def feasible(self) -> bool:
+        return self.makespan >= 0
+
+
+def explore(
+    kernels: Mapping[str, Callable[[], Graph]],
+    profiles: Optional[Mapping[str, EITConfig]] = None,
+    timeout_ms: float = 30_000.0,
+    modulo_timeout_ms: float = 30_000.0,
+    include_reconfigs: bool = False,
+) -> List[DesignPoint]:
+    """Evaluate every kernel on every profile.
+
+    ``kernels`` maps names to graph builders (e.g.
+    ``{"matmul": repro.apps.build_matmul}``).  Infeasible or timed-out
+    points are reported with ``makespan = -1`` rather than raising, so a
+    sweep always completes.
+    """
+    profiles = profiles or STANDARD_PROFILES
+    points: List[DesignPoint] = []
+    for kname, builder in kernels.items():
+        graph = merge_pipeline_ops(builder())
+        for pname, cfg in profiles.items():
+            s = schedule(graph, cfg=cfg, timeout_ms=timeout_ms)
+            m = modulo_schedule(
+                graph,
+                cfg,
+                include_reconfigs=include_reconfigs,
+                timeout_ms=modulo_timeout_ms,
+                per_ii_timeout_ms=modulo_timeout_ms / 3,
+            )
+            points.append(
+                DesignPoint(
+                    kernel=kname,
+                    profile=pname,
+                    makespan=s.makespan,
+                    slots_used=s.slots_used() if s.starts else 0,
+                    status=s.status.value,
+                    modulo_ii=m.actual_ii if m.found else -1,
+                    modulo_throughput=m.throughput if m.found else 0.0,
+                )
+            )
+    return points
+
+
+def pareto_front(
+    points: List[DesignPoint], kernel: str
+) -> List[DesignPoint]:
+    """Profiles not dominated on (makespan, modulo II) for a kernel.
+
+    Lower is better on both axes; infeasible points never appear.
+    """
+    candidates = [p for p in points if p.kernel == kernel and p.feasible
+                  and p.modulo_ii > 0]
+    front = []
+    for p in candidates:
+        dominated = any(
+            (q.makespan <= p.makespan and q.modulo_ii <= p.modulo_ii)
+            and (q.makespan < p.makespan or q.modulo_ii < p.modulo_ii)
+            for q in candidates
+        )
+        if not dominated:
+            front.append(p)
+    return sorted(front, key=lambda p: (p.makespan, p.modulo_ii))

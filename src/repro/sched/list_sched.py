@@ -1,0 +1,84 @@
+"""Greedy list scheduler (no memory allocation).
+
+Serves two roles:
+
+* a quick *upper bound* on the makespan, used to bound start-time
+  domains before the CP search (the tighter the horizon, the stronger
+  the propagation);
+* a sanity baseline for tests: the CP scheduler must never be worse.
+
+The greedy rule is classic resource-constrained list scheduling over the
+topological order: place every operation at the earliest cycle where its
+operands are ready and its unit has capacity, respecting the EIT rule
+that all vector-core operations issued in one cycle must share one
+configuration (paper eq. 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.arch.eit import DEFAULT_CONFIG, EITConfig, ResourceKind
+from repro.cp.search import SolveStatus
+from repro.ir.graph import DataNode, Graph, OpNode
+from repro.sched.result import Schedule
+
+
+def greedy_schedule(graph: Graph, cfg: EITConfig = DEFAULT_CONFIG) -> Schedule:
+    """Resource-feasible schedule by earliest-fit list scheduling."""
+    starts: Dict[int, int] = {}
+    lane_load: Dict[int, int] = {}
+    cycle_config: Dict[int, str] = {}
+    unit_busy: Dict[ResourceKind, set] = {
+        ResourceKind.SCALAR_UNIT: set(),
+        ResourceKind.INDEX_MERGE: set(),
+    }
+
+    def fits(op: OpNode, t: int) -> bool:
+        res = op.op.resource
+        if res is ResourceKind.VECTOR_CORE:
+            if lane_load.get(t, 0) + op.op.lanes(cfg) > cfg.n_lanes:
+                return False
+            conf = cycle_config.get(t)
+            return conf is None or conf == op.config_class
+        busy = unit_busy[res]
+        return all(u not in busy for u in range(t, t + op.op.duration(cfg)))
+
+    def occupy(op: OpNode, t: int) -> None:
+        res = op.op.resource
+        if res is ResourceKind.VECTOR_CORE:
+            lane_load[t] = lane_load.get(t, 0) + op.op.lanes(cfg)
+            cycle_config[t] = op.config_class
+        else:
+            unit_busy[res].update(range(t, t + op.op.duration(cfg)))
+
+    for node in graph.topological_order():
+        preds = graph.preds(node)
+        ready = max((starts[p.nid] for p in preds), default=0)
+        if isinstance(node, DataNode):
+            prod = graph.producer(node)
+            starts[node.nid] = (
+                0 if prod is None else starts[prod.nid] + prod.op.latency(cfg)
+            )
+            continue
+        assert isinstance(node, OpNode)
+        t = ready
+        while not fits(node, t):
+            t += 1
+        occupy(node, t)
+        starts[node.nid] = t
+
+    makespan = max(
+        (
+            starts[n.nid] + (n.op.latency(cfg) if isinstance(n, OpNode) else 0)
+            for n in graph.nodes()
+        ),
+        default=0,
+    )
+    return Schedule(
+        graph=graph,
+        cfg=cfg,
+        starts=starts,
+        makespan=makespan,
+        status=SolveStatus.FEASIBLE,
+    )

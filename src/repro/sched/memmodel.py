@@ -1,0 +1,280 @@
+"""Memory-allocation constraints: section 3.4 (eqs. 6-11).
+
+Added on top of a :class:`repro.sched.model.ScheduleModel`:
+
+* per vector data node: ``slot``, ``line``, ``page`` variables channeled
+  by eq. 6 (``line = slot / nBanks``, ``page = (slot mod nBanks) /
+  pageSize``);
+* eq. 7: the inputs of one vector-core operation are read together, so
+  any two of them that share a page must share a line;
+* eqs. 8-9: two same-configuration vector operations scheduled at the
+  same cycle read (write) together, so the same page→line rule couples
+  their inputs (outputs), guarded by ``s_i == s_j``;
+* eq. 10: lifetimes (last consumer start − own start; results that
+  nobody consumes live until the end of the schedule);
+* eq. 11: slot reuse as 2-D rectangle non-overlap (Diff2) over
+  (start, slot, lifetime, 1).
+
+Scalar data is assumed optimally allocated, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.arch.isa import OpCategory
+from repro.cp import (
+    BinaryTable,
+    ConditionalBinaryTable,
+    Diff2,
+    XPlusCEqY,
+    EqImpliesEq,
+    GuardedEqImpliesEq,
+    IntVar,
+    Max,
+    Rect2,
+    ScaledDiv,
+    XPlusYEqZ,
+)
+from repro.ir.graph import DataNode, OpNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sched.model import ScheduleModel
+
+
+class MemoryModel:
+    """Slot/line/page variables and the access + reuse constraints.
+
+    Two encodings of the access-compatibility rules are provided:
+
+    * ``"implication"`` (default, the paper's formulation): page/line
+      variables channeled from slots (eq. 6) with the implications of
+      eqs. 7-9;
+    * ``"table"``: the same relation expressed directly over slot pairs
+      as a (conditional) binary table — arc-consistent and
+      channeling-free, at the cost of materializing the allowed-pair
+      set.  Both must agree on every optimum; the ablation bench checks
+      that.
+    """
+
+    def __init__(self, model: "ScheduleModel", encoding: str = "implication"):
+        if encoding not in ("implication", "table"):
+            raise ValueError(f"unknown memory encoding {encoding!r}")
+        self.encoding = encoding
+        self.model = model
+        store = model.store
+        cfg = model.cfg
+        graph = model.graph
+
+        self.vdata: List[DataNode] = [
+            n for n in graph.data_nodes() if n.category is OpCategory.VECTOR_DATA
+        ]
+        self.slot: Dict[int, IntVar] = {}
+        self.line: Dict[int, IntVar] = {}
+        self.page: Dict[int, IntVar] = {}
+        self.life: Dict[int, IntVar] = {}
+
+        n_lines = -(-cfg.n_slots // cfg.n_banks)
+        for d in self.vdata:
+            self.slot[d.nid] = IntVar(
+                store, 0, cfg.n_slots - 1, name=f"slot_{d.name}"
+            )
+            self.line[d.nid] = IntVar(store, 0, n_lines - 1, name=f"line_{d.name}")
+            self.page[d.nid] = IntVar(
+                store, 0, cfg.n_pages - 1, name=f"page_{d.name}"
+            )
+            # eq. 6
+            store.post(ScaledDiv(self.line[d.nid], self.slot[d.nid], d=cfg.n_banks))
+            store.post(
+                ScaledDiv(
+                    self.page[d.nid],
+                    self.slot[d.nid],
+                    d=cfg.page_size,
+                    m=cfg.n_banks,
+                )
+            )
+
+        self._compat_pairs: Optional[List[tuple]] = None
+        self._post_input_compatibility()
+        self._post_simultaneous_compatibility()
+        self._post_lifetimes()
+        self._post_diff2()
+        self._post_output_distinctness()
+
+    # ------------------------------------------------------------------
+    def _allowed_slot_pairs(self) -> List[tuple]:
+        """Slot pairs legal to access simultaneously (table encoding)."""
+        if self._compat_pairs is None:
+            cfg = self.model.cfg
+            pairs = []
+            for a in range(cfg.n_slots):
+                pa = (a % cfg.n_banks) // cfg.page_size
+                la = a // cfg.n_banks
+                for b in range(cfg.n_slots):
+                    pb = (b % cfg.n_banks) // cfg.page_size
+                    lb = b // cfg.n_banks
+                    if pa != pb or la == lb:
+                        pairs.append((a, b))
+            self._compat_pairs = pairs
+        return self._compat_pairs
+
+    # ------------------------------------------------------------------
+    def _vector_core_ops(self) -> List[OpNode]:
+        return [
+            o
+            for o in self.model.graph.op_nodes()
+            if o.category in (OpCategory.VECTOR_OP, OpCategory.MATRIX_OP)
+        ]
+
+    def _vec_preds(self, op: OpNode) -> List[DataNode]:
+        return [
+            p
+            for p in self.model.graph.preds(op)
+            if p.category is OpCategory.VECTOR_DATA
+        ]
+
+    def _vec_succs(self, op: OpNode) -> List[DataNode]:
+        return [
+            s
+            for s in self.model.graph.succs(op)
+            if s.category is OpCategory.VECTOR_DATA
+        ]
+
+    def _post_input_compatibility(self) -> None:
+        """eq. 7 — one operation's inputs are accessed simultaneously.
+
+        We also apply the rule to the (up to four) simultaneous outputs
+        of a matrix operation, which write back in one cycle.
+        """
+        store = self.model.store
+        for op in self._vector_core_ops():
+            for group in (self._vec_preds(op), self._vec_succs(op)):
+                for i, d in enumerate(group):
+                    for e in group[i + 1 :]:
+                        if d.nid == e.nid:
+                            continue
+                        if self.encoding == "table":
+                            store.post(
+                                BinaryTable(
+                                    self.slot[d.nid],
+                                    self.slot[e.nid],
+                                    self._allowed_slot_pairs(),
+                                )
+                            )
+                        else:
+                            store.post(
+                                EqImpliesEq(
+                                    self.page[d.nid],
+                                    self.page[e.nid],
+                                    self.line[d.nid],
+                                    self.line[e.nid],
+                                )
+                            )
+
+    def _post_simultaneous_compatibility(self) -> None:
+        """eqs. 8-9 — same-time operations access memory together.
+
+        Only pairs that *can* be scheduled simultaneously need the
+        guarded constraints: same configuration class (different
+        configurations are already separated by eq. 3).
+        """
+        store = self.model.store
+        ops = [o for o in self._vector_core_ops() if o.category is OpCategory.VECTOR_OP]
+        for i, a in enumerate(ops):
+            for b in ops[i + 1 :]:
+                if a.config_class != b.config_class:
+                    continue
+                sa, sb = self.model.start[a.nid], self.model.start[b.nid]
+                # eq. 8 over inputs, eq. 9 over outputs
+                for group_of in (self._vec_preds, self._vec_succs):
+                    for d in group_of(a):
+                        for e in group_of(b):
+                            if d.nid == e.nid:
+                                continue
+                            if self.encoding == "table":
+                                store.post(
+                                    ConditionalBinaryTable(
+                                        sa, sb,
+                                        self.slot[d.nid], self.slot[e.nid],
+                                        self._allowed_slot_pairs(),
+                                    )
+                                )
+                            else:
+                                store.post(
+                                    GuardedEqImpliesEq(
+                                        sa, sb,
+                                        self.page[d.nid], self.page[e.nid],
+                                        self.line[d.nid], self.line[e.nid],
+                                    )
+                                )
+
+    def _post_lifetimes(self) -> None:
+        """eq. 10 — lifetime = latest consumer start − own start."""
+        store = self.model.store
+        graph = self.model.graph
+        for d in self.vdata:
+            life = IntVar(store, 0, self.model.horizon, name=f"life_{d.name}")
+            self.life[d.nid] = life
+            succs = graph.succs(d)
+            if succs:
+                max_u = IntVar(
+                    store, 0, self.model.horizon, name=f"lastuse_{d.name}"
+                )
+                store.post(Max(max_u, [self.model.start[s.nid] for s in succs]))
+            else:
+                # Kernel outputs must survive to the end of the schedule.
+                max_u = self.model.makespan
+            store.post(XPlusYEqZ(self.model.start[d.nid], life, max_u))
+
+    def _post_diff2(self) -> None:
+        """eq. 11 — slot reuse via non-overlapping rectangles.
+
+        Rectangle widths are ``lifetime + 1`` rather than the paper's
+        bare lifetime: with write-before-read memory semantics (which
+        same-cycle producer→consumer chains at ``s + l`` require), a
+        slot reused in the exact cycle of its last read would be
+        clobbered before that read.  The one-cycle pad makes every
+        generated schedule execute correctly on the simulator; see
+        DESIGN.md ("model fidelity notes").
+        """
+        store = self.model.store
+        rects = []
+        for d in self.vdata:
+            life1 = IntVar(
+                store, 1, self.model.horizon + 1, name=f"occ_{d.name}"
+            )
+            store.post(XPlusCEqY(self.life[d.nid], 1, life1))
+            rects.append(
+                Rect2(
+                    ox=self.model.start[d.nid],
+                    oy=self.slot[d.nid],
+                    lx=life1,
+                    ly=1,
+                    tag=d.name,
+                )
+            )
+        if rects:
+            store.post(Diff2(rects))
+
+    def _post_output_distinctness(self) -> None:
+        """Redundant: kernel outputs coexist at the end of the schedule.
+
+        Every vector result without consumers lives until the makespan
+        (eq. 10's convention), so their slots are pairwise distinct.
+        Diff2's pairwise filtering cannot see the pigeonhole; this
+        AllDifferent lets the solver *prove* that memories smaller than
+        the output set are infeasible (the paper's "failed" entry below
+        Table 1) instead of searching forever.
+        """
+        from repro.cp.constraints.alldiff import AllDifferent
+
+        graph = self.model.graph
+        outputs = [d for d in self.vdata if not graph.succs(d)]
+        if len(outputs) > 1:
+            self.model.store.post(
+                AllDifferent([self.slot[d.nid] for d in outputs])
+            )
+
+    # ------------------------------------------------------------------
+    def slot_vars(self) -> List[IntVar]:
+        return [self.slot[d.nid] for d in self.vdata]

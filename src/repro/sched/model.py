@@ -1,0 +1,206 @@
+"""CP scheduling model: the constraints of section 3.3.
+
+:class:`ScheduleModel` builds one constraint store holding:
+
+* a start-time variable per node (eq. 1's ``s``); latencies and
+  durations are constants from the architecture model (``l``, ``d``);
+* precedence constraints along every edge (eq. 1), with data-node start
+  times tied to their producer by equality (eq. 4) and application
+  inputs fixed at cycle 0;
+* a Cumulative over the vector lanes (eq. 2) and one each for the
+  scalar accelerator and the index/merge resource;
+* pairwise disequality between simultaneously impossible configurations
+  (eq. 3);
+* the makespan objective variable (eq. 5);
+* optionally the full memory-allocation model
+  (:mod:`repro.sched.memmodel`, eqs. 6-11).
+
+The model exposes the three search phases of section 3.5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.arch.eit import DEFAULT_CONFIG, EITConfig, ResourceKind
+from repro.arch.isa import OpCategory
+from repro.cp import (
+    Cumulative,
+    IntVar,
+    Max,
+    Neq,
+    Phase,
+    Store,
+    Task,
+    XPlusCEqY,
+    XPlusCLeqY,
+)
+from repro.cp.search import input_order, select_min_value, smallest_min
+from repro.ir.analysis import critical_path
+from repro.ir.graph import DataNode, Graph, OpNode
+from repro.sched.list_sched import greedy_schedule
+from repro.sched.memmodel import MemoryModel
+
+
+class ScheduleModel:
+    """The unified scheduling + memory-allocation constraint model."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        cfg: EITConfig = DEFAULT_CONFIG,
+        horizon: Optional[int] = None,
+        with_memory: bool = True,
+        memory_encoding: str = "implication",
+    ):
+        self.graph = graph
+        self.cfg = cfg
+        self.store = Store()
+        self.with_memory = with_memory
+
+        cp_len, _ = critical_path(graph, cfg)
+        if horizon is None:
+            # Greedy schedule bounds the optimum from above; add slack so
+            # memory pressure can still stretch the schedule if needed.
+            greedy = greedy_schedule(graph, cfg)
+            horizon = greedy.makespan + max(16, greedy.makespan // 4)
+        self.horizon = horizon
+        self.lower_bound = cp_len
+
+        self.start: Dict[int, IntVar] = {}
+        self._build_start_vars()
+        if cp_len > horizon:
+            from repro.cp import Inconsistency
+
+            raise Inconsistency(
+                f"horizon {horizon} below the critical path {cp_len}"
+            )
+        self.makespan = IntVar(
+            self.store, cp_len, horizon, name="makespan"
+        )
+        self._post_precedence()
+        self._post_resources()
+        self._post_config_exclusivity()
+        self._post_makespan()
+
+        self.memory: Optional[MemoryModel] = None
+        if with_memory:
+            self.memory = MemoryModel(self, encoding=memory_encoding)
+
+    # ------------------------------------------------------------------
+    def latency(self, node) -> int:
+        return node.op.latency(self.cfg) if isinstance(node, OpNode) else 0
+
+    def duration(self, node) -> int:
+        return node.op.duration(self.cfg) if isinstance(node, OpNode) else 0
+
+    # ------------------------------------------------------------------
+    def _build_start_vars(self) -> None:
+        for node in self.graph.nodes():
+            if isinstance(node, DataNode) and self.graph.in_degree(node) == 0:
+                # eq. 4 footnote: application inputs are ready from cycle 0
+                var = IntVar(self.store, 0, 0, name=f"s_{node.name}")
+            else:
+                var = IntVar(self.store, 0, self.horizon, name=f"s_{node.name}")
+            self.start[node.nid] = var
+
+    def _post_precedence(self) -> None:
+        for u, v in self.graph.edges():
+            if isinstance(u, OpNode) and isinstance(v, DataNode):
+                # eq. 4: the result exists exactly when the op completes
+                self.store.post(
+                    XPlusCEqY(self.start[u.nid], self.latency(u), self.start[v.nid])
+                )
+            else:
+                # eq. 1: data must exist before its consumer starts
+                self.store.post(
+                    XPlusCLeqY(self.start[u.nid], self.latency(u), self.start[v.nid])
+                )
+
+    def _ops_on(self, resource: ResourceKind) -> List[OpNode]:
+        return [
+            op for op in self.graph.op_nodes() if op.op.resource is resource
+        ]
+
+    def _post_resources(self) -> None:
+        # eq. 2: the vector lanes
+        vec = self._ops_on(ResourceKind.VECTOR_CORE)
+        if vec:
+            self.store.post(
+                Cumulative(
+                    [
+                        Task(
+                            self.start[o.nid],
+                            self.duration(o),
+                            o.op.lanes(self.cfg),
+                        )
+                        for o in vec
+                    ],
+                    self.cfg.n_lanes,
+                )
+            )
+        # scalar accelerator and index/merge: capacity-1 Cumulatives
+        for res in (ResourceKind.SCALAR_UNIT, ResourceKind.INDEX_MERGE):
+            ops = self._ops_on(res)
+            if ops:
+                self.store.post(
+                    Cumulative(
+                        [
+                            Task(self.start[o.nid], self.duration(o), 1)
+                            for o in ops
+                        ],
+                        self.cfg.resource_capacity(res),
+                    )
+                )
+
+    def _post_config_exclusivity(self) -> None:
+        """eq. 3: different vector operations never share a cycle.
+
+        Applied to vector-core operation pairs with different
+        configuration classes (matrix ops are also covered: two matrix
+        ops can't share a cycle anyway via eq. 2, but a matrix and a
+        vector op of different config still must not co-issue — the lane
+        Cumulative already forbids that pairing too, so only
+        vector/vector pairs need explicit disequalities).
+        """
+        vec = [
+            o
+            for o in self.graph.op_nodes()
+            if o.category is OpCategory.VECTOR_OP
+        ]
+        for i, a in enumerate(vec):
+            for b in vec[i + 1 :]:
+                if a.config_class != b.config_class:
+                    self.store.post(
+                        Neq(self.start[a.nid], self.start[b.nid])
+                    )
+
+    def _post_makespan(self) -> None:
+        # eq. 5 over data-node starts: every operation's completion time
+        # is its output data node's start, so max over data starts is the
+        # latest completion.
+        data_starts = [
+            self.start[d.nid] for d in self.graph.data_nodes()
+        ]
+        if data_starts:
+            self.store.post(Max(self.makespan, data_starts))
+
+    # ------------------------------------------------------------------
+    def phases(self) -> List[Phase]:
+        """The three sequential search phases of section 3.5."""
+        op_vars = [self.start[o.nid] for o in self.graph.op_nodes()]
+        data_vars = [self.start[d.nid] for d in self.graph.data_nodes()]
+        phases = [
+            Phase(op_vars, smallest_min, select_min_value, name="ops"),
+            Phase(data_vars, smallest_min, select_min_value, name="data"),
+        ]
+        if self.memory is not None:
+            phases.append(
+                Phase(
+                    self.memory.slot_vars(),
+                    input_order,
+                    select_min_value,
+                    name="slots",
+                )
+            )
+        return phases

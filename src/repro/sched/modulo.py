@@ -1,0 +1,389 @@
+"""Modulo scheduling as constraint satisfaction (section 4.3, Table 3).
+
+Modulo scheduling initiates a new iteration every II cycles.  Because
+the paper's kernels are DAGs (no feedback edges), the initiation
+interval is bounded by *resources* only; the CSP per candidate II is:
+
+* every operation *i* gets an offset ``o_i ∈ [0, II)`` and a stage
+  ``k_i``; its absolute start is ``s_i = k_i·II + o_i``;
+* precedence (paper eq. 1) on absolute starts;
+* Cumulatives over *offsets*: in steady state all iterations overlap,
+  so the per-window resource usage at each offset is what matters;
+* configuration exclusivity (paper eq. 3) on offsets.
+
+Like classic modulo schedulers, the minimal II is found by solving a
+sequence of satisfaction problems with increasing II.
+
+Two variants, matching Table 3's two halves:
+
+* ``include_reconfigs=False`` — reconfiguration-oblivious: find minimum
+  II, then *post-process*: count the cyclic configuration runs in the
+  window and add one load cycle each to get the achievable ("actual")
+  II.  A window using a single configuration (MATMUL) pays nothing.
+* ``include_reconfigs=True`` — the window length W is the actual II:
+  operations with different configurations must sit at cyclic distance
+  ≥ 1 + reconfig_cost so every switch has its load cycle inside the
+  window.  Harder to solve (the paper's QRD run hits the 10-minute
+  timeout) but yields better throughput.
+
+Memory allocation is not part of the modulo model — the paper assumes
+enough memory so the single-iteration allocation repeats per iteration
+with an offset.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.eit import DEFAULT_CONFIG, EITConfig, ResourceKind
+from repro.arch.isa import OpCategory
+from repro.arch.reconfig import cyclic_config_runs, steady_state_overhead
+from repro.cp import (
+    Cumulative,
+    XPlusCLeqY,
+    ScaledDiv,
+    Inconsistency,
+    IntVar,
+    LinearLeq,
+    Neq,
+    Phase,
+    Search,
+    SolveStatus,
+    Store,
+    Task,
+)
+from repro.cp.constraints.alldiff import AllDifferent
+from repro.cp.constraints.cyclic import CyclicDistance
+from repro.cp.search import first_fail, input_order, select_min_value, smallest_min
+from repro.ir.graph import Graph, OpNode
+from repro.sched.list_sched import greedy_schedule
+
+
+@dataclass
+class ModuloResult:
+    """One Table 3 entry."""
+
+    graph_name: str
+    include_reconfigs: bool
+    ii: int  # the window found by the CSP (initial II, or actual when included)
+    n_reconfigurations: int
+    actual_ii: int
+    status: SolveStatus
+    opt_time_ms: float
+    offsets: Dict[int, int] = field(default_factory=dict)  # op nid -> offset
+    stages: Dict[int, int] = field(default_factory=dict)  # op nid -> stage
+    tried: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Steady-state iterations per cycle (1 / actual II)."""
+        return 1.0 / self.actual_ii if self.actual_ii > 0 else 0.0
+
+    @property
+    def found(self) -> bool:
+        return self.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+
+def _op_precedences(graph: Graph, cfg: EITConfig) -> List[Tuple[OpNode, OpNode, int]]:
+    """Producer→consumer op pairs with the required latency gap."""
+    out = []
+    for d in graph.data_nodes():
+        prod = graph.producer(d)
+        if prod is None:
+            continue
+        for cons in graph.succs(d):
+            assert isinstance(cons, OpNode)
+            out.append((prod, cons, prod.op.latency(cfg)))
+    return out
+
+
+def resource_lower_bound(
+    graph: Graph, cfg: EITConfig = DEFAULT_CONFIG, include_reconfigs: bool = False
+) -> int:
+    """Resource-constrained minimum II (the DAG has no recurrences).
+
+    Configuration exclusivity partitions the vector-core cycles by
+    configuration class, so the vector-core bound is the sum over
+    classes of ``ceil(lane_demand / n_lanes)``.  When reconfigurations
+    are included, a window with more than one class additionally needs
+    one load cycle per class (the minimum number of cyclic runs).
+    """
+    by_config: Dict[str, int] = {}
+    scalar_cycles = 0
+    index_cycles = 0
+    for op in graph.op_nodes():
+        res = op.op.resource
+        if res is ResourceKind.VECTOR_CORE:
+            by_config[op.config_class] = (
+                by_config.get(op.config_class, 0) + op.op.lanes(cfg)
+            )
+        elif res is ResourceKind.SCALAR_UNIT:
+            scalar_cycles += op.op.duration(cfg)
+        else:
+            index_cycles += op.op.duration(cfg)
+    vec_cycles = sum(-(-d // cfg.n_lanes) for d in by_config.values())
+    if include_reconfigs and len(by_config) > 1:
+        vec_cycles += len(by_config) * cfg.reconfig_cost
+    return max(vec_cycles, scalar_cycles, index_cycles, 1)
+
+
+def _try_ii(
+    graph: Graph,
+    cfg: EITConfig,
+    window: int,
+    include_reconfigs: bool,
+    timeout_ms: float,
+    max_stages: int,
+):
+    """Solve the satisfaction CSP for one candidate window length.
+
+    Decision variables are *absolute* start times ``s``; offsets and
+    stages are channeled arc-consistently (``o = s mod W``,
+    ``k = s div W``), so resource pruning on offsets removes whole
+    residue classes from the start-time domains, and the set-times
+    search over ``s`` handles precedence exactly like flat scheduling.
+    """
+    store = Store()
+    ops = graph.op_nodes()
+    horizon = (max_stages + 1) * window - 1
+    start: Dict[int, IntVar] = {}
+    offset: Dict[int, IntVar] = {}
+    stage: Dict[int, IntVar] = {}
+    try:
+        for op in ops:
+            start[op.nid] = IntVar(store, 0, horizon, name=f"s_{op.name}")
+            offset[op.nid] = IntVar(store, 0, window - 1, name=f"o_{op.name}")
+            stage[op.nid] = IntVar(store, 0, max_stages, name=f"k_{op.name}")
+            # channeling: o = s mod W, k = s div W (arc-consistent)
+            store.post(ScaledDiv(offset[op.nid], start[op.nid], d=1, m=window))
+            store.post(ScaledDiv(stage[op.nid], start[op.nid], d=window))
+            dur = op.op.duration(cfg)
+            if dur > 1:
+                if dur > window:
+                    raise Inconsistency(
+                        f"{op.name}: duration {dur} exceeds window {window}"
+                    )
+                # forbid wrap-around occupancy of multi-cycle units
+                store.set_max(offset[op.nid], window - dur)
+
+        # precedence on absolute starts
+        for prod, cons, lat in _op_precedences(graph, cfg):
+            store.post(XPlusCLeqY(start[prod.nid], lat, start[cons.nid]))
+
+        # per-offset resource usage
+        vec = [o for o in ops if o.op.resource is ResourceKind.VECTOR_CORE]
+        if vec:
+            store.post(
+                Cumulative(
+                    [
+                        Task(offset[o.nid], 1, o.op.lanes(cfg))
+                        for o in vec
+                    ],
+                    cfg.n_lanes,
+                )
+            )
+        for res in (ResourceKind.SCALAR_UNIT, ResourceKind.INDEX_MERGE):
+            group = [o for o in ops if o.op.resource is res]
+            if not group:
+                continue
+            if all(o.op.duration(cfg) == 1 for o in group):
+                # capacity-1 / duration-1: AllDifferent prunes far more
+                # than time-tabling in a tight window
+                store.post(AllDifferent([offset[o.nid] for o in group]))
+            else:
+                store.post(
+                    Cumulative(
+                        [
+                            Task(offset[o.nid], o.op.duration(cfg), 1)
+                            for o in group
+                        ],
+                        1,
+                    )
+                )
+
+        # configuration exclusivity / reconfiguration gaps
+        gap = 1 + cfg.reconfig_cost if include_reconfigs else 1
+        for i, a in enumerate(vec):
+            for b in vec[i + 1 :]:
+                if a.config_class == b.config_class:
+                    continue
+                if gap == 1:
+                    store.post(Neq(offset[a.nid], offset[b.nid]))
+                else:
+                    store.post(
+                        CyclicDistance(
+                            offset[a.nid], offset[b.nid], gap, window
+                        )
+                    )
+    except Inconsistency:
+        return None, SolveStatus.INFEASIBLE
+
+    search = Search(store, timeout_ms=timeout_ms)
+    # Set-times search over absolute start times: always extend the
+    # schedule at its earliest open point, as in the flat scheduler.
+    result = search.solve(
+        [
+            Phase(
+                [start[o.nid] for o in ops],
+                smallest_min,
+                select_min_value,
+                "modulo-starts",
+            )
+        ]
+    )
+    if not result.found:
+        return None, result.status
+    offs = {o.nid: result.value(offset[o.nid].name) for o in ops}
+    stgs = {o.nid: result.value(stage[o.nid].name) for o in ops}
+    return (offs, stgs), result.status
+
+
+def window_config_stream(
+    graph: Graph, offsets: Dict[int, int], window: int
+) -> List[Optional[str]]:
+    """Vector-core configuration at each offset of the steady-state window."""
+    stream: List[Optional[str]] = [None] * window
+    for op in graph.op_nodes():
+        if op.op.resource is ResourceKind.VECTOR_CORE:
+            stream[offsets[op.nid]] = op.config_class
+    return stream
+
+
+def modulo_schedule(
+    graph: Graph,
+    cfg: EITConfig = DEFAULT_CONFIG,
+    include_reconfigs: bool = False,
+    timeout_ms: float = 600_000.0,  # the paper's 10-minute solver budget
+    max_ii: Optional[int] = None,
+    per_ii_timeout_ms: Optional[float] = None,
+) -> ModuloResult:
+    """Find the minimum-II modulo schedule for a kernel.
+
+    Iterates candidate windows upward from the resource lower bound,
+    solving one satisfaction CSP each, within a global time budget.
+    """
+    t0 = time.monotonic()
+    flat = greedy_schedule(graph, cfg)
+    lb = resource_lower_bound(graph, cfg, include_reconfigs)
+    hi = max_ii if max_ii is not None else max(flat.makespan + 1, lb)
+    tried: List[Tuple[int, str]] = []
+    proven_all_below = True
+
+    for window in range(lb, hi + 1):
+        elapsed = (time.monotonic() - t0) * 1000.0
+        remaining = timeout_ms - elapsed
+        if remaining <= 0:
+            return ModuloResult(
+                graph_name=graph.name,
+                include_reconfigs=include_reconfigs,
+                ii=-1,
+                n_reconfigurations=0,
+                actual_ii=-1,
+                status=SolveStatus.TIMEOUT,
+                opt_time_ms=elapsed,
+                tried=tried,
+            )
+        max_stages = max(1, -(-flat.makespan // window) + 1)
+        budget = remaining
+        if per_ii_timeout_ms is not None:
+            budget = min(budget, per_ii_timeout_ms)
+        solution, status = _try_ii(
+            graph, cfg, window, include_reconfigs, budget, max_stages
+        )
+        tried.append((window, status.value))
+        if solution is None:
+            if status is not SolveStatus.INFEASIBLE:
+                proven_all_below = False
+            continue
+        offsets, stages = solution
+        stream = window_config_stream(graph, offsets, window)
+        n_rec = cyclic_config_runs(stream)
+        if include_reconfigs:
+            actual = window
+        else:
+            actual = window + steady_state_overhead(stream, cfg.reconfig_cost)
+        return ModuloResult(
+            graph_name=graph.name,
+            include_reconfigs=include_reconfigs,
+            ii=window,
+            n_reconfigurations=n_rec,
+            actual_ii=actual,
+            status=SolveStatus.OPTIMAL if proven_all_below else SolveStatus.FEASIBLE,
+            opt_time_ms=(time.monotonic() - t0) * 1000.0,
+            offsets=offsets,
+            stages=stages,
+            tried=tried,
+        )
+
+    return ModuloResult(
+        graph_name=graph.name,
+        include_reconfigs=include_reconfigs,
+        ii=-1,
+        n_reconfigurations=0,
+        actual_ii=-1,
+        status=SolveStatus.INFEASIBLE if proven_all_below else SolveStatus.TIMEOUT,
+        opt_time_ms=(time.monotonic() - t0) * 1000.0,
+        tried=tried,
+    )
+
+
+def verify_modulo(
+    result: ModuloResult, graph: Graph, cfg: EITConfig = DEFAULT_CONFIG
+) -> List[str]:
+    """Independent re-check of a modulo schedule; returns violations."""
+    if not result.found:
+        return ["no solution to verify"]
+    W = result.ii
+    errors: List[str] = []
+    start = {
+        nid: result.stages[nid] * W + result.offsets[nid]
+        for nid in result.offsets
+    }
+    for prod, cons, lat in _op_precedences(graph, cfg):
+        if start[prod.nid] + lat > start[cons.nid]:
+            errors.append(
+                f"precedence {prod.name}->{cons.name}: "
+                f"{start[prod.nid]}+{lat} > {start[cons.nid]}"
+            )
+    # steady-state resource usage per offset
+    lanes: Dict[int, int] = {}
+    configs: Dict[int, set] = {}
+    unit: Dict[ResourceKind, Dict[int, int]] = {
+        ResourceKind.SCALAR_UNIT: {},
+        ResourceKind.INDEX_MERGE: {},
+    }
+    for op in graph.op_nodes():
+        o = result.offsets[op.nid]
+        res = op.op.resource
+        if res is ResourceKind.VECTOR_CORE:
+            lanes[o] = lanes.get(o, 0) + op.op.lanes(cfg)
+            configs.setdefault(o, set()).add(op.config_class)
+        else:
+            for t in range(o, o + op.op.duration(cfg)):
+                unit[res][t % W] = unit[res].get(t % W, 0) + 1
+    for o, n in lanes.items():
+        if n > cfg.n_lanes:
+            errors.append(f"offset {o}: {n} lanes > {cfg.n_lanes}")
+    for o, cs in configs.items():
+        if len(cs) > 1:
+            errors.append(f"offset {o}: mixed configs {sorted(cs)}")
+    for res, busy in unit.items():
+        for o, n in busy.items():
+            if n > 1:
+                errors.append(f"offset {o}: {res.value} x{n}")
+    if result.include_reconfigs:
+        from repro.cp.constraints.cyclic import cyclic_distance
+
+        occupied = sorted(
+            (o, next(iter(cs))) for o, cs in configs.items()
+        )
+        for i, (oa, ca) in enumerate(occupied):
+            for ob, cb in occupied[i + 1 :]:
+                if ca != cb and cyclic_distance(oa, ob, W) < 1 + cfg.reconfig_cost:
+                    errors.append(
+                        f"offsets {oa}/{ob}: configs {ca}/{cb} too close "
+                        f"for reconfiguration"
+                    )
+    return errors

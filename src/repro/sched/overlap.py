@@ -1,0 +1,224 @@
+"""Overlapped execution of M iterations (section 4.3, Table 2).
+
+The architects' ad-hoc two-phase technique: first order the instructions
+of a single iteration, then execute "in sequence the same corresponding
+instruction from a given number M of iterations" — all instances of
+instruction *k*, then all instances of instruction *k+1*, and so on.
+With M at least the pipeline depth this masks the 7-cycle latency, and
+the number of reconfigurations is bounded by the number of instructions
+(a configuration switch can only happen at a k → k+1 boundary).
+
+The input is an *instruction sequence*: ordered single-cycle issue
+bundles (from the CP schedule for the automated flow, or from
+:mod:`repro.sched.baseline` for the manual flow).  The builder computes
+
+* the total schedule length (issue cycles + dependency stalls +
+  reconfiguration cycles + pipeline drain),
+* the reconfiguration count along the stream,
+* the average throughput in iterations/cycle,
+* and the *output burst*: the span of cycles in which results emerge —
+  the paper's qualitative point that overlapped execution is bursty
+  while modulo scheduling is stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.eit import DEFAULT_CONFIG, EITConfig, ResourceKind
+from repro.arch.reconfig import count_reconfigurations
+from repro.ir.graph import Graph, OpNode
+from repro.sched.result import Schedule
+
+
+@dataclass(frozen=True)
+class InstructionBlock:
+    """One issue bundle of the single-iteration sequence.
+
+    ``ops`` share an issue cycle; ``config`` is the vector-core
+    configuration the bundle needs (``None`` for pure scalar/index
+    bundles, which never force a vector-core reconfiguration).
+    """
+
+    index: int
+    ops: Tuple[OpNode, ...]
+    config: Optional[str]
+    latency: int  # max latency of the bundle's operations
+
+
+def instruction_blocks(sched: Schedule) -> List["InstructionBlock"]:
+    """Derive the ordered instruction sequence from a 1-iteration schedule."""
+    blocks: List[InstructionBlock] = []
+    for k, (cycle, ops) in enumerate(sched.issue_map().items()):
+        configs = {
+            o.config_class
+            for o in ops
+            if o.op.resource is ResourceKind.VECTOR_CORE
+        }
+        if len(configs) > 1:
+            raise ValueError(
+                f"cycle {cycle} mixes vector configurations {configs}"
+            )
+        blocks.append(
+            InstructionBlock(
+                index=k,
+                ops=tuple(ops),
+                config=next(iter(configs)) if configs else None,
+                latency=max(o.op.latency(sched.cfg) for o in ops),
+            )
+        )
+    return blocks
+
+
+@dataclass
+class OverlapResult:
+    """Table 2's metrics for one overlapped execution."""
+
+    n_iterations: int
+    n_instructions: int
+    schedule_length: int
+    n_reconfigurations: int
+    block_starts: List[int] = field(default_factory=list)
+    output_window: Tuple[int, int] = (0, 0)
+
+    @property
+    def reconfigs_per_iteration(self) -> float:
+        return self.n_reconfigurations / self.n_iterations
+
+    @property
+    def throughput(self) -> float:
+        """Average iterations per clock cycle."""
+        return self.n_iterations / self.schedule_length
+
+    @property
+    def burstiness(self) -> float:
+        """Fraction of the schedule during which outputs emerge.
+
+        Small = bursty (all results at the very end) — the overlapped
+        technique's drawback discussed in section 4.3.
+        """
+        lo, hi = self.output_window
+        if self.schedule_length == 0:
+            return 0.0
+        return (hi - lo + 1) / self.schedule_length
+
+
+def _block_dependencies(
+    graph: Graph, blocks: Sequence[InstructionBlock], cfg: EITConfig
+) -> Dict[int, List[Tuple[int, int]]]:
+    """For each block: list of ``(producer_block, required_gap)``.
+
+    Block *b* may not start (iteration-wise aligned) sooner than
+    ``start[p] + gap`` where ``gap`` is the producer op's latency —
+    the same-iteration dependency distance of the lock-step scheme.
+    """
+    block_of_op: Dict[int, int] = {}
+    for b in blocks:
+        for op in b.ops:
+            block_of_op[op.nid] = b.index
+    deps: Dict[int, List[Tuple[int, int]]] = {b.index: [] for b in blocks}
+    for b in blocks:
+        for op in b.ops:
+            for data in graph.preds(op):
+                prod = graph.producer(data)  # type: ignore[arg-type]
+                if prod is None:
+                    continue
+                pb = block_of_op[prod.nid]
+                deps[b.index].append((pb, prod.op.latency(cfg)))
+    return deps
+
+
+def overlap_iterations(
+    sched: Schedule,
+    n_iterations: int,
+    cfg: Optional[EITConfig] = None,
+    blocks: Optional[Sequence[InstructionBlock]] = None,
+) -> OverlapResult:
+    """Build the lock-step overlapped schedule of ``n_iterations`` copies.
+
+    Each block *k* issues once per iteration, back to back (M consecutive
+    cycles).  Block k+1's first issue waits for (a) block k's last issue
+    plus a reconfiguration cycle if the vector-core configuration
+    changes, and (b) every same-iteration data dependency
+    (``start[dep] + latency``) — with M ≥ pipeline depth (b) is usually
+    subsumed by (a), which is exactly the latency-masking the paper
+    describes.
+
+    Memory allocation is not re-solved: as the paper notes, with enough
+    memory the single-iteration allocation is repeated per iteration at
+    an offset.
+    """
+    cfg = cfg or sched.cfg
+    blocks = list(blocks if blocks is not None else instruction_blocks(sched))
+    return overlap_blocks(sched.graph, blocks, n_iterations, cfg)
+
+
+def overlap_blocks(
+    graph: Graph,
+    blocks: Sequence[InstructionBlock],
+    n_iterations: int,
+    cfg: EITConfig = DEFAULT_CONFIG,
+) -> OverlapResult:
+    """Overlapped execution from an explicit instruction sequence.
+
+    Entry point for the manual flow
+    (:func:`repro.sched.baseline.manual_instruction_sequence`), whose
+    instruction order does not come from a schedule object.
+    """
+    if n_iterations < 1:
+        raise ValueError("need at least one iteration")
+    blocks = list(blocks)
+    if not blocks:
+        return OverlapResult(n_iterations, 0, 0, 0)
+    deps = _block_dependencies(graph, blocks, cfg)
+
+    starts: List[int] = []
+    prev_config: Optional[str] = None
+    stream_configs: List[Optional[str]] = []
+    t = 0
+    for b in blocks:
+        if (
+            b.config is not None
+            and prev_config is not None
+            and b.config != prev_config
+        ):
+            t += cfg.reconfig_cost  # configuration load between blocks
+        earliest = max(
+            (starts[pb] + gap for pb, gap in deps[b.index]), default=0
+        )
+        t = max(t, earliest)
+        starts.append(t)
+        if b.config is not None:
+            stream_configs.append(b.config)
+            prev_config = b.config
+        t += n_iterations  # M consecutive issues of this instruction
+
+    # Results of the last block's final issue appear after its latency.
+    length = starts[-1] + (n_iterations - 1) + blocks[-1].latency
+
+    n_rec = count_reconfigurations(stream_configs, include_initial=True)
+
+    # Output burst: cycles in which kernel outputs are produced.  In the
+    # lock-step scheme every output-producing block emits its M results
+    # consecutively at start + m + latency.
+    out_producers = {
+        graph.producer(d).nid  # type: ignore[union-attr]
+        for d in graph.outputs()
+        if graph.producer(d) is not None
+    }
+    out_cycles: List[int] = []
+    for b in blocks:
+        if any(op.nid in out_producers for op in b.ops):
+            first = starts[b.index] + b.latency
+            out_cycles.extend(range(first, first + n_iterations))
+    window = (min(out_cycles), max(out_cycles)) if out_cycles else (0, 0)
+
+    return OverlapResult(
+        n_iterations=n_iterations,
+        n_instructions=len(blocks),
+        schedule_length=length,
+        n_reconfigurations=n_rec,
+        block_starts=starts,
+        output_window=window,
+    )

@@ -1,0 +1,107 @@
+"""The top-level scheduling entry point: section 3.5's phased B&B search.
+
+``schedule(graph)`` builds the unified constraint model (scheduling +
+memory allocation), runs the three-phase branch-and-bound minimization
+of the makespan, and returns a verified :class:`repro.sched.result.Schedule`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.eit import DEFAULT_CONFIG, EITConfig
+from repro.arch.isa import OpCategory
+from repro.cp import Inconsistency, Search, SolveStatus
+from repro.ir.graph import Graph
+from repro.sched.model import ScheduleModel
+from repro.sched.result import Schedule
+
+
+def schedule(
+    graph: Graph,
+    cfg: EITConfig = DEFAULT_CONFIG,
+    n_slots: Optional[int] = None,
+    with_memory: bool = True,
+    timeout_ms: Optional[float] = 60_000.0,
+    horizon: Optional[int] = None,
+    memory_encoding: str = "implication",
+) -> Schedule:
+    """Schedule a kernel with (optionally) joint memory allocation.
+
+    Parameters
+    ----------
+    graph:
+        the IR to schedule — typically after
+        :func:`repro.ir.transform.merge_pipeline_ops`.
+    cfg:
+        architecture instance.  ``n_slots`` overrides its memory size
+        (the Table 1 sweep parameter).
+    with_memory:
+        include the section 3.4 memory model.  With ``False`` the result
+        carries no slot assignment (the paper's "manual" schedules are
+        compared against this mode).
+    timeout_ms:
+        branch-and-bound budget.  On timeout the best schedule found so
+        far is returned with ``status=FEASIBLE``.
+
+    Returns a schedule with ``status``:
+
+    * ``OPTIMAL`` — search exhausted, the makespan is minimal;
+    * ``FEASIBLE`` — a schedule was found but optimality is unproven;
+    * ``INFEASIBLE``/``TIMEOUT`` — no schedule exists (e.g. too few
+      memory slots, the paper's 8-slot row of Table 1) or none was found
+      in budget; ``starts`` is empty then.
+    """
+    if n_slots is not None:
+        cfg = cfg.with_slots(n_slots)
+    try:
+        model = ScheduleModel(
+            graph,
+            cfg,
+            horizon=horizon,
+            with_memory=with_memory,
+            memory_encoding=memory_encoding,
+        )
+    except Inconsistency:
+        # Root propagation already wiped out a domain: provably infeasible.
+        return Schedule(
+            graph=graph,
+            cfg=cfg,
+            starts={},
+            makespan=-1,
+            status=SolveStatus.INFEASIBLE,
+        )
+
+    search = Search(model.store, timeout_ms=timeout_ms)
+    result = search.minimize(model.makespan, model.phases())
+
+    if not result.found:
+        return Schedule(
+            graph=graph,
+            cfg=cfg,
+            starts={},
+            makespan=-1,
+            status=result.status,
+            solve_time_ms=result.stats.time_ms,
+            search_stats=result.stats,
+        )
+
+    starts = {
+        n.nid: result.value(model.start[n.nid].name) for n in graph.nodes()
+    }
+    slots = {}
+    if model.memory is not None:
+        slots = {
+            d.nid: result.value(model.memory.slot[d.nid].name)
+            for d in model.memory.vdata
+        }
+    return Schedule(
+        graph=graph,
+        cfg=cfg,
+        starts=starts,
+        makespan=result.objective,
+        slots=slots,
+        status=result.status,
+        solve_time_ms=result.stats.time_ms,
+        search_stats=result.stats,
+    )

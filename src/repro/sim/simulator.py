@@ -1,0 +1,170 @@
+"""Execution engine for generated machine code."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.memory import MemoryLayout
+from repro.codegen.machine_code import MicroOp, OperandRef, Program
+from repro.dsl.semantics import apply_op, eval_expr
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated kernel execution."""
+
+    cycles: int
+    memory: Dict[int, Any]  # final vector memory image (slot -> value)
+    sregs: Dict[int, Any]  # final scalar register file
+    computed: Dict[int, Any]  # data node id -> value the hardware produced
+    access_violations: List[str] = field(default_factory=list)
+    hazards: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.access_violations and not self.hazards
+
+    def mismatches(self, graph) -> List[str]:
+        """Compare against the DSL trace's values; empty = exact replay."""
+        out = []
+        for d in graph.data_nodes():
+            if d.value is None:
+                continue
+            got = self.computed.get(d.nid)
+            if got is None:
+                out.append(f"{d.name}: never produced")
+                continue
+            expect = np.asarray(d.value, dtype=complex)
+            actual = np.asarray(got, dtype=complex)
+            if expect.shape != actual.shape or not np.allclose(
+                expect, actual, atol=1e-9
+            ):
+                out.append(f"{d.name}: expected {d.value}, got {got}")
+        return out
+
+
+class Simulator:
+    """Cycle-accurate interpreter with memory-rule enforcement."""
+
+    def __init__(self, program: Program, check_access: bool = True):
+        self.program = program
+        self.check_access = check_access
+        # flattened modulo programs use the enough-memory regime, whose
+        # region layout is outside the paper's access model -- they run
+        # with a layout sized to the program's footprint
+        max_slot = max(
+            [r.index for i in program.instructions.values()
+             for mo in i.all_ops() for r in (*mo.operands, *mo.dests)
+             if r.space == "mem"] + list(program.mem_preload) + [0]
+        )
+        cfg = program.cfg
+        if max_slot >= cfg.n_slots:
+            cfg = cfg.with_slots(max_slot + 1)
+        self.layout = MemoryLayout(cfg)
+
+    def _read(self, mem, sregs, ref: OperandRef, who: str, hazards: List[str]):
+        bank = mem if ref.space == "mem" else sregs
+        if ref.index not in bank:
+            hazards.append(
+                f"{who}: read of uninitialized {ref} (RAW hazard / "
+                f"scheduling bug)"
+            )
+            # memory slots always hold vectors, registers hold scalars
+            return (0j, 0j, 0j, 0j) if ref.space == "mem" else 0j
+        return bank[ref.index]
+
+    def run(self) -> SimResult:
+        prog = self.program
+        mem: Dict[int, Any] = dict(prog.mem_preload)
+        sregs: Dict[int, Any] = dict(prog.sreg_preload)
+        computed: Dict[int, Any] = {}
+        violations: List[str] = []
+        hazards: List[str] = []
+
+        # pending write-backs: cycle -> (ref, value, dest node id, from
+        # vector core?).  Only vector-core traffic participates in the
+        # memory-rule checks, matching the section 3.4 model.
+        pending: Dict[int, List[Tuple[OperandRef, Any, int, bool]]] = {}
+
+        # seed computed with the preloaded inputs
+        for d in prog.graph.inputs():
+            computed[d.nid] = d.value
+
+        last_cycle = max(prog.instructions, default=-1)
+        horizon = prog.n_cycles + max(
+            (m.latency for i in prog.instructions.values() for m in i.all_ops()),
+            default=0,
+        )
+        for t in range(0, horizon + 1):
+            reads: List[int] = []
+            writes: List[int] = []
+
+            # write-backs scheduled for this cycle land first
+            for ref, value, dest_nid, from_vc in pending.pop(t, []):
+                if ref.space == "mem":
+                    if from_vc:
+                        writes.append(ref.index)
+                    mem[ref.index] = value
+                else:
+                    sregs[ref.index] = value
+                computed[dest_nid] = value
+
+            ins = prog.instructions.get(t)
+            if ins is not None:
+                for micro in ins.all_ops():
+                    vals = []
+                    for ref in micro.operands:
+                        if ref.space == "mem" and micro.lanes:
+                            reads.append(ref.index)
+                        vals.append(
+                            self._read(mem, sregs, ref, micro.op_name, hazards)
+                        )
+                    if micro.expr is not None:
+                        result = eval_expr(micro.expr, vals)
+                    else:
+                        result = apply_op(micro.op_name, vals, micro.attrs)
+                    dests = micro.dests
+                    if len(dests) == 1:
+                        results = [result]
+                    else:
+                        results = list(result)  # matrix op: one value per row
+                    # locate destination node ids: successors of the op node
+                    succs = prog.graph.succs(prog.graph.node(micro.node_id))
+                    for ref, value, dnode in zip(dests, results, succs):
+                        pending.setdefault(t + micro.latency, []).append(
+                            (ref, value, dnode.nid, bool(micro.lanes))
+                        )
+
+            # memory legality for this cycle (vector core traffic only,
+            # matching the constraints of section 3.4)
+            if not self.check_access:
+                reads, writes = [], []
+            if reads:
+                chk = self.layout.simultaneous_access(sorted(set(reads)))
+                if not chk:
+                    violations.append(f"cycle {t}: reads {reads}: {chk.reason}")
+                if len(set(reads)) > prog.cfg.max_reads_per_cycle:
+                    violations.append(f"cycle {t}: read port overflow")
+            if writes:
+                chk = self.layout.simultaneous_access(sorted(set(writes)))
+                if not chk:
+                    violations.append(f"cycle {t}: writes {writes}: {chk.reason}")
+                if len(set(writes)) > prog.cfg.max_writes_per_cycle:
+                    violations.append(f"cycle {t}: write port overflow")
+
+        return SimResult(
+            cycles=horizon,
+            memory=mem,
+            sregs=sregs,
+            computed=computed,
+            access_violations=violations,
+            hazards=hazards,
+        )
+
+
+def simulate(program: Program) -> SimResult:
+    """Convenience one-shot execution."""
+    return Simulator(program).run()

@@ -1,0 +1,75 @@
+"""Architecture description tests."""
+
+import pytest
+
+from repro.arch import DEFAULT_CONFIG, EITConfig, ResourceKind, eit_units
+
+
+class TestEITConfig:
+    def test_paper_defaults(self):
+        cfg = DEFAULT_CONFIG
+        assert cfg.n_lanes == 4
+        assert cfg.pipeline_depth == 7
+        assert cfg.n_banks == 16
+        assert cfg.page_size == 4
+        assert cfg.n_pages == 4
+        assert cfg.max_reads_per_cycle == 8  # two matrices
+        assert cfg.max_writes_per_cycle == 4  # one matrix
+
+    def test_vector_width(self):
+        assert DEFAULT_CONFIG.vector_width == 4
+
+    def test_resource_capacities(self):
+        cfg = DEFAULT_CONFIG
+        assert cfg.resource_capacity(ResourceKind.VECTOR_CORE) == 4
+        assert cfg.resource_capacity(ResourceKind.SCALAR_UNIT) == 1
+        assert cfg.resource_capacity(ResourceKind.INDEX_MERGE) == 1
+
+    def test_with_slots_copies(self):
+        cfg = DEFAULT_CONFIG.with_slots(10)
+        assert cfg.n_slots == 10
+        assert DEFAULT_CONFIG.n_slots == 64  # original untouched
+        assert cfg.n_banks == DEFAULT_CONFIG.n_banks
+
+    def test_invalid_page_size_rejected(self):
+        with pytest.raises(ValueError):
+            EITConfig(n_banks=16, page_size=5)
+
+    def test_invalid_lanes_rejected(self):
+        with pytest.raises(ValueError):
+            EITConfig(n_lanes=0)
+
+    def test_invalid_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            EITConfig(pipeline_depth=0)
+
+    def test_invalid_slots_rejected(self):
+        with pytest.raises(ValueError):
+            EITConfig(n_slots=0)
+
+    def test_alternative_architecture_profile(self):
+        """The future-work hook: an 8-lane, deeper-pipeline variant."""
+        cfg = EITConfig(n_lanes=8, pipeline_depth=9, n_banks=32, page_size=8)
+        assert cfg.n_pages == 4
+        assert cfg.resource_capacity(ResourceKind.VECTOR_CORE) == 8
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.n_lanes = 8  # type: ignore[misc]
+
+
+class TestUnits:
+    def test_figure1_inventory(self):
+        units = eit_units()
+        assert len(units) == 8
+        names = [u.name for u in units]
+        assert names == ["PE1", "PE2", "PE3", "PE4", "PE5", "PE6", "ME1", "ME2"]
+
+    def test_kinds(self):
+        units = {u.name: u for u in eit_units()}
+        assert units["ME1"].kind == "memory"
+        assert units["ME2"].kind == "memory"
+        assert units["PE3"].kind == "processing"
+
+    def test_str(self):
+        assert "PE3" in str(eit_units()[2])

@@ -1,0 +1,96 @@
+"""Operation table integrity."""
+
+import pytest
+
+from repro.arch import DEFAULT_CONFIG, OP_TABLE, OpCategory, lookup_op, matrix_variant, vector_ops
+from repro.arch.eit import ResourceKind
+from repro.arch.isa import PipelineRole
+
+
+class TestTableIntegrity:
+    def test_all_names_match_keys(self):
+        for name, op in OP_TABLE.items():
+            assert op.name == name
+
+    def test_categories_are_operations(self):
+        for op in OP_TABLE.values():
+            assert op.category.is_operation
+
+    def test_vector_ops_on_vector_core(self):
+        for op in OP_TABLE.values():
+            if op.category in (OpCategory.VECTOR_OP, OpCategory.MATRIX_OP):
+                assert op.resource is ResourceKind.VECTOR_CORE
+
+    def test_scalar_ops_on_accelerator(self):
+        for op in OP_TABLE.values():
+            if op.category is OpCategory.SCALAR_OP:
+                assert op.resource is ResourceKind.SCALAR_UNIT
+                assert op.result_is_scalar
+
+    def test_index_merge_on_their_unit(self):
+        assert lookup_op("index").resource is ResourceKind.INDEX_MERGE
+        assert lookup_op("merge").resource is ResourceKind.INDEX_MERGE
+
+    def test_mimo_subset_present(self):
+        for name in ("v_dotP", "v_scale", "v_squsum", "m_squsum", "s_rsqrt",
+                     "s_sqrt", "s_div", "s_cordic_rot", "merge", "index"):
+            assert name in OP_TABLE
+
+
+class TestTiming:
+    def test_vector_latency_is_pipeline_depth(self):
+        assert lookup_op("v_dotP").latency(DEFAULT_CONFIG) == 7
+        assert lookup_op("m_squsum").latency(DEFAULT_CONFIG) == 7
+
+    def test_vector_duration_is_one(self):
+        assert lookup_op("v_add").duration(DEFAULT_CONFIG) == 1
+
+    def test_scalar_timing(self):
+        cfg = DEFAULT_CONFIG
+        assert lookup_op("s_sqrt").latency(cfg) == cfg.scalar_latency
+        assert lookup_op("s_sqrt").duration(cfg) == cfg.scalar_duration
+
+    def test_index_merge_latency(self):
+        assert lookup_op("merge").latency(DEFAULT_CONFIG) == 1
+
+    def test_latency_scales_with_config(self):
+        from repro.arch import EITConfig
+
+        deep = EITConfig(pipeline_depth=11)
+        assert lookup_op("v_dotP").latency(deep) == 11
+
+
+class TestLanes:
+    def test_vector_op_one_lane(self):
+        assert lookup_op("v_dotP").lanes(DEFAULT_CONFIG) == 1
+
+    def test_matrix_op_all_lanes(self):
+        assert lookup_op("m_squsum").lanes(DEFAULT_CONFIG) == 4
+
+    def test_non_vector_zero_lanes(self):
+        assert lookup_op("s_sqrt").lanes(DEFAULT_CONFIG) == 0
+        assert lookup_op("merge").lanes(DEFAULT_CONFIG) == 0
+
+
+class TestVariants:
+    def test_matrix_variant_mapping(self):
+        assert matrix_variant("v_squsum").name == "m_squsum"
+        assert matrix_variant("v_add").name == "m_add"
+        assert matrix_variant("v_dotP") is None  # no 4-lane dotP variant
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            lookup_op("v_nonexistent")
+
+    def test_vector_ops_listing(self):
+        vs = vector_ops()
+        assert all(op.category is OpCategory.VECTOR_OP for op in vs)
+        assert any(op.name == "v_dotP" for op in vs)
+
+    def test_pipeline_roles(self):
+        assert lookup_op("v_conj").pipeline_role is PipelineRole.PRE
+        assert lookup_op("v_sort").pipeline_role is PipelineRole.POST
+        assert lookup_op("v_dotP").pipeline_role is PipelineRole.CORE
+
+    def test_config_class_defaults_to_name(self):
+        assert lookup_op("v_dotP").config() == "v_dotP"

@@ -1,0 +1,172 @@
+"""Banked memory model: geometry (eq. 6) and access rules (figure 8)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch import DEFAULT_CONFIG, EITConfig, MemoryLayout
+from repro.arch.memory import Placement, figure8_examples
+
+
+@pytest.fixture
+def layout():
+    return MemoryLayout(DEFAULT_CONFIG)
+
+
+class TestGeometry:
+    def test_linear_enumeration(self, layout):
+        # "the first slot in the first bank is labeled 0, the first slot
+        # in the second bank is labeled 1, ..., the second slot in the
+        # first bank is labeled 16" (paper uses 17 due to a typo: with 16
+        # banks the second slot of bank 0 is 16)
+        assert layout.bank_of(0) == 0
+        assert layout.bank_of(1) == 1
+        assert layout.bank_of(16) == 0
+        assert layout.line_of(16) == 1
+
+    def test_eq6_line(self, layout):
+        for slot in range(64):
+            assert layout.line_of(slot) == slot // 16
+
+    def test_eq6_page(self, layout):
+        for slot in range(64):
+            assert layout.page_of(slot) == (slot % 16) // 4
+
+    def test_slot_of_inverse(self, layout):
+        for slot in range(64):
+            assert layout.slot_of(layout.bank_of(slot), layout.line_of(slot)) == slot
+
+    def test_out_of_range_slot(self, layout):
+        with pytest.raises(ValueError):
+            layout.bank_of(64)
+        with pytest.raises(ValueError):
+            layout.line_of(-1)
+
+    def test_out_of_range_bank(self, layout):
+        with pytest.raises(ValueError):
+            layout.slot_of(16, 0)
+
+    def test_n_lines_ceil(self):
+        assert MemoryLayout(EITConfig(n_slots=64)).n_lines == 4
+        assert MemoryLayout(EITConfig(n_slots=10)).n_lines == 1
+        assert MemoryLayout(EITConfig(n_slots=17)).n_lines == 2
+
+
+class TestAccessRules:
+    def test_same_bank_conflict(self, layout):
+        chk = layout.simultaneous_access([0, 16])  # both bank 0
+        assert not chk and "bank" in chk.reason
+
+    def test_same_page_different_line(self, layout):
+        # slots 0 (bank0,line0) and 17 (bank1,line1): same page 0
+        chk = layout.simultaneous_access([0, 17])
+        assert not chk and "page" in chk.reason
+
+    def test_different_pages_any_line_ok(self, layout):
+        # bank 0 line 0 and bank 5 line 1: pages 0 and 1
+        assert layout.simultaneous_access([0, 21])
+
+    def test_same_line_same_page_ok(self, layout):
+        assert layout.simultaneous_access([0, 1, 2, 3])  # page 0 line 0
+
+    def test_duplicate_slot_allowed(self, layout):
+        # reading the same slot twice is one access
+        assert layout.simultaneous_access([5, 5])
+
+    def test_empty_access(self, layout):
+        assert layout.simultaneous_access([])
+
+    def test_full_matrix_read(self, layout):
+        # four banks across a line
+        assert layout.matrix_accessible([0, 1, 2, 3])
+
+    def test_matrix_needs_four(self, layout):
+        assert not layout.matrix_accessible([0, 1, 2])
+
+
+class TestCycleAccess:
+    def test_port_limits(self, layout):
+        too_many_reads = list(range(9))
+        chk = layout.cycle_access(too_many_reads, [])
+        assert not chk and "port" in chk.reason
+
+    def test_write_port_limit(self, layout):
+        chk = layout.cycle_access([], [0, 1, 2, 3, 4])
+        assert not chk
+
+    def test_read_and_write_same_bank_ok(self, layout):
+        # one read + one write per bank per cycle — same line here
+        assert layout.cycle_access([0], [0])
+
+    def test_read_write_descriptor_conflict(self, layout):
+        # read line 0, write line 1 within page 0 -> descriptor clash
+        chk = layout.cycle_access([0], [17])
+        assert not chk and "page" in chk.reason
+
+    def test_two_matrices_read_one_written(self, layout):
+        reads = [0, 1, 2, 3, 4, 5, 6, 7]  # pages 0,1 line 0
+        writes = [8, 9, 10, 11]  # page 2 line 0
+        assert layout.cycle_access(reads, writes)
+
+
+class TestFigure8:
+    def test_paper_verdicts(self):
+        ex = figure8_examples()
+        slots_a, chk_a = ex["A"]
+        slots_b, chk_b = ex["B"]
+        slots_c, chk_c = ex["C"]
+        assert not chk_a and "bank" in chk_a.reason
+        assert not chk_b and "page" in chk_b.reason
+        assert chk_c
+
+    def test_example_slot_count(self):
+        for slots, _ in figure8_examples().values():
+            assert len(slots) == 4
+
+
+class TestPlacement:
+    def test_place_and_query(self, layout):
+        p = Placement(layout)
+        p.place("v0", 0)
+        p.place("v1", 5)
+        assert p.slot("v0") == 0
+        assert p.used_slots() == [0, 5]
+        assert len(p) == 2
+
+    def test_group_accessible(self, layout):
+        p = Placement(layout)
+        for i in range(4):
+            p.place(f"v{i}", i)
+        assert p.group_accessible(["v0", "v1", "v2", "v3"])
+
+    def test_place_out_of_range(self, layout):
+        p = Placement(layout)
+        with pytest.raises(ValueError):
+            p.place("v", 999)
+
+
+class TestAccessRuleProperties:
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=8, unique=True))
+    def test_legal_groups_have_distinct_banks(self, slots):
+        layout = MemoryLayout(DEFAULT_CONFIG)
+        chk = layout.simultaneous_access(slots)
+        banks = [layout.bank_of(s) for s in slots]
+        if chk:
+            assert len(set(banks)) == len(banks)
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=8, unique=True))
+    def test_page_line_rule(self, slots):
+        layout = MemoryLayout(DEFAULT_CONFIG)
+        chk = layout.simultaneous_access(slots)
+        if chk:
+            page_lines = {}
+            for s in slots:
+                page_lines.setdefault(layout.page_of(s), set()).add(
+                    layout.line_of(s)
+                )
+            assert all(len(lines) == 1 for lines in page_lines.values())
+
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=8, unique=True))
+    def test_single_line_always_legal(self, banks):
+        """Any subset of distinct banks within line 0 is accessible."""
+        layout = MemoryLayout(DEFAULT_CONFIG)
+        assert layout.simultaneous_access(banks)

@@ -1,0 +1,73 @@
+"""Reconfiguration counting: linear streams and cyclic modulo windows."""
+
+from repro.arch import (
+    config_runs,
+    count_reconfigurations,
+    cyclic_config_runs,
+    steady_state_overhead,
+)
+
+
+class TestRuns:
+    def test_basic_runs(self):
+        assert config_runs(["a", "a", "b", "a"]) == [("a", 2), ("b", 1), ("a", 1)]
+
+    def test_nops_transparent(self):
+        # None = idle cycle: configuration is retained across it
+        assert config_runs(["a", None, "a", "b"]) == [("a", 2), ("b", 1)]
+
+    def test_empty(self):
+        assert config_runs([]) == []
+        assert config_runs([None, None]) == []
+
+
+class TestLinearCounting:
+    def test_includes_initial_load(self):
+        assert count_reconfigurations(["a", "b", "a"]) == 3
+
+    def test_uniform_stream_one_load(self):
+        assert count_reconfigurations(["a"] * 10) == 1
+
+    def test_without_initial(self):
+        assert count_reconfigurations(["a", "b", "a"], include_initial=False) == 2
+        assert count_reconfigurations(["a"] * 10, include_initial=False) == 0
+
+    def test_empty_stream(self):
+        assert count_reconfigurations([]) == 0
+
+    def test_idle_cycles_do_not_switch(self):
+        assert count_reconfigurations(["a", None, None, "a", "b"]) == 2
+
+
+class TestCyclicCounting:
+    def test_uniform_window_is_single_run(self):
+        # the MATMUL case: one configuration, wrap-around is free
+        assert cyclic_config_runs(["a", "a", "a", "a"]) == 1
+
+    def test_alternating(self):
+        assert cyclic_config_runs(["a", "b", "a", "b"]) == 4
+
+    def test_wrap_boundary_counts(self):
+        # linear switches: 1 (a->b); wrap b->a adds another
+        assert cyclic_config_runs(["a", "a", "b"]) == 2
+
+    def test_wrap_same_config_free(self):
+        assert cyclic_config_runs(["a", "b", "b", "a"]) == 2
+
+    def test_empty(self):
+        assert cyclic_config_runs([]) == 0
+
+
+class TestSteadyStateOverhead:
+    def test_matmul_row_of_table3(self):
+        """Single-config window: no steady-state reconfiguration cost."""
+        assert steady_state_overhead(["a"] * 4) == 0
+
+    def test_multi_config_pays_per_run(self):
+        assert steady_state_overhead(["a", "b", "c"]) == 3
+
+    def test_cost_scales(self):
+        assert steady_state_overhead(["a", "b"], reconfig_cost=2) == 4
+
+    def test_idle_cycles_free(self):
+        assert steady_state_overhead(["a", None, "a", None]) == 0

@@ -1,0 +1,124 @@
+"""Code generator tests."""
+
+import pytest
+
+from repro.apps import build_matmul, build_qrd
+from repro.arch.eit import ResourceKind
+from repro.codegen import generate
+from repro.codegen.machine_code import CodegenError, OperandRef
+from repro.ir import merge_pipeline_ops
+from repro.sched import schedule
+from repro.sched.result import Schedule
+from repro.cp.search import SolveStatus
+
+
+@pytest.fixture(scope="module")
+def matmul_prog():
+    g = merge_pipeline_ops(build_matmul())
+    return generate(schedule(g, timeout_ms=60_000))
+
+
+@pytest.fixture(scope="module")
+def qrd_prog():
+    g = merge_pipeline_ops(build_qrd())
+    return generate(schedule(g, timeout_ms=60_000))
+
+
+class TestStructure:
+    def test_one_instruction_per_issue_cycle(self, matmul_prog):
+        assert matmul_prog.n_instructions == 8  # 4 dotP cycles + 4 merges
+
+    def test_every_op_appears_once(self, qrd_prog):
+        ids = [
+            m.node_id
+            for ins in qrd_prog.instructions.values()
+            for m in ins.all_ops()
+        ]
+        assert sorted(ids) == sorted(
+            o.nid for o in qrd_prog.graph.op_nodes()
+        )
+
+    def test_lane_assignment_disjoint(self, matmul_prog):
+        for ins in matmul_prog.instructions.values():
+            lanes = [l for m in ins.vector_ops for l in m.lanes]
+            assert len(lanes) == len(set(lanes))
+            assert all(0 <= l < 4 for l in lanes)
+
+    def test_units_separated(self, qrd_prog):
+        for ins in qrd_prog.instructions.values():
+            for m in ins.vector_ops:
+                assert m.lanes
+            for m in ins.scalar_ops + ins.index_ops:
+                assert not m.lanes
+
+    def test_reconfiguration_marks(self, qrd_prog):
+        # first vector instruction always reconfigures (initial load)
+        vec_instrs = [
+            ins
+            for _, ins in sorted(qrd_prog.instructions.items())
+            if ins.vector_ops
+        ]
+        assert vec_instrs[0].reconfigure
+        # consecutive same-config instructions don't
+        for a, b in zip(vec_instrs, vec_instrs[1:]):
+            if a.vector_config == b.vector_config:
+                assert not b.reconfigure
+
+
+class TestOperands:
+    def test_vector_data_in_memory(self, matmul_prog):
+        g = matmul_prog.graph
+        for d in g.data_nodes():
+            ref = matmul_prog.data_location[d.nid]
+            if d.category.value == "vector_data":
+                assert ref.space == "mem"
+            else:
+                assert ref.space == "sreg"
+
+    def test_scalar_registers_unique(self, qrd_prog):
+        g = qrd_prog.graph
+        sregs = [
+            qrd_prog.data_location[d.nid].index
+            for d in g.data_nodes()
+            if d.category.value == "scalar_data"
+        ]
+        assert len(set(sregs)) == len(sregs)  # "optimal allocation"
+
+    def test_preload_covers_inputs(self, matmul_prog):
+        g = matmul_prog.graph
+        n_vec_inputs = sum(
+            1 for d in g.inputs() if d.category.value == "vector_data"
+        )
+        assert len(matmul_prog.mem_preload) == n_vec_inputs
+
+
+class TestListing:
+    def test_listing_has_header_and_cycles(self, matmul_prog):
+        text = matmul_prog.listing()
+        assert "matmul" in text
+        assert "v_dotP" in text and "merge" in text
+        assert "m[" in text and "r[" in text
+
+    def test_reconfig_marker_in_listing(self, qrd_prog):
+        assert "PE3*" in qrd_prog.listing()
+
+
+class TestErrors:
+    def test_requires_memory_allocation(self):
+        g = merge_pipeline_ops(build_matmul())
+        s = schedule(g, with_memory=False, timeout_ms=30_000)
+        with pytest.raises(CodegenError):
+            generate(s)
+
+    def test_empty_schedule_rejected(self):
+        g = merge_pipeline_ops(build_matmul())
+        empty = Schedule(
+            graph=g, cfg=None or __import__("repro.arch.eit", fromlist=["DEFAULT_CONFIG"]).DEFAULT_CONFIG,
+            starts={}, makespan=-1, status=SolveStatus.INFEASIBLE,
+        )
+        with pytest.raises(CodegenError):
+            generate(empty)
+
+    def test_operand_ref_str(self):
+        assert str(OperandRef("mem", 5)) == "m[5]"
+        assert str(OperandRef("sreg", 2)) == "r[2]"

@@ -1,0 +1,230 @@
+"""Arithmetic propagator unit tests."""
+
+import pytest
+
+from repro.cp import (
+    Eq,
+    Inconsistency,
+    IntVar,
+    LinearEq,
+    LinearLeq,
+    Max,
+    Min,
+    Neq,
+    ScaledDiv,
+    Store,
+    XEqC,
+    XNeqC,
+    XPlusCEqY,
+    XPlusCLeqY,
+    XPlusYEqZ,
+)
+from repro.cp.constraints.arith import UnaryFunc
+
+
+def make(lo, hi, n=1):
+    store = Store()
+    vs = [IntVar(store, lo, hi, name=f"v{i}") for i in range(n)]
+    return (store, *vs)
+
+
+class TestBasics:
+    def test_xeqc(self):
+        store, x = make(0, 9)
+        store.post(XEqC(x, 4))
+        assert x.value() == 4
+
+    def test_xeqc_outside_domain_fails(self):
+        store, x = make(0, 3)
+        with pytest.raises(Inconsistency):
+            store.post(XEqC(x, 7))
+
+    def test_xneqc(self):
+        store, x = make(0, 3)
+        store.post(XNeqC(x, 1))
+        assert list(x.domain) == [0, 2, 3]
+
+    def test_eq_intersects_holes(self):
+        store = Store()
+        x = IntVar(store, 0, 9)
+        y = IntVar(store, 0, 9)
+        store.remove_value(x, 4)
+        store.remove_value(y, 6)
+        store.post(Eq(x, y))
+        assert 4 not in y.domain and 6 not in x.domain
+
+    def test_eq_disjoint_fails(self):
+        store = Store()
+        x = IntVar(store, 0, 2)
+        y = IntVar(store, 5, 8)
+        with pytest.raises(Inconsistency):
+            store.post(Eq(x, y))
+
+    def test_neq_no_early_pruning(self):
+        store = Store()
+        x = IntVar(store, 0, 3)
+        y = IntVar(store, 0, 3)
+        store.post(Neq(x, y))
+        assert x.size() == 4 and y.size() == 4  # nothing assigned yet
+
+
+class TestPrecedence:
+    def test_xplusc_leq_y_bounds(self):
+        store = Store()
+        x = IntVar(store, 2, 9)
+        y = IntVar(store, 0, 7)
+        store.post(XPlusCLeqY(x, 3, y))
+        assert y.min() == 5 and x.max() == 4
+
+    def test_xplusc_eq_y_is_arc_consistent(self):
+        store = Store()
+        x = IntVar(store, 0, 9)
+        y = IntVar(store, 0, 9)
+        store.remove_value(x, 3)
+        store.post(XPlusCEqY(x, 2, y))
+        assert 5 not in y.domain  # hole transferred, not just bounds
+        assert y.min() == 2 and x.max() == 7
+
+    def test_xplusyeqz(self):
+        store = Store()
+        x = IntVar(store, 1, 3)
+        y = IntVar(store, 2, 5)
+        z = IntVar(store, 0, 20)
+        store.post(XPlusYEqZ(x, y, z))
+        assert z.min() == 3 and z.max() == 8
+        store.assign(z, 8)
+        store.propagate()
+        assert x.value() == 3 and y.value() == 5
+
+
+class TestLinear:
+    def test_linear_eq_prunes_bounds(self):
+        store = Store()
+        x = IntVar(store, 0, 10)
+        y = IntVar(store, 0, 10)
+        store.post(LinearEq([1, 1], [x, y], 4))
+        assert x.max() == 4 and y.max() == 4
+
+    def test_linear_eq_with_negative_coeff(self):
+        store = Store()
+        x = IntVar(store, 0, 10)
+        y = IntVar(store, 0, 10)
+        store.post(LinearEq([1, -1], [x, y], 3))  # x - y == 3
+        assert x.min() == 3
+        store.assign(y, 5)
+        store.propagate()
+        assert x.value() == 8
+
+    def test_linear_eq_infeasible(self):
+        store = Store()
+        x = IntVar(store, 0, 2)
+        y = IntVar(store, 0, 2)
+        with pytest.raises(Inconsistency):
+            store.post(LinearEq([1, 1], [x, y], 9))
+
+    def test_linear_leq(self):
+        store = Store()
+        x = IntVar(store, 0, 10)
+        y = IntVar(store, 3, 10)
+        store.post(LinearLeq([2, 1], [x, y], 9))
+        assert x.max() == 3  # 2x <= 9 - 3
+
+    def test_linear_leq_negative_coeff(self):
+        store = Store()
+        x = IntVar(store, 0, 10)
+        y = IntVar(store, 0, 10)
+        store.post(LinearLeq([1, -2], [x, y], -4))  # x - 2y <= -4 -> y >= (x+4)/2
+        assert y.min() == 2
+
+    def test_linear_mismatched_lengths_raise(self):
+        store = Store()
+        x = IntVar(store, 0, 1)
+        with pytest.raises(ValueError):
+            LinearEq([1, 2], [x], 0)
+
+
+class TestMinMax:
+    def test_max_bounds(self):
+        store = Store()
+        xs = [IntVar(store, 0, i + 3) for i in range(3)]
+        y = IntVar(store, 0, 100)
+        store.post(Max(y, xs))
+        assert y.max() == 5 and y.min() == 0
+
+    def test_max_pushes_down(self):
+        store = Store()
+        xs = [IntVar(store, 0, 10) for _ in range(3)]
+        y = IntVar(store, 0, 4)
+        store.post(Max(y, xs))
+        assert all(x.max() == 4 for x in xs)
+
+    def test_max_single_candidate_forced_up(self):
+        store = Store()
+        a = IntVar(store, 0, 3)
+        b = IntVar(store, 0, 10)
+        y = IntVar(store, 8, 10)
+        store.post(Max(y, [a, b]))
+        assert b.min() == 8  # only b can reach y's lower bound
+
+    def test_max_empty_raises(self):
+        store = Store()
+        y = IntVar(store, 0, 1)
+        with pytest.raises(ValueError):
+            Max(y, [])
+
+    def test_min_bounds(self):
+        store = Store()
+        xs = [IntVar(store, i + 2, 10) for i in range(3)]
+        y = IntVar(store, 0, 100)
+        store.post(Min(y, xs))
+        assert y.min() == 2 and y.max() == 10
+        store.set_min(y, 5)
+        store.propagate()
+        assert all(x.min() == 5 for x in xs)
+
+
+class TestUnaryFunc:
+    def test_scaled_div_line(self):
+        store = Store()
+        slot = IntVar(store, 0, 63)
+        line = IntVar(store, 0, 3)
+        store.post(ScaledDiv(line, slot, d=16))
+        store.assign(slot, 40)
+        store.propagate()
+        assert line.value() == 2
+
+    def test_scaled_div_page(self):
+        store = Store()
+        slot = IntVar(store, 0, 63)
+        page = IntVar(store, 0, 3)
+        store.post(ScaledDiv(page, slot, d=4, m=16))
+        store.assign(slot, 21)  # bank 5 -> page 1
+        store.propagate()
+        assert page.value() == 1
+
+    def test_backward_pruning(self):
+        """Fixing the image prunes every preimage outside it."""
+        store = Store()
+        slot = IntVar(store, 0, 31)
+        line = IntVar(store, 0, 1)
+        store.post(ScaledDiv(line, slot, d=16))
+        store.assign(line, 1)
+        store.propagate()
+        assert slot.min() == 16 and slot.max() == 31
+
+    def test_invalid_divisor(self):
+        store = Store()
+        x = IntVar(store, 0, 1)
+        y = IntVar(store, 0, 1)
+        with pytest.raises(ValueError):
+            ScaledDiv(y, x, d=0)
+
+    def test_general_function(self):
+        store = Store()
+        x = IntVar(store, 0, 5)
+        y = IntVar(store, 0, 30)
+        store.post(UnaryFunc(y, x, lambda v: v * v, "sq"))
+        assert sorted(y.domain) == [0, 1, 4, 9, 16, 25]
+        store.set_min(y, 5)
+        store.propagate()
+        assert x.min() == 3

@@ -1,0 +1,157 @@
+"""Unit tests for the interval-set domain representation."""
+
+import pytest
+
+from repro.cp.domain import Domain, EMPTY_DOMAIN
+
+
+class TestConstruction:
+    def test_interval(self):
+        d = Domain.interval(2, 5)
+        assert list(d) == [2, 3, 4, 5]
+
+    def test_interval_single(self):
+        assert list(Domain.interval(3, 3)) == [3]
+
+    def test_interval_empty_when_reversed(self):
+        assert Domain.interval(5, 2).is_empty()
+
+    def test_singleton(self):
+        d = Domain.singleton(7)
+        assert d.is_singleton() and d.value() == 7
+
+    def test_from_values_coalesces_adjacent(self):
+        d = Domain.from_values([3, 1, 2, 7, 8, 5])
+        assert d.intervals == ((1, 3), (5, 5), (7, 8))
+
+    def test_from_values_deduplicates(self):
+        d = Domain.from_values([4, 4, 4])
+        assert d.is_singleton() and d.value() == 4
+
+    def test_from_values_empty(self):
+        assert Domain.from_values([]).is_empty()
+
+
+class TestQueries:
+    def test_len_counts_all_values(self):
+        d = Domain.from_values([1, 2, 3, 10, 20, 21])
+        assert len(d) == 6
+
+    def test_min_max(self):
+        d = Domain.from_values([5, 9, 2])
+        assert d.min() == 2 and d.max() == 9
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            EMPTY_DOMAIN.min()
+
+    def test_value_of_non_singleton_raises(self):
+        with pytest.raises(ValueError):
+            Domain.interval(1, 2).value()
+
+    def test_contains(self):
+        d = Domain.from_values([1, 2, 3, 8])
+        assert 2 in d and 8 in d
+        assert 0 not in d and 5 not in d and 9 not in d
+
+    def test_contains_on_boundaries(self):
+        d = Domain.interval(10, 20)
+        assert 10 in d and 20 in d
+        assert 9 not in d and 21 not in d
+
+    def test_bool(self):
+        assert Domain.interval(0, 0)
+        assert not EMPTY_DOMAIN
+
+    def test_next_value(self):
+        d = Domain.from_values([1, 2, 5, 6])
+        assert d.next_value(2) == 5
+        assert d.next_value(0) == 1
+        assert d.next_value(5) == 6
+
+    def test_next_value_exhausted_raises(self):
+        with pytest.raises(ValueError):
+            Domain.interval(1, 3).next_value(3)
+
+    def test_equality_and_hash(self):
+        a = Domain.from_values([1, 2, 3])
+        b = Domain.interval(1, 3)
+        assert a == b and hash(a) == hash(b)
+
+    def test_repr(self):
+        assert repr(Domain.from_values([1, 2, 5])) == "{1..2, 5}"
+        assert repr(EMPTY_DOMAIN) == "{}"
+
+
+class TestNarrowing:
+    def test_remove_below(self):
+        d = Domain.from_values([1, 2, 5, 6, 9]).remove_below(5)
+        assert list(d) == [5, 6, 9]
+
+    def test_remove_below_splitting_interval(self):
+        d = Domain.interval(0, 10).remove_below(4)
+        assert d.intervals == ((4, 10),)
+
+    def test_remove_below_noop_returns_same_object(self):
+        d = Domain.interval(3, 8)
+        assert d.remove_below(3) is d
+        assert d.remove_below(0) is d
+
+    def test_remove_above(self):
+        d = Domain.from_values([1, 2, 5, 6, 9]).remove_above(5)
+        assert list(d) == [1, 2, 5]
+
+    def test_remove_above_noop_returns_same_object(self):
+        d = Domain.interval(3, 8)
+        assert d.remove_above(8) is d
+
+    def test_remove_value_middle_splits(self):
+        d = Domain.interval(1, 5).remove_value(3)
+        assert d.intervals == ((1, 2), (4, 5))
+
+    def test_remove_value_at_edge(self):
+        d = Domain.interval(1, 5).remove_value(1)
+        assert d.intervals == ((2, 5),)
+
+    def test_remove_value_absent_is_noop(self):
+        d = Domain.from_values([1, 5])
+        assert d.remove_value(3) is d
+
+    def test_remove_value_last_empties(self):
+        assert Domain.singleton(4).remove_value(4).is_empty()
+
+    def test_remove_interval(self):
+        d = Domain.interval(0, 10).remove_interval(3, 6)
+        assert d.intervals == ((0, 2), (7, 10))
+
+    def test_remove_interval_covering_everything(self):
+        assert Domain.interval(2, 4).remove_interval(0, 9).is_empty()
+
+    def test_remove_interval_disjoint_is_noop(self):
+        d = Domain.interval(0, 5)
+        assert d.remove_interval(7, 9) is d
+        assert d.remove_interval(9, 7) is d  # reversed bounds
+
+    def test_remove_interval_spanning_gap(self):
+        d = Domain.from_values([1, 2, 6, 7]).remove_interval(2, 6)
+        assert list(d) == [1, 7]
+
+    def test_intersect(self):
+        a = Domain.from_values([1, 2, 3, 7, 8])
+        b = Domain.from_values([2, 3, 4, 8, 9])
+        assert list(a.intersect(b)) == [2, 3, 8]
+
+    def test_intersect_disjoint(self):
+        assert Domain.interval(0, 3).intersect(Domain.interval(5, 9)).is_empty()
+
+    def test_intersect_interval(self):
+        d = Domain.from_values([1, 4, 6, 9]).intersect_interval(3, 7)
+        assert list(d) == [4, 6]
+
+    def test_shift(self):
+        d = Domain.from_values([1, 2, 5]).shift(10)
+        assert list(d) == [11, 12, 15]
+
+    def test_shift_negative(self):
+        d = Domain.from_values([11, 12, 15]).shift(-11)
+        assert list(d) == [0, 1, 4]

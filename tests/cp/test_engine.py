@@ -1,0 +1,145 @@
+"""Store, trailing/backtracking and propagation-queue behaviour."""
+
+import pytest
+
+from repro.cp import Eq, Inconsistency, IntVar, Neq, Store, XPlusCLeqY
+
+
+class TestStoreMutations:
+    def test_set_min(self):
+        store = Store()
+        x = IntVar(store, 0, 9)
+        store.set_min(x, 4)
+        assert x.min() == 4 and x.max() == 9
+
+    def test_set_max(self):
+        store = Store()
+        x = IntVar(store, 0, 9)
+        store.set_max(x, 6)
+        assert x.max() == 6
+
+    def test_assign(self):
+        store = Store()
+        x = IntVar(store, 0, 9)
+        store.assign(x, 5)
+        assert x.is_assigned() and x.value() == 5
+
+    def test_assign_outside_domain_fails(self):
+        store = Store()
+        x = IntVar(store, 0, 9)
+        with pytest.raises(Inconsistency):
+            store.assign(x, 42)
+
+    def test_wipeout_raises(self):
+        store = Store()
+        x = IntVar(store, 0, 5)
+        with pytest.raises(Inconsistency):
+            store.set_min(x, 10)
+
+    def test_remove_value(self):
+        store = Store()
+        x = IntVar(store, 0, 3)
+        store.remove_value(x, 2)
+        assert list(x.domain) == [0, 1, 3]
+
+    def test_equal_domain_rebuild_is_not_a_change(self):
+        """Regression: propagators that rebuild equal domains must not
+        look like changes, or the queue never reaches fixpoint."""
+        from repro.cp.domain import Domain
+
+        store = Store()
+        x = IntVar(store, 0, 3)
+        level_trail = len(store._trail)
+        store.set_domain(x, Domain.interval(0, 3))  # equal but new object
+        assert len(store._trail) == level_trail
+
+
+class TestBacktracking:
+    def test_pop_restores_domain(self):
+        store = Store()
+        x = IntVar(store, 0, 9)
+        store.push_level()
+        store.set_min(x, 5)
+        assert x.min() == 5
+        store.pop_level()
+        assert x.min() == 0
+
+    def test_nested_levels(self):
+        store = Store()
+        x = IntVar(store, 0, 9)
+        store.push_level()
+        store.set_min(x, 3)
+        store.push_level()
+        store.set_max(x, 5)
+        assert (x.min(), x.max()) == (3, 5)
+        store.pop_level()
+        assert (x.min(), x.max()) == (3, 9)
+        store.pop_level()
+        assert (x.min(), x.max()) == (0, 9)
+
+    def test_one_trail_entry_per_level(self):
+        store = Store()
+        x = IntVar(store, 0, 9)
+        store.push_level()
+        store.set_min(x, 2)
+        store.set_min(x, 4)
+        store.set_max(x, 7)
+        store.pop_level()
+        assert (x.min(), x.max()) == (0, 9)
+
+    def test_constraints_survive_backtracking(self):
+        store = Store()
+        x = IntVar(store, 0, 9)
+        y = IntVar(store, 0, 9)
+        store.post(XPlusCLeqY(x, 3, y))
+        store.push_level()
+        store.assign(x, 5)
+        store.propagate()
+        assert y.min() == 8
+        store.pop_level()
+        assert y.min() == 3  # root propagation x+3<=y on x.min=0
+
+
+class TestPropagation:
+    def test_post_propagates_immediately(self):
+        store = Store()
+        x = IntVar(store, 0, 9)
+        y = IntVar(store, 0, 4)
+        store.post(XPlusCLeqY(x, 2, y))
+        assert x.max() == 2
+
+    def test_chain_propagation(self):
+        store = Store()
+        vs = [IntVar(store, 0, 100) for _ in range(5)]
+        for a, b in zip(vs, vs[1:]):
+            store.post(XPlusCLeqY(a, 10, b))
+        assert vs[-1].min() == 40
+        assert vs[0].max() == 60
+
+    def test_inconsistent_post_raises_and_queue_drains(self):
+        store = Store()
+        x = IntVar(store, 0, 3)
+        y = IntVar(store, 0, 3)
+        store.post(Eq(x, y))
+        # x == y together with x + 1 <= y is unsatisfiable; the post
+        # itself propagates to the wipe-out.
+        with pytest.raises(Inconsistency):
+            store.post(XPlusCLeqY(x, 1, y))
+        assert not store._queue
+
+    def test_failure_counter_increments(self):
+        store = Store()
+        x = IntVar(store, 0, 3)
+        n0 = store.n_failures
+        with pytest.raises(Inconsistency):
+            store.set_min(x, 99)
+        assert store.n_failures == n0 + 1
+
+    def test_neq_propagates_on_assignment(self):
+        store = Store()
+        x = IntVar(store, 0, 3)
+        y = IntVar(store, 0, 3)
+        store.post(Neq(x, y))
+        store.assign(x, 2)
+        store.propagate()
+        assert 2 not in y.domain

@@ -1,0 +1,215 @@
+"""Cumulative, Diff2, AllDifferent and CyclicDistance global constraints."""
+
+import pytest
+
+from repro.cp import (
+    Cumulative,
+    Diff2,
+    Inconsistency,
+    IntVar,
+    Rect2,
+    Search,
+    SolveStatus,
+    Store,
+    Task,
+)
+from repro.cp.constraints.alldiff import AllDifferent
+from repro.cp.constraints.cyclic import CyclicDistance, cyclic_distance
+
+
+class TestCumulative:
+    def test_overload_fails(self):
+        store = Store()
+        xs = [IntVar(store, 0, 0) for _ in range(3)]
+        with pytest.raises(Inconsistency):
+            store.post(Cumulative([Task(x, 1, 1) for x in xs], 2))
+
+    def test_compulsory_part_profile(self):
+        store = Store()
+        a = IntVar(store, 0, 2)  # compulsory in [2, 3) when dur 3 -> [2,3)
+        store.post(Cumulative([Task(a, 3, 2)], 2))
+        b = IntVar(store, 0, 9)
+        store.post(Cumulative([Task(a, 3, 2), Task(b, 1, 1)], 2))
+        # b cannot overlap a's compulsory region [2, 3)
+        assert 2 not in b.domain
+
+    def test_demand_exceeding_capacity_rejected(self):
+        store = Store()
+        x = IntVar(store, 0, 5)
+        with pytest.raises(ValueError):
+            Cumulative([Task(x, 1, 5)], 4)
+
+    def test_zero_duration_tasks_ignored(self):
+        store = Store()
+        x = IntVar(store, 0, 0)
+        c = Cumulative([Task(x, 0, 4), Task(x, 1, 4)], 4)
+        assert len(c.tasks) == 1
+
+    def test_negative_duration_rejected(self):
+        store = Store()
+        x = IntVar(store, 0, 5)
+        with pytest.raises(ValueError):
+            Task(x, -1, 1)
+
+    def test_matrix_op_excludes_vector_ops(self):
+        """A demand-4 task (matrix op) forces demand-1 tasks elsewhere."""
+        store = Store()
+        m = IntVar(store, 2, 2)
+        v = IntVar(store, 0, 9)
+        store.post(Cumulative([Task(m, 1, 4), Task(v, 1, 1)], 4))
+        assert 2 not in v.domain
+
+    def test_packing_search(self):
+        store = Store()
+        xs = [IntVar(store, 0, 2, name=f"t{i}") for i in range(6)]
+        store.post(Cumulative([Task(x, 1, 2) for x in xs], 4))
+        r = Search(store).solve(xs)
+        assert r.found
+        by_t = {}
+        for x in xs:
+            by_t.setdefault(r.value(x), 0)
+            by_t[r.value(x)] += 2
+        assert all(v <= 4 for v in by_t.values())
+
+    def test_infeasible_packing(self):
+        store = Store()
+        xs = [IntVar(store, 0, 0) for _ in range(2)]
+        with pytest.raises(Inconsistency):
+            store.post(Cumulative([Task(x, 1, 3) for x in xs], 4))
+
+
+class TestDiff2:
+    def test_forced_relative_placement(self):
+        store = Store()
+        x1 = IntVar(store, 0, 0)
+        y1 = IntVar(store, 0, 0)
+        x2 = IntVar(store, 0, 5)
+        y2 = IntVar(store, 0, 0)  # same row, must be right of rect 1
+        store.post(Diff2([Rect2(x1, y1, 3, 1), Rect2(x2, y2, 2, 1)]))
+        assert x2.min() == 3
+
+    def test_mandatory_overlap_fails(self):
+        store = Store()
+        xs = [IntVar(store, 0, 0) for _ in range(2)]
+        ys = [IntVar(store, 0, 0) for _ in range(2)]
+        with pytest.raises(Inconsistency):
+            store.post(
+                Diff2([Rect2(xs[0], ys[0], 2, 1), Rect2(xs[1], ys[1], 2, 1)])
+            )
+
+    def test_zero_width_never_conflicts(self):
+        store = Store()
+        xs = [IntVar(store, 0, 0) for _ in range(2)]
+        ys = [IntVar(store, 0, 0) for _ in range(2)]
+        store.post(
+            Diff2([Rect2(xs[0], ys[0], 0, 1), Rect2(xs[1], ys[1], 5, 1)])
+        )  # no exception: zero-area rectangle overlaps nothing
+
+    def test_variable_width(self):
+        store = Store()
+        x1 = IntVar(store, 0, 0)
+        y1 = IntVar(store, 0, 0)
+        w1 = IntVar(store, 2, 9)
+        x2 = IntVar(store, 4, 4)
+        y2 = IntVar(store, 0, 0)
+        store.post(Diff2([Rect2(x1, y1, w1, 1), Rect2(x2, y2, 3, 1)]))
+        assert w1.max() == 4  # rect 1 must end before x=4
+
+    def test_slot_coloring(self):
+        """Three lifetime-overlapping vectors need three distinct slots."""
+        store = Store()
+        xs = [IntVar(store, 0, 0) for _ in range(3)]
+        ys = [IntVar(store, 0, 2, name=f"s{i}") for i in range(3)]
+        store.post(Diff2([Rect2(x, y, 4, 1) for x, y in zip(xs, ys)]))
+        r = Search(store).solve(ys)
+        assert r.found
+        assert len({r.value(y) for y in ys}) == 3
+
+
+class TestAllDifferent:
+    def test_value_propagation(self):
+        store = Store()
+        xs = [IntVar(store, 0, 2) for _ in range(3)]
+        store.post(AllDifferent(xs))
+        store.assign(xs[0], 1)
+        store.propagate()
+        assert 1 not in xs[1].domain and 1 not in xs[2].domain
+
+    def test_pigeonhole_failure(self):
+        store = Store()
+        xs = [IntVar(store, 0, 1) for _ in range(3)]
+        with pytest.raises(Inconsistency):
+            store.post(AllDifferent(xs))
+
+    def test_forced_chain(self):
+        """Assignments cascade: {0},{0,1},{0,1,2} -> 0,1,2."""
+        store = Store()
+        a = IntVar(store, 0, 0)
+        b = IntVar(store, 0, 1)
+        c = IntVar(store, 0, 2)
+        store.post(AllDifferent([a, b, c]))
+        assert b.value() == 1 and c.value() == 2
+
+    def test_duplicate_assignment_fails(self):
+        store = Store()
+        a = IntVar(store, 3, 3)
+        b = IntVar(store, 3, 3)
+        with pytest.raises(Inconsistency):
+            store.post(AllDifferent([a, b]))
+
+    def test_hall_interval_pruning(self):
+        # a, b fill [0,1]; c must avoid it entirely
+        store = Store()
+        a = IntVar(store, 0, 1)
+        b = IntVar(store, 0, 1)
+        c = IntVar(store, 0, 5)
+        store.post(AllDifferent([a, b, c]))
+        assert c.min() == 2
+
+    def test_permutation_search(self):
+        store = Store()
+        xs = [IntVar(store, 0, 4, name=f"p{i}") for i in range(5)]
+        store.post(AllDifferent(xs))
+        r = Search(store).solve(xs)
+        assert r.found
+        assert sorted(r.value(x) for x in xs) == [0, 1, 2, 3, 4]
+
+
+class TestCyclicDistance:
+    def test_distance_function(self):
+        assert cyclic_distance(0, 9, 10) == 1
+        assert cyclic_distance(2, 7, 10) == 5
+        assert cyclic_distance(3, 3, 10) == 0
+
+    def test_prunes_window_around_assignment(self):
+        store = Store()
+        x = IntVar(store, 0, 9)
+        y = IntVar(store, 0, 9)
+        store.post(CyclicDistance(x, y, 2, 10))
+        store.assign(x, 0)
+        store.propagate()
+        assert 0 not in y.domain and 1 not in y.domain and 9 not in y.domain
+        assert 2 in y.domain and 8 in y.domain
+
+    def test_mindist_one_is_neq(self):
+        store = Store()
+        x = IntVar(store, 0, 4)
+        y = IntVar(store, 0, 4)
+        store.post(CyclicDistance(x, y, 1, 5))
+        store.assign(x, 2)
+        store.propagate()
+        assert 2 not in y.domain and y.size() == 4
+
+    def test_impossible_distance_rejected(self):
+        store = Store()
+        x = IntVar(store, 0, 2)
+        y = IntVar(store, 0, 2)
+        with pytest.raises(Inconsistency):
+            CyclicDistance(x, y, 2, 3)
+
+    def test_invalid_params(self):
+        store = Store()
+        x = IntVar(store, 0, 5)
+        y = IntVar(store, 0, 5)
+        with pytest.raises(ValueError):
+            CyclicDistance(x, y, 0, 6)

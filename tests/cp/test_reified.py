@@ -1,0 +1,159 @@
+"""Conditional constraints (the paper's eqs. 7-9 building blocks)."""
+
+import pytest
+
+from repro.cp import (
+    BinaryTable,
+    ConditionalBinaryTable,
+    EqImpliesEq,
+    GuardedEqImpliesEq,
+    Inconsistency,
+    IntVar,
+    Store,
+)
+
+
+class TestEqImpliesEq:
+    def make(self):
+        store = Store()
+        a = IntVar(store, 0, 3, name="a")
+        b = IntVar(store, 0, 3, name="b")
+        c = IntVar(store, 0, 3, name="c")
+        d = IntVar(store, 0, 3, name="d")
+        return store, a, b, c, d
+
+    def test_antecedent_true_enforces_consequent(self):
+        store, a, b, c, d = self.make()
+        store.post(EqImpliesEq(a, b, c, d))
+        store.assign(a, 2)
+        store.assign(b, 2)
+        store.set_max(c, 1)
+        store.propagate()
+        assert d.max() == 1  # c == d enforced
+
+    def test_antecedent_false_leaves_consequent_free(self):
+        store, a, b, c, d = self.make()
+        store.post(EqImpliesEq(a, b, c, d))
+        store.assign(a, 0)
+        store.assign(b, 1)
+        store.assign(c, 0)
+        store.assign(d, 3)  # fine: implication vacuous
+        store.propagate()
+
+    def test_contrapositive(self):
+        store, a, b, c, d = self.make()
+        store.set_max(c, 0)
+        store.set_min(d, 2)  # c == d impossible
+        store.post(EqImpliesEq(a, b, c, d))
+        store.assign(a, 1)
+        store.propagate()
+        assert 1 not in b.domain
+
+    def test_conflict_detected(self):
+        store, a, b, c, d = self.make()
+        store.post(EqImpliesEq(a, b, c, d))
+        store.assign(c, 0)
+        store.assign(d, 3)
+        store.assign(a, 2)
+        with pytest.raises(Inconsistency):
+            store.assign(b, 2)
+            store.propagate()
+
+
+class TestGuardedEqImpliesEq:
+    def make(self):
+        store = Store()
+        g1 = IntVar(store, 0, 5, name="g1")
+        g2 = IntVar(store, 0, 5, name="g2")
+        a = IntVar(store, 0, 3, name="a")
+        b = IntVar(store, 0, 3, name="b")
+        c = IntVar(store, 0, 3, name="c")
+        d = IntVar(store, 0, 3, name="d")
+        return store, g1, g2, a, b, c, d
+
+    def test_guard_true_behaves_like_eq_implies_eq(self):
+        store, g1, g2, a, b, c, d = self.make()
+        store.post(GuardedEqImpliesEq(g1, g2, a, b, c, d))
+        store.assign(g1, 3)
+        store.assign(g2, 3)
+        store.assign(a, 1)
+        store.assign(b, 1)
+        store.set_max(c, 0)
+        store.propagate()
+        assert d.value() == 0
+
+    def test_guard_false_is_vacuous(self):
+        store, g1, g2, a, b, c, d = self.make()
+        store.post(GuardedEqImpliesEq(g1, g2, a, b, c, d))
+        store.assign(g1, 0)
+        store.assign(g2, 5)
+        store.assign(a, 1)
+        store.assign(b, 1)
+        store.assign(c, 0)
+        store.assign(d, 3)
+        store.propagate()  # no exception
+
+    def test_inner_violation_falsifies_guard(self):
+        """The paper's mechanism: memory conflicts push ops apart in time."""
+        store, g1, g2, a, b, c, d = self.make()
+        store.assign(a, 2)
+        store.assign(b, 2)  # same page
+        store.set_max(c, 0)
+        store.set_min(d, 1)  # different lines guaranteed
+        store.post(GuardedEqImpliesEq(g1, g2, a, b, c, d))
+        store.assign(g1, 4)
+        store.propagate()
+        assert 4 not in g2.domain
+
+    def test_full_conflict(self):
+        store, g1, g2, a, b, c, d = self.make()
+        store.assign(a, 2)
+        store.assign(b, 2)
+        store.assign(c, 0)
+        store.assign(d, 3)
+        store.post(GuardedEqImpliesEq(g1, g2, a, b, c, d))
+        store.assign(g1, 4)
+        with pytest.raises(Inconsistency):
+            store.assign(g2, 4)
+            store.propagate()
+
+
+class TestBinaryTable:
+    def test_arc_consistency(self):
+        store = Store()
+        x = IntVar(store, 0, 3)
+        y = IntVar(store, 0, 3)
+        store.post(BinaryTable(x, y, [(0, 1), (1, 2), (2, 0)]))
+        assert 3 not in x.domain and 3 not in y.domain
+        store.assign(x, 1)
+        store.propagate()
+        assert y.value() == 2
+
+    def test_empty_table_fails(self):
+        store = Store()
+        x = IntVar(store, 0, 3)
+        y = IntVar(store, 0, 3)
+        with pytest.raises(Inconsistency):
+            store.post(BinaryTable(x, y, []))
+
+
+class TestConditionalBinaryTable:
+    def test_guard_true_enforces_table(self):
+        store = Store()
+        g1 = IntVar(store, 2, 2)
+        g2 = IntVar(store, 2, 2)
+        x = IntVar(store, 0, 3)
+        y = IntVar(store, 0, 3)
+        store.post(ConditionalBinaryTable(g1, g2, x, y, [(0, 0), (1, 1)]))
+        assert x.max() == 1 and y.max() == 1
+
+    def test_infeasible_table_falsifies_guard(self):
+        store = Store()
+        g1 = IntVar(store, 0, 5)
+        g2 = IntVar(store, 0, 5)
+        x = IntVar(store, 2, 3)
+        y = IntVar(store, 2, 3)
+        store.post(ConditionalBinaryTable(g1, g2, x, y, [(0, 0)]))
+        store.assign(g1, 1)
+        store.propagate()
+        assert 1 not in g2.domain

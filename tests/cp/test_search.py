@@ -1,0 +1,196 @@
+"""Search engine: satisfaction, branch-and-bound, phases, heuristics."""
+
+import pytest
+
+from repro.cp import (
+    Cumulative,
+    IntVar,
+    Max,
+    Neq,
+    Phase,
+    Search,
+    SolveStatus,
+    Store,
+    Task,
+    XPlusCLeqY,
+    first_fail,
+    input_order,
+    select_max_value,
+    select_min_value,
+    smallest_min,
+)
+from repro.cp.constraints.alldiff import AllDifferent
+
+
+class TestHeuristics:
+    def test_input_order_skips_assigned(self):
+        store = Store()
+        a = IntVar(store, 3, 3)
+        b = IntVar(store, 0, 5)
+        assert input_order([a, b]) is b
+
+    def test_input_order_all_assigned(self):
+        store = Store()
+        a = IntVar(store, 3, 3)
+        assert input_order([a]) is None
+
+    def test_first_fail_picks_smallest_domain(self):
+        store = Store()
+        a = IntVar(store, 0, 9)
+        b = IntVar(store, 0, 2)
+        assert first_fail([a, b]) is b
+
+    def test_smallest_min_picks_earliest(self):
+        store = Store()
+        a = IntVar(store, 4, 9)
+        b = IntVar(store, 2, 20)
+        assert smallest_min([a, b]) is b
+
+    def test_smallest_min_tie_break_by_size(self):
+        store = Store()
+        a = IntVar(store, 2, 9)
+        b = IntVar(store, 2, 5)
+        assert smallest_min([a, b]) is b
+
+    def test_value_selectors(self):
+        store = Store()
+        x = IntVar(store, 3, 8)
+        assert select_min_value(x) == 3
+        assert select_max_value(x) == 8
+
+
+class TestSatisfaction:
+    def test_simple_solution(self):
+        store = Store()
+        x = IntVar(store, 0, 5, name="x")
+        y = IntVar(store, 0, 5, name="y")
+        store.post(XPlusCLeqY(x, 3, y))
+        r = Search(store).solve([x, y])
+        assert r.status is SolveStatus.OPTIMAL
+        assert r.value(y) >= r.value(x) + 3
+
+    def test_infeasible(self):
+        # 3 variables, 2 values, pairwise disequality: root-consistent
+        # for the weak Neq propagators, but unsatisfiable.
+        store = Store()
+        x = IntVar(store, 0, 1, name="x")
+        y = IntVar(store, 0, 1, name="y")
+        z = IntVar(store, 0, 1, name="z")
+        store.post(Neq(x, y))
+        store.post(Neq(y, z))
+        store.post(Neq(x, z))
+        r = Search(store).solve([x, y, z])
+        assert r.status is SolveStatus.INFEASIBLE
+        assert not r.found
+
+    def test_store_restored_after_search(self):
+        store = Store()
+        x = IntVar(store, 0, 5, name="x")
+        Search(store).solve([x])
+        assert x.min() == 0 and x.max() == 5  # backtracked to root
+
+    def test_stops_after_first_solution(self):
+        store = Store()
+        xs = [IntVar(store, 0, 3, name=f"x{i}") for i in range(4)]
+        s = Search(store)
+        r = s.solve(xs)
+        assert s.stats.solutions == 1
+
+    def test_assignment_includes_derived_vars(self):
+        store = Store()
+        x = IntVar(store, 0, 5, name="x")
+        y = IntVar(store, 0, 20, name="y")
+        store.post(Max(y, [x]))
+        r = Search(store).solve([x])
+        assert r.value("y") == r.value("x")
+
+
+class TestMinimize:
+    def test_proves_optimality(self):
+        store = Store()
+        xs = [IntVar(store, 0, 10, name=f"s{i}") for i in range(4)]
+        mk = IntVar(store, 0, 20, name="mk")
+        store.post(Cumulative([Task(x, 1, 1) for x in xs], 2))
+        store.post(Max(mk, xs))
+        r = Search(store).minimize(mk, [Phase(xs)])
+        assert r.status is SolveStatus.OPTIMAL
+        assert r.objective == 1  # 4 unit tasks, 2 at a time
+
+    def test_respects_precedence_in_optimum(self):
+        store = Store()
+        a = IntVar(store, 0, 30, name="a")
+        b = IntVar(store, 0, 30, name="b")
+        mk = IntVar(store, 0, 40, name="mk")
+        store.post(XPlusCLeqY(a, 7, b))
+        store.post(Max(mk, [a, b]))
+        r = Search(store).minimize(mk, [Phase([a, b])])
+        assert r.objective == 7
+
+    def test_timeout_returns_feasible(self):
+        store = Store()
+        xs = [IntVar(store, 0, 40, name=f"s{i}") for i in range(24)]
+        mk = IntVar(store, 0, 80, name="mk")
+        store.post(Cumulative([Task(x, 2, 1) for x in xs], 2))
+        store.post(Max(mk, xs))
+        for a, b in zip(xs[:10], xs[1:11]):
+            store.post(Neq(a, b))
+        r = Search(store, timeout_ms=150).minimize(mk, [Phase(xs)])
+        assert r.status in (SolveStatus.FEASIBLE, SolveStatus.OPTIMAL)
+        assert r.objective is not None
+
+    def test_node_limit(self):
+        store = Store()
+        xs = [IntVar(store, 0, 8, name=f"v{i}") for i in range(9)]
+        store.post(AllDifferent(xs))
+        mk = IntVar(store, 0, 100, name="mk")
+        store.post(Max(mk, xs))
+        s = Search(store, node_limit=5)
+        r = s.minimize(mk, [Phase(xs)])
+        assert s.stats.nodes <= 7  # limit + bounded overshoot
+
+
+class TestPhases:
+    def test_phases_run_in_order(self):
+        store = Store()
+        a = IntVar(store, 0, 3, name="a")
+        b = IntVar(store, 0, 3, name="b")
+        order = []
+        import repro.cp.search as search_mod
+
+        def tracking_selector(candidates):
+            v = input_order(candidates)
+            if v is not None:
+                order.append(v.name)
+            return v
+
+        r = Search(store).solve(
+            [
+                Phase([a], tracking_selector),
+                Phase([b], tracking_selector),
+            ]
+        )
+        assert r.found
+        assert order[0] == "a"  # phase 1 decided before phase 2
+
+    def test_backtracking_across_phases(self):
+        """Failure in phase 2 must revisit phase 1 decisions."""
+        store = Store()
+        a = IntVar(store, 0, 2, name="a")
+        b = IntVar(store, 2, 4, name="b")
+        store.post(XPlusCLeqY(b, -1, a))  # b - 1 <= a, i.e. a >= b - 1
+        r = Search(store).solve([Phase([a]), Phase([b])])
+        assert r.found
+        assert r.value(a) >= r.value(b) - 1
+
+    def test_empty_phase_list(self):
+        store = Store()
+        r = Search(store).solve([])
+        assert r.found  # vacuous solution
+
+    def test_stats_populated(self):
+        store = Store()
+        xs = [IntVar(store, 0, 3, name=f"x{i}") for i in range(3)]
+        s = Search(store)
+        r = s.solve(xs)
+        assert r.stats.nodes > 0
+        assert r.stats.time_ms >= 0

@@ -1,0 +1,59 @@
+"""IntVar construction and accessors."""
+
+import pytest
+
+from repro.cp import IntVar, Store
+from repro.cp.domain import Domain
+from repro.cp.var import const
+
+
+class TestConstruction:
+    def test_interval_bounds(self):
+        store = Store()
+        x = IntVar(store, 2, 8)
+        assert (x.min(), x.max(), x.size()) == (2, 8, 7)
+
+    def test_single_argument_is_singleton(self):
+        store = Store()
+        x = IntVar(store, 5)
+        assert x.is_assigned() and x.value() == 5
+
+    def test_from_domain(self):
+        store = Store()
+        x = IntVar(store, Domain.from_values([1, 3, 9]))
+        assert list(x.domain) == [1, 3, 9]
+
+    def test_empty_domain_rejected(self):
+        store = Store()
+        with pytest.raises(ValueError):
+            IntVar(store, 5, 2)
+
+    def test_registered_with_store(self):
+        store = Store()
+        x = IntVar(store, 0, 1)
+        y = IntVar(store, 0, 1)
+        assert store.vars == [x, y]
+        assert x.index == 0 and y.index == 1
+
+    def test_fresh_names_unique(self):
+        store = Store()
+        a = IntVar(store, 0, 1)
+        b = IntVar(store, 0, 1)
+        assert a.name != b.name
+
+    def test_const_helper(self):
+        store = Store()
+        c = const(store, 42)
+        assert c.is_assigned() and c.value() == 42
+
+    def test_contains_and_repr(self):
+        store = Store()
+        x = IntVar(store, 0, 3, name="x")
+        assert 2 in x and 9 not in x
+        assert "x" in repr(x)
+
+    def test_set_bounds_sugar(self):
+        store = Store()
+        x = IntVar(store, 0, 10)
+        x.set_bounds(3, 7)
+        assert (x.min(), x.max()) == (3, 7)

@@ -1,0 +1,210 @@
+"""Functional semantics of every operation, checked against NumPy."""
+
+import cmath
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dsl.semantics import apply_op, as_scalar, as_vector, eval_expr
+
+A = (1 + 2j, 3 - 1j, 0.5j, 2 + 0j)
+B = (2 - 1j, 1 + 1j, 4 + 0j, -1j)
+
+finite_c = st.complex_numbers(
+    allow_nan=False, allow_infinity=False, max_magnitude=1e6
+)
+vec = st.tuples(finite_c, finite_c, finite_c, finite_c)
+
+
+class TestVectorOps:
+    def test_v_add(self):
+        assert apply_op("v_add", [A, B]) == tuple(np.array(A) + np.array(B))
+
+    def test_v_sub(self):
+        assert apply_op("v_sub", [A, B]) == tuple(np.array(A) - np.array(B))
+
+    def test_v_mul_elementwise(self):
+        assert apply_op("v_mul", [A, B]) == tuple(np.array(A) * np.array(B))
+
+    def test_v_dotP_plain(self):
+        assert apply_op("v_dotP", [A, B]) == np.dot(A, B)
+
+    def test_v_cdotP_conjugates_second(self):
+        expect = sum(a * b.conjugate() for a, b in zip(A, B))
+        assert apply_op("v_cdotP", [A, B]) == expect
+
+    def test_v_scale(self):
+        s = 2 - 3j
+        assert apply_op("v_scale", [A, s]) == tuple(np.array(A) * s)
+
+    def test_v_axpy(self):
+        s = 1 + 1j
+        expect = tuple(s * x + y for x, y in zip(A, B))
+        assert apply_op("v_axpy", [s, A, B]) == expect
+
+    def test_v_axmy(self):
+        s = 1 + 1j
+        expect = tuple(y - s * x for x, y in zip(A, B))
+        got = eval_expr(("v_axmy", [0, 1, 2]), [s, A, B])
+        assert got == apply_op("v_axmy", [s, A, B]) == expect
+
+    def test_v_squsum_is_real(self):
+        got = apply_op("v_squsum", [A])
+        assert got == complex(np.sum(np.abs(np.array(A)) ** 2), 0)
+        assert got.imag == 0
+
+    def test_v_conj(self):
+        assert apply_op("v_conj", [A]) == tuple(np.conj(np.array(A)))
+
+    def test_v_hermit_same_as_conj(self):
+        assert apply_op("v_hermit", [A]) == apply_op("v_conj", [A])
+
+    def test_v_mask(self):
+        m = (1, 0, 1, 0)
+        assert apply_op("v_mask", [A, m]) == (A[0], 0j, A[2], 0j)
+
+    def test_v_sort_by_magnitude(self):
+        got = apply_op("v_sort", [A])
+        mags = [abs(z) for z in got]
+        assert mags == sorted(mags)
+
+    def test_v_shift(self):
+        assert apply_op("v_shift", [A, 1 + 0j]) == (A[1], A[2], A[3], A[0])
+        assert apply_op("v_shift", [A, 0j]) == A
+
+    def test_v_neg(self):
+        assert apply_op("v_neg", [A]) == tuple(-z for z in A)
+
+
+class TestMatrixOps:
+    ROWS = [A, B, tuple(reversed(A)), tuple(reversed(B))]
+
+    def test_m_add(self):
+        got = apply_op("m_add", self.ROWS + self.ROWS)
+        assert got == tuple(tuple(2 * z for z in row) for row in self.ROWS)
+
+    def test_m_scale(self):
+        s = 3 + 0j
+        got = apply_op("m_scale", self.ROWS + [s])
+        assert got[0] == tuple(z * s for z in A)
+
+    def test_m_squsum(self):
+        got = apply_op("m_squsum", self.ROWS)
+        expect = tuple(
+            complex(sum(abs(z) ** 2 for z in row), 0) for row in self.ROWS
+        )
+        assert got == expect
+
+    def test_m_hermitian(self):
+        got = apply_op("m_hermitian", self.ROWS)
+        M = np.array(self.ROWS)
+        assert np.allclose(np.array(got), M.conj().T)
+
+    def test_m_vmul(self):
+        x = (1 + 0j, 2 + 0j, 0j, 1j)
+        got = apply_op("m_vmul", self.ROWS + [x])
+        expect = tuple(np.array(self.ROWS) @ np.array(x))
+        assert np.allclose(np.array(got), np.array(expect))
+
+
+class TestScalarOps:
+    def test_sqrt(self):
+        assert apply_op("s_sqrt", [4 + 0j]) == 2 + 0j
+
+    def test_rsqrt(self):
+        assert apply_op("s_rsqrt", [4 + 0j]) == 0.5 + 0j
+
+    def test_div(self):
+        assert apply_op("s_div", [6 + 0j, 3 + 0j]) == 2 + 0j
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            apply_op("s_div", [1 + 0j, 0j])
+
+    def test_recip(self):
+        assert apply_op("s_recip", [4 + 0j]) == 0.25 + 0j
+
+    def test_add_sub_mul(self):
+        assert apply_op("s_add", [1 + 1j, 2 + 0j]) == 3 + 1j
+        assert apply_op("s_sub", [1 + 1j, 2 + 0j]) == -1 + 1j
+        assert apply_op("s_mul", [2j, 3j]) == -6 + 0j
+
+    def test_cordic_rot(self):
+        import math
+
+        got = apply_op("s_cordic_rot", [1 + 0j, complex(math.pi / 2, 0)])
+        assert abs(got - 1j) < 1e-12
+
+    def test_cordic_vec(self):
+        got = apply_op("s_cordic_vec", [3 + 4j])
+        assert got.real == pytest.approx(5.0)
+        assert got.imag == pytest.approx(cmath.phase(3 + 4j))
+
+    def test_cordic_vec_zero(self):
+        assert apply_op("s_cordic_vec", [0j]) == 0j
+
+
+class TestIndexMerge:
+    def test_index(self):
+        assert apply_op("index", [A], {"i": 2}) == A[2]
+
+    def test_merge(self):
+        assert apply_op("merge", list(A)) == A
+
+    def test_col_access(self):
+        rows = [A, B, A, B]
+        assert apply_op("col_access", rows, {"j": 1}) == (A[1], B[1], A[1], B[1])
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(KeyError):
+            apply_op("v_bogus", [A])
+
+
+class TestExprTrees:
+    def test_leaf(self):
+        assert eval_expr(1, [A, B]) == B
+
+    def test_nested(self):
+        # conj(a) . b  as a fused tree
+        expr = ("v_dotP", [("v_conj", [0]), 1])
+        expect = apply_op("v_dotP", [apply_op("v_conj", [A]), B])
+        assert eval_expr(expr, [A, B]) == expect
+
+    def test_three_level(self):
+        expr = ("v_sort", [("v_add", [("v_conj", [0]), 1])])
+        inner = apply_op("v_add", [apply_op("v_conj", [A]), B])
+        assert eval_expr(expr, [A, B]) == apply_op("v_sort", [inner])
+
+
+class TestConversionsAndProperties:
+    def test_as_vector_validates_width(self):
+        with pytest.raises(ValueError):
+            as_vector([1, 2, 3])
+
+    def test_as_scalar(self):
+        assert as_scalar(3) == 3 + 0j
+
+    @given(vec, vec)
+    def test_add_commutes(self, a, b):
+        assert apply_op("v_add", [a, b]) == apply_op("v_add", [b, a])
+
+    @given(vec, vec)
+    def test_dotp_symmetric(self, a, b):
+        x = apply_op("v_dotP", [a, b])
+        y = apply_op("v_dotP", [b, a])
+        assert cmath.isclose(x, y, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(vec)
+    def test_conj_involution(self, a):
+        assert apply_op("v_conj", [apply_op("v_conj", [a])]) == a
+
+    @given(vec)
+    def test_squsum_nonnegative(self, a):
+        assert apply_op("v_squsum", [a]).real >= 0
+
+    @given(vec, st.integers(0, 7))
+    def test_shift_period_four(self, a, k):
+        one = apply_op("v_shift", [a, complex(k % 4, 0)])
+        two = apply_op("v_shift", [a, complex(k % 4 + 4, 0)])
+        assert one == two

@@ -1,0 +1,225 @@
+"""DSL value types: every operation computes *and* traces."""
+
+import numpy as np
+import pytest
+
+from repro.arch.isa import OpCategory
+from repro.dsl import EITMatrix, EITScalar, EITVector, trace
+from repro.dsl.trace import DSLError
+from repro.ir import validate
+
+
+class TestScalars:
+    def test_literal_becomes_input_node(self):
+        with trace() as t:
+            s = EITScalar(3 + 1j)
+        assert s.value == 3 + 1j
+        assert s.node.category is OpCategory.SCALAR_DATA
+        assert t.graph.in_degree(s.node) == 0
+
+    def test_arithmetic_traces_and_computes(self):
+        with trace() as t:
+            a = EITScalar(6)
+            b = EITScalar(2)
+            c = a / b
+            d = c * 3
+            e = d - 1
+            f = e + 0.5
+        assert f.value == 8.5 + 0j
+        ops = {o.op.name for o in t.graph.op_nodes()}
+        assert {"s_div", "s_mul", "s_sub", "s_add"} <= ops
+        validate(t.graph)
+
+    def test_number_operands_autowrap(self):
+        with trace() as t:
+            a = EITScalar(4)
+            b = a + 1  # int becomes an input scalar node
+        assert b.value == 5 + 0j
+        assert len(t.graph.inputs()) == 2
+
+    def test_sqrt_rsqrt_recip(self):
+        with trace():
+            x = EITScalar(16)
+            assert x.sqrt().value == 4 + 0j
+            assert x.rsqrt().value == 0.25 + 0j
+            assert x.recip().value == pytest.approx(1 / 16)
+
+    def test_cordic(self):
+        import math
+
+        with trace():
+            z = EITScalar(1)
+            r = z.cordic_rot(math.pi)
+            assert abs(r.value - (-1)) < 1e-12
+            v = EITScalar(3 + 4j).cordic_vec()
+            assert v.value.real == pytest.approx(5.0)
+
+
+class TestVectors:
+    def test_literal_vector(self):
+        with trace() as t:
+            v = EITVector(1, 2, 3, 4)
+        assert v.values == (1 + 0j, 2 + 0j, 3 + 0j, 4 + 0j)
+        assert v.node.category is OpCategory.VECTOR_DATA
+
+    def test_vector_from_list(self):
+        with trace():
+            v = EITVector([1, 2, 3, 4])
+        assert v.values[3] == 4 + 0j
+
+    def test_wrong_width_rejected(self):
+        with trace():
+            with pytest.raises(DSLError):
+                EITVector(1, 2, 3)
+
+    def test_vector_of_scalars_creates_merge(self):
+        with trace() as t:
+            ss = [EITScalar(i) for i in range(4)]
+            v = EITVector(*ss)
+        assert v.values == (0j, 1 + 0j, 2 + 0j, 3 + 0j)
+        assert any(o.op.name == "merge" for o in t.graph.op_nodes())
+        validate(t.graph)
+
+    def test_elementwise_arithmetic(self):
+        with trace() as t:
+            a = EITVector(1, 2, 3, 4)
+            b = EITVector(4, 3, 2, 1)
+            assert (a + b).values == (5 + 0j,) * 4
+            assert (a - b).values == (-3 + 0j, -1 + 0j, 1 + 0j, 3 + 0j)
+            assert (a * b).values == (4 + 0j, 6 + 0j, 6 + 0j, 4 + 0j)
+        validate(t.graph)
+
+    def test_dot_products(self):
+        with trace():
+            a = EITVector(1j, 0, 0, 0)
+            b = EITVector(1j, 0, 0, 0)
+            assert a.dotP(b).value == -1 + 0j
+            assert a.cdotP(b).value == 1 + 0j
+
+    def test_scale_with_scalar_value(self):
+        with trace():
+            v = EITVector(1, 2, 3, 4).scale(EITScalar(2j))
+            assert v.values == (2j, 4j, 6j, 8j)
+
+    def test_axpy(self):
+        with trace():
+            x = EITVector(1, 1, 1, 1)
+            y = EITVector(0, 1, 2, 3)
+            r = x.axpy(2, y)
+            assert r.values == (2 + 0j, 3 + 0j, 4 + 0j, 5 + 0j)
+
+    def test_squsum(self):
+        with trace():
+            assert EITVector(3, 4, 0, 0).squsum().value == 25 + 0j
+
+    def test_conj_hermit(self):
+        with trace():
+            v = EITVector(1 + 1j, 2, 3, 4)
+            assert v.conj().values[0] == 1 - 1j
+            assert v.hermit().values[0] == 1 - 1j
+
+    def test_mask_sort_shift_neg(self):
+        with trace():
+            v = EITVector(4, 1, 3, 2)
+            assert v.mask(EITVector(1, 0, 1, 0)).values == (4 + 0j, 0j, 3 + 0j, 0j)
+            assert v.sort().values == (1 + 0j, 2 + 0j, 3 + 0j, 4 + 0j)
+            assert v.shift(1).values == (1 + 0j, 3 + 0j, 2 + 0j, 4 + 0j)
+            assert v.neg().values == (-4 + 0j, -1 + 0j, -3 + 0j, -2 + 0j)
+
+    def test_getitem_creates_index_node(self):
+        with trace() as t:
+            v = EITVector(5, 6, 7, 8)
+            s = v[2]
+        assert s.value == 7 + 0j
+        idx = next(o for o in t.graph.op_nodes() if o.op.name == "index")
+        assert idx.attrs["i"] == 2
+
+    def test_getitem_bounds(self):
+        with trace():
+            v = EITVector(1, 2, 3, 4)
+            with pytest.raises(IndexError):
+                v[4]
+
+
+class TestMatrices:
+    def rows(self):
+        return [EITVector(i + 1, i + 2, i + 3, i + 4) for i in range(4)]
+
+    def test_construction_and_row_access(self):
+        with trace():
+            A = EITMatrix(*self.rows())
+            assert A(0).values[0] == 1 + 0j  # Scala-style call
+            assert A[3].values[3] == 7 + 0j
+
+    def test_wrong_row_count(self):
+        with trace():
+            with pytest.raises(DSLError):
+                EITMatrix(EITVector(1, 2, 3, 4))
+
+    def test_col_access(self):
+        with trace() as t:
+            A = EITMatrix(*self.rows())
+            c = A.col(1)
+        assert c.values == (2 + 0j, 3 + 0j, 4 + 0j, 5 + 0j)
+        assert any(o.op.name == "col_access" for o in t.graph.op_nodes())
+
+    def test_matrix_add_produces_four_output_rows(self):
+        with trace() as t:
+            A = EITMatrix(*self.rows())
+            B = EITMatrix(*self.rows())
+            C = A + B
+        assert C(0).values == (2 + 0j, 4 + 0j, 6 + 0j, 8 + 0j)
+        m = next(o for o in t.graph.op_nodes() if o.op.name == "m_add")
+        assert t.graph.out_degree(m) == 4
+        validate(t.graph)
+
+    def test_matrix_sub_mul(self):
+        with trace():
+            A = EITMatrix(*self.rows())
+            assert (A - A)(2).values == (0j,) * 4
+            assert (A * A)(0).values == (1 + 0j, 4 + 0j, 9 + 0j, 16 + 0j)
+
+    def test_matrix_scale(self):
+        with trace():
+            A = EITMatrix(*self.rows())
+            assert A.scale(10)(0).values == (10 + 0j, 20 + 0j, 30 + 0j, 40 + 0j)
+
+    def test_m_squsum_matches_fig4(self):
+        with trace() as t:
+            A = EITMatrix(*self.rows())
+            v = A.squsum()
+        assert v.values == (30 + 0j, 54 + 0j, 86 + 0j, 126 + 0j)
+        assert any(o.op.name == "m_squsum" for o in t.graph.op_nodes())
+
+    def test_hermitian(self):
+        with trace():
+            A = EITMatrix(
+                EITVector(1j, 0, 0, 0),
+                EITVector(0, 2, 0, 0),
+                EITVector(0, 0, 3, 0),
+                EITVector(0, 0, 0, 4),
+            )
+            H = A.hermitian()
+            assert H(0).values[0] == -1j
+
+
+class TestTraceContext:
+    def test_values_require_active_trace(self):
+        with pytest.raises(DSLError):
+            EITVector(1, 2, 3, 4)
+
+    def test_nested_traces_are_independent(self):
+        with trace("outer") as outer:
+            EITVector(1, 2, 3, 4)
+            with trace("inner") as inner:
+                EITVector(1, 2, 3, 4)
+                EITVector(5, 6, 7, 8)
+            EITVector(5, 6, 7, 8)
+        assert outer.graph.n_nodes() == 2
+        assert inner.graph.n_nodes() == 2
+
+    def test_arity_mismatch_rejected(self):
+        with trace() as t:
+            v = EITVector(1, 2, 3, 4)
+            with pytest.raises(DSLError):
+                t.operation("v_add", [v.node], (0j,) * 4, OpCategory.VECTOR_DATA)

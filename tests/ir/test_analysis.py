@@ -1,0 +1,146 @@
+"""IR validation and critical-path tests."""
+
+import pytest
+
+from repro.arch.eit import DEFAULT_CONFIG, EITConfig
+from repro.arch.isa import OpCategory
+from repro.ir import critical_path, stats, validate
+from repro.ir.graph import Graph
+
+
+def chain(n_ops: int) -> Graph:
+    """a -> op -> d -> op -> d ... (n_ops vector ops in series)."""
+    g = Graph("chain")
+    prev = g.add_data(OpCategory.VECTOR_DATA, name="in")
+    fixed = g.add_data(OpCategory.VECTOR_DATA, name="in2")
+    for i in range(n_ops):
+        o = g.add_op("v_add", name=f"op{i}")
+        g.add_edge(prev, o)
+        g.add_edge(fixed, o)
+        prev = g.add_data(OpCategory.VECTOR_DATA, name=f"d{i}")
+        g.add_edge(o, prev)
+    return g
+
+
+class TestValidate:
+    def test_valid_chain(self):
+        validate(chain(3))
+
+    def test_cycle_rejected(self):
+        g = Graph()
+        d = g.add_data(OpCategory.VECTOR_DATA)
+        o = g.add_op("v_conj")
+        g.add_edge(d, o)
+        g.add_edge(o, d)
+        with pytest.raises(ValueError):
+            validate(g)
+
+    def test_bipartiteness_enforced(self):
+        g = Graph()
+        a = g.add_data(OpCategory.VECTOR_DATA)
+        b = g.add_data(OpCategory.VECTOR_DATA)
+        g.add_edge(a, b)  # data -> data
+        with pytest.raises(ValueError, match="bipartite"):
+            validate(g)
+
+    def test_multiple_producers_rejected(self):
+        g = Graph()
+        a = g.add_data(OpCategory.VECTOR_DATA)
+        o1 = g.add_op("v_conj")
+        o2 = g.add_op("v_conj")
+        d = g.add_data(OpCategory.VECTOR_DATA)
+        g.add_edge(a, o1)
+        g.add_edge(a, o2)
+        g.add_edge(o1, d)
+        g.add_edge(o2, d)
+        with pytest.raises(ValueError, match="producers"):
+            validate(g)
+
+    def test_op_without_output_rejected(self):
+        g = Graph()
+        a = g.add_data(OpCategory.VECTOR_DATA)
+        o = g.add_op("v_conj")
+        g.add_edge(a, o)
+        with pytest.raises(ValueError, match="outputs"):
+            validate(g)
+
+    def test_op_without_input_rejected(self):
+        g = Graph()
+        o = g.add_op("v_conj")
+        d = g.add_data(OpCategory.VECTOR_DATA)
+        g.add_edge(o, d)
+        with pytest.raises(ValueError, match="inputs"):
+            validate(g)
+
+    def test_matrix_op_may_have_four_outputs(self):
+        g = Graph()
+        ins = [g.add_data(OpCategory.VECTOR_DATA) for _ in range(8)]
+        m = g.add_op("m_add")
+        for d in ins:
+            g.add_edge(d, m)
+        for _ in range(4):
+            g.add_edge(m, g.add_data(OpCategory.VECTOR_DATA))
+        validate(g)
+
+    def test_vector_op_with_two_outputs_rejected(self):
+        g = Graph()
+        a = g.add_data(OpCategory.VECTOR_DATA)
+        o = g.add_op("v_conj")
+        g.add_edge(a, o)
+        g.add_edge(o, g.add_data(OpCategory.VECTOR_DATA))
+        g.add_edge(o, g.add_data(OpCategory.VECTOR_DATA))
+        with pytest.raises(ValueError):
+            validate(g)
+
+
+class TestCriticalPath:
+    def test_chain_length(self):
+        g = chain(5)
+        length, path = critical_path(g)
+        assert length == 5 * DEFAULT_CONFIG.pipeline_depth
+        # the path ends at the chain's tail (the last op or its datum,
+        # which complete at the same cycle)
+        assert path[-1].name in ("d4", "op4")
+
+    def test_respects_config(self):
+        g = chain(3)
+        deep = EITConfig(pipeline_depth=10)
+        length, _ = critical_path(g, deep)
+        assert length == 30
+
+    def test_empty_graph(self):
+        assert critical_path(Graph())[0] == 0
+
+    def test_diamond_takes_longest_branch(self):
+        g = Graph("diamond")
+        src = g.add_data(OpCategory.VECTOR_DATA)
+        # short branch: one op; long branch: two ops
+        o1 = g.add_op("v_conj")
+        d1 = g.add_data(OpCategory.VECTOR_DATA)
+        g.add_edge(src, o1)
+        g.add_edge(o1, d1)
+        o2 = g.add_op("v_conj")
+        d2 = g.add_data(OpCategory.VECTOR_DATA)
+        g.add_edge(d1, o2)
+        g.add_edge(o2, d2)
+        join = g.add_op("v_add")
+        out = g.add_data(OpCategory.VECTOR_DATA)
+        g.add_edge(d2, join)
+        g.add_edge(src, join)
+        g.add_edge(join, out)
+        length, _ = critical_path(g)
+        assert length == 21  # three 7-cycle ops in series
+
+
+class TestStats:
+    def test_matmul_matches_table3(self):
+        from repro.apps import build_matmul
+
+        st = stats(build_matmul())
+        assert st.as_tuple() == (44, 68, 8)
+
+    def test_fields(self):
+        st = stats(chain(2))
+        assert st.n_nodes == 6  # 2 inputs + 2 ops + 2 data
+        assert st.n_ops == 2
+        assert st.n_vector_data == 4

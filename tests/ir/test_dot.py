@@ -1,0 +1,33 @@
+"""DOT export (figure 3 style)."""
+
+from repro.apps import build_matmul
+from repro.ir import merge_pipeline_ops, to_dot
+from repro.apps import build_qrd
+
+
+class TestDot:
+    def test_valid_digraph_syntax(self):
+        dot = to_dot(build_matmul())
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+    def test_shapes_follow_figure3(self):
+        dot = to_dot(build_matmul())
+        assert "shape=oval" in dot  # operations
+        assert "shape=box" in dot  # data
+
+    def test_every_node_and_edge_present(self):
+        g = build_matmul()
+        dot = to_dot(g)
+        assert dot.count("->") == g.n_edges()
+        for n in g.nodes():
+            assert f"n{n.nid} [" in dot
+
+    def test_merged_labels(self):
+        g = merge_pipeline_ops(build_qrd())
+        dot = to_dot(g)
+        assert "v_conj|v_dotP" in dot
+
+    def test_title_escaping(self):
+        dot = to_dot(build_matmul(), 'has "quotes"')
+        assert '\\"quotes\\"' in dot

@@ -1,0 +1,64 @@
+"""Functional graph evaluation (the streaming/property-test oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import build_matmul, matmul
+from repro.dsl import EITVector, trace
+from repro.ir import evaluate, merge_pipeline_ops
+
+
+class TestEvaluate:
+    def test_reproduces_trace_values(self):
+        g = build_matmul()
+        values = evaluate(g)
+        for d in g.data_nodes():
+            assert np.allclose(
+                np.asarray(values[d.nid]), np.asarray(d.value)
+            )
+
+    def test_merged_graphs(self):
+        with trace() as t:
+            a = EITVector(1 + 1j, 2, 3, 4)
+            b = EITVector(1, 1, 1, 1)
+            a.conj().dotP(b)
+        g = merge_pipeline_ops(t.graph)
+        values = evaluate(g)
+        out = g.outputs()[0]
+        assert values[out.nid] == out.value
+
+    def test_substituted_inputs(self):
+        g = build_matmul()
+        eye = {
+            d.nid: tuple(1.0 + 0j if i == k else 0j for i in range(4))
+            for k, d in enumerate(g.inputs())
+        }
+        values = evaluate(g, eye)
+        # identity times its transpose is the identity
+        outs = sorted(g.outputs(), key=lambda d: d.name)
+        got = np.array([values[d.nid] for d in outs])
+        assert np.allclose(got, np.eye(4))
+
+    def test_missing_input_value_rejected(self):
+        from repro.arch.isa import OpCategory
+        from repro.ir.graph import Graph
+
+        g = Graph()
+        d = g.add_data(OpCategory.VECTOR_DATA, name="blank")  # no value
+        o = g.add_op("v_conj")
+        g.add_edge(d, o)
+        g.add_edge(o, g.add_data(OpCategory.VECTOR_DATA))
+        with pytest.raises(ValueError, match="blank"):
+            evaluate(g)
+
+    def test_matrix_multi_output(self):
+        from repro.dsl.values import EITMatrix
+
+        with trace() as t:
+            rows = [EITVector(i, i + 1, i + 2, i + 3) for i in range(4)]
+            A = EITMatrix(*rows)
+            A + A
+        values = evaluate(t.graph)
+        m = next(o for o in t.graph.op_nodes() if o.op.name == "m_add")
+        for out in t.graph.succs(m):
+            assert values[out.nid] == out.value

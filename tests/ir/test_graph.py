@@ -1,0 +1,176 @@
+"""IR graph structure tests."""
+
+import pytest
+
+from repro.arch.isa import OpCategory
+from repro.ir.graph import Graph
+
+
+def tiny():
+    """in -> v_conj -> d1 -> v_dotP(d1, in2) -> d2"""
+    g = Graph("tiny")
+    a = g.add_data(OpCategory.VECTOR_DATA, name="a")
+    b = g.add_data(OpCategory.VECTOR_DATA, name="b")
+    conj = g.add_op("v_conj")
+    d1 = g.add_data(OpCategory.VECTOR_DATA, name="d1")
+    dot = g.add_op("v_dotP")
+    d2 = g.add_data(OpCategory.SCALAR_DATA, name="d2")
+    g.add_edge(a, conj)
+    g.add_edge(conj, d1)
+    g.add_edge(d1, dot)
+    g.add_edge(b, dot)
+    g.add_edge(dot, d2)
+    return g, (a, b, conj, d1, dot, d2)
+
+
+class TestConstruction:
+    def test_counts(self):
+        g, _ = tiny()
+        assert g.n_nodes() == 6 and g.n_edges() == 5
+
+    def test_categories(self):
+        g, (a, b, conj, d1, dot, d2) = tiny()
+        assert conj.category is OpCategory.VECTOR_OP
+        assert d2.category is OpCategory.SCALAR_DATA
+        assert conj.is_op and not conj.is_data
+        assert d1.is_data
+
+    def test_add_data_rejects_op_category(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_data(OpCategory.VECTOR_OP)
+
+    def test_unique_ids(self):
+        g, nodes = tiny()
+        assert len({n.nid for n in nodes}) == 6
+
+    def test_add_edge_foreign_node_rejected(self):
+        g1, (a, *_) = tiny()
+        g2 = Graph()
+        with pytest.raises(ValueError):
+            g2.add_edge(a, a)
+
+
+class TestQueries:
+    def test_preds_succs(self):
+        g, (a, b, conj, d1, dot, d2) = tiny()
+        assert g.preds(dot) == [d1, b]
+        assert g.succs(conj) == [d1]
+
+    def test_inputs_outputs(self):
+        g, (a, b, *_, d2) = tiny()
+        assert set(g.inputs()) == {a, b}
+        assert g.outputs() == [d2]
+
+    def test_producer(self):
+        g, (a, b, conj, d1, dot, d2) = tiny()
+        assert g.producer(d1) is conj
+        assert g.producer(a) is None
+
+    def test_result(self):
+        g, (a, b, conj, d1, dot, d2) = tiny()
+        assert g.result(conj) is d1
+        assert g.result(dot) is d2
+
+    def test_topological_order(self):
+        g, nodes = tiny()
+        order = {n.nid: i for i, n in enumerate(g.topological_order())}
+        for u, v in g.edges():
+            assert order[u.nid] < order[v.nid]
+
+    def test_cycle_detection(self):
+        g = Graph()
+        a = g.add_data(OpCategory.VECTOR_DATA)
+        o = g.add_op("v_conj")
+        g.add_edge(a, o)
+        g.add_edge(o, a)  # cycle
+        with pytest.raises(ValueError):
+            g.topological_order()
+
+    def test_nodes_of(self):
+        g, _ = tiny()
+        assert len(g.nodes_of(OpCategory.VECTOR_DATA)) == 3
+        assert len(g.nodes_of(OpCategory.VECTOR_OP, OpCategory.SCALAR_DATA)) == 3
+
+
+class TestMutation:
+    def test_remove_node_cleans_edges(self):
+        g, (a, b, conj, d1, dot, d2) = tiny()
+        g.remove_node(d1)
+        assert g.n_nodes() == 5
+        assert g.succs(conj) == []
+        assert g.preds(dot) == [b]
+
+    def test_redirect_edge(self):
+        g, (a, b, conj, d1, dot, d2) = tiny()
+        g.redirect_edge(b, dot, conj)
+        assert b not in g.preds(dot)
+        assert b in g.preds(conj)
+
+    def test_copy_is_deep_structurally(self):
+        g, (a, *_ ) = tiny()
+        c = g.copy()
+        assert c.n_nodes() == g.n_nodes() and c.n_edges() == g.n_edges()
+        c.remove_node(next(iter(c.nodes())))
+        assert c.n_nodes() == g.n_nodes() - 1  # original untouched
+
+    def test_copy_preserves_values_and_attrs(self):
+        g = Graph()
+        d = g.add_data(OpCategory.VECTOR_DATA, value=(1j, 0j, 0j, 0j), tag=3)
+        c = g.copy()
+        cd = next(iter(c.data_nodes()))
+        assert cd.value == (1j, 0j, 0j, 0j)
+        assert cd.attrs["tag"] == 3
+
+
+class TestOperandOrderPreservation:
+    """Regression: copy() and XML round-trips must keep operand order.
+
+    Operand order is semantics (v_sub, v_scale, s_div, ...).  The bug
+    this guards against: a consumer whose *second* operand was created
+    before its first had its predecessors re-sorted by node id.
+    """
+
+    def build(self):
+        g = Graph("order")
+        first = g.add_data(OpCategory.VECTOR_DATA, name="later_operand")
+        second = g.add_data(OpCategory.VECTOR_DATA, name="earlier_operand")
+        op = g.add_op("v_sub")
+        out = g.add_data(OpCategory.VECTOR_DATA, name="out")
+        # deliberately connect the *newer* node as the first operand
+        g.add_edge(second, op)
+        g.add_edge(first, op)
+        g.add_edge(op, out)
+        return g, op
+
+    def test_copy_preserves_pred_order(self):
+        g, op = self.build()
+        c = g.copy()
+        cop = next(o for o in c.op_nodes())
+        assert [p.name for p in c.preds(cop)] == [
+            "earlier_operand", "later_operand",
+        ]
+
+    def test_xml_roundtrip_preserves_pred_order(self):
+        from repro.ir import from_xml, to_xml
+
+        g, op = self.build()
+        c = from_xml(to_xml(g))
+        cop = next(o for o in c.op_nodes())
+        assert [p.name for p in c.preds(cop)] == [
+            "earlier_operand", "later_operand",
+        ]
+
+    def test_matrix_output_order_preserved_by_copy(self):
+        g = Graph("rows")
+        ins = [g.add_data(OpCategory.VECTOR_DATA, name=f"i{k}") for k in range(8)]
+        m = g.add_op("m_add")
+        for d in ins:
+            g.add_edge(d, m)
+        outs = [g.add_data(OpCategory.VECTOR_DATA, name=f"row{k}") for k in range(4)]
+        # connect outputs in reverse creation order
+        for d in reversed(outs):
+            g.add_edge(m, d)
+        c = g.copy()
+        cm = next(o for o in c.op_nodes())
+        assert [s.name for s in c.succs(cm)] == ["row3", "row2", "row1", "row0"]

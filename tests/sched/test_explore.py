@@ -1,0 +1,69 @@
+"""Design-space exploration API."""
+
+import pytest
+
+from repro.apps import build_matmul
+from repro.arch.eit import EITConfig
+from repro.sched.explore import (
+    STANDARD_PROFILES,
+    DesignPoint,
+    explore,
+    pareto_front,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return explore(
+        {"matmul": build_matmul},
+        profiles={
+            "eit": STANDARD_PROFILES["eit"],
+            "narrow2": STANDARD_PROFILES["narrow2"],
+            "wide8": STANDARD_PROFILES["wide8"],
+        },
+        timeout_ms=20_000,
+        modulo_timeout_ms=20_000,
+    )
+
+
+class TestExplore:
+    def test_one_point_per_pair(self, sweep):
+        assert len(sweep) == 3
+        assert {p.profile for p in sweep} == {"eit", "narrow2", "wide8"}
+
+    def test_lane_scaling_shows(self, sweep):
+        by = {p.profile: p for p in sweep}
+        assert by["narrow2"].modulo_ii > by["eit"].modulo_ii
+        assert by["wide8"].modulo_ii <= by["eit"].modulo_ii
+
+    def test_all_feasible(self, sweep):
+        assert all(p.feasible for p in sweep)
+
+    def test_infeasible_point_reported_not_raised(self):
+        # 2-slot memory cannot hold matmul's live set
+        points = explore(
+            {"matmul": build_matmul},
+            profiles={"tiny": EITConfig(n_slots=2)},
+            timeout_ms=3_000,
+            modulo_timeout_ms=3_000,
+        )
+        assert len(points) == 1
+        assert not points[0].feasible
+
+    def test_pareto_front(self, sweep):
+        front = pareto_front(sweep, "matmul")
+        assert front  # non-empty
+        # nothing on the front is dominated by another sweep point
+        for p in front:
+            for q in sweep:
+                if not q.feasible or q.modulo_ii <= 0:
+                    continue
+                assert not (
+                    q.makespan <= p.makespan
+                    and q.modulo_ii <= p.modulo_ii
+                    and (q.makespan < p.makespan or q.modulo_ii < p.modulo_ii)
+                )
+
+    def test_standard_profiles_valid(self):
+        for cfg in STANDARD_PROFILES.values():
+            assert cfg.n_lanes >= 1

@@ -1,0 +1,125 @@
+"""ScheduleModel internals: the constraints of section 3.3 one by one."""
+
+import pytest
+
+from repro.arch.eit import DEFAULT_CONFIG, EITConfig
+from repro.arch.isa import OpCategory
+from repro.cp import Inconsistency
+from repro.dsl import EITVector, trace
+from repro.ir.graph import Graph
+from repro.sched.model import ScheduleModel
+
+
+def chain_graph(n=3):
+    with trace("chain") as t:
+        v = EITVector(1, 2, 3, 4)
+        w = EITVector(4, 3, 2, 1)
+        for _ in range(n):
+            v = v + w
+    return t.graph
+
+
+class TestEq1Precedence:
+    def test_root_propagation_orders_chain(self):
+        g = chain_graph(3)
+        m = ScheduleModel(g, with_memory=False)
+        ops = sorted(g.op_nodes(), key=lambda o: o.nid)
+        # each consumer's start already bounded by the chain of latencies
+        assert m.start[ops[1].nid].min() >= 7
+        assert m.start[ops[2].nid].min() >= 14
+
+    def test_makespan_lower_bound_is_critical_path(self):
+        from repro.ir import critical_path
+
+        g = chain_graph(4)
+        m = ScheduleModel(g, with_memory=False)
+        assert m.makespan.min() >= critical_path(g)[0]
+
+
+class TestEq4DataStarts:
+    def test_data_equals_producer_plus_latency(self):
+        g = chain_graph(1)
+        m = ScheduleModel(g, with_memory=False)
+        op = g.op_nodes()[0]
+        out = g.result(op)
+        m.store.assign(m.start[op.nid], 3)
+        m.store.propagate()
+        assert m.start[out.nid].value() == 3 + DEFAULT_CONFIG.pipeline_depth
+
+    def test_inputs_fixed_at_zero(self):
+        g = chain_graph(1)
+        m = ScheduleModel(g, with_memory=False)
+        for d in g.inputs():
+            assert m.start[d.nid].is_assigned()
+            assert m.start[d.nid].value() == 0
+
+
+class TestEq3ConfigExclusivity:
+    def test_different_ops_cannot_share_cycle(self):
+        with trace() as t:
+            a = EITVector(1, 1, 1, 1)
+            b = EITVector(2, 2, 2, 2)
+            a + b  # v_add
+            a * b  # v_mul
+        m = ScheduleModel(t.graph, with_memory=False)
+        add = next(o for o in t.graph.op_nodes() if o.op.name == "v_add")
+        mul = next(o for o in t.graph.op_nodes() if o.op.name == "v_mul")
+        m.store.assign(m.start[add.nid], 0)
+        m.store.propagate()
+        assert 0 not in m.start[mul.nid].domain
+
+    def test_same_op_can_share_cycle(self):
+        with trace() as t:
+            a = EITVector(1, 1, 1, 1)
+            b = EITVector(2, 2, 2, 2)
+            a + b
+            b + a
+        m = ScheduleModel(t.graph, with_memory=False)
+        adds = [o for o in t.graph.op_nodes() if o.op.name == "v_add"]
+        m.store.assign(m.start[adds[0].nid], 0)
+        m.store.propagate()
+        assert 0 in m.start[adds[1].nid].domain
+
+
+class TestEq2Lanes:
+    def test_fifth_same_op_pushed_out(self):
+        with trace() as t:
+            a = EITVector(1, 1, 1, 1)
+            b = EITVector(2, 2, 2, 2)
+            for _ in range(5):
+                a + b
+        m = ScheduleModel(t.graph, with_memory=False)
+        adds = [o for o in t.graph.op_nodes() if o.op.name == "v_add"]
+        for o in adds[:4]:
+            m.store.assign(m.start[o.nid], 0)
+        m.store.propagate()
+        assert 0 not in m.start[adds[4].nid].domain
+
+    def test_matrix_op_blocks_whole_core(self):
+        from repro.dsl.values import EITMatrix
+
+        with trace() as t:
+            rows = [EITVector(i, i, i, i) for i in range(4)]
+            A = EITMatrix(*rows)
+            A.squsum()  # matrix op: 4 lanes
+            rows[0] + rows[1]  # vector op
+        m = ScheduleModel(t.graph, with_memory=False)
+        mat = next(o for o in t.graph.op_nodes() if o.op.name == "m_squsum")
+        add = next(o for o in t.graph.op_nodes() if o.op.name == "v_add")
+        m.store.assign(m.start[mat.nid], 0)
+        m.store.propagate()
+        assert 0 not in m.start[add.nid].domain
+
+
+class TestHorizon:
+    def test_default_horizon_exceeds_greedy(self):
+        from repro.sched import greedy_schedule
+
+        g = chain_graph(3)
+        m = ScheduleModel(g, with_memory=False)
+        assert m.horizon >= greedy_schedule(g).makespan
+
+    def test_tight_explicit_horizon_can_be_infeasible(self):
+        g = chain_graph(3)
+        with pytest.raises(Inconsistency):
+            ScheduleModel(g, horizon=5, with_memory=False)  # CP is 21

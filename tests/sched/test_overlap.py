@@ -1,0 +1,109 @@
+"""Overlapped execution (section 4.3, Table 2)."""
+
+import pytest
+
+from repro.apps import build_matmul, build_qrd
+from repro.arch.eit import DEFAULT_CONFIG
+from repro.ir import merge_pipeline_ops
+from repro.sched import (
+    instruction_blocks,
+    overlap_blocks,
+    overlap_iterations,
+    schedule,
+)
+
+
+@pytest.fixture(scope="module")
+def qrd_sched():
+    return schedule(merge_pipeline_ops(build_qrd()), timeout_ms=60_000)
+
+
+@pytest.fixture(scope="module")
+def matmul_sched():
+    return schedule(merge_pipeline_ops(build_matmul()), timeout_ms=60_000)
+
+
+class TestInstructionBlocks:
+    def test_one_block_per_issue_cycle(self, qrd_sched):
+        blocks = instruction_blocks(qrd_sched)
+        assert len(blocks) == len(qrd_sched.issue_map())
+
+    def test_blocks_in_issue_order(self, qrd_sched):
+        blocks = instruction_blocks(qrd_sched)
+        assert [b.index for b in blocks] == list(range(len(blocks)))
+
+    def test_single_config_per_block(self, qrd_sched):
+        for b in instruction_blocks(qrd_sched):
+            configs = {
+                o.config_class
+                for o in b.ops
+                if o.op.resource.value == "vector_core"
+            }
+            assert len(configs) <= 1
+
+
+class TestOverlap:
+    def test_latency_masking(self, qrd_sched):
+        """With M >= pipeline depth, per-iteration cost approaches the
+        instruction count: length ~ M * n_instr + overheads."""
+        M = 12
+        r = overlap_iterations(qrd_sched, M)
+        assert r.schedule_length >= M * r.n_instructions
+        overhead = r.schedule_length - M * r.n_instructions
+        assert overhead < r.n_instructions + 3 * M  # stalls/reconfigs bounded
+
+    def test_throughput_improves_with_m(self, qrd_sched):
+        t1 = overlap_iterations(qrd_sched, 1).throughput
+        t12 = overlap_iterations(qrd_sched, 12).throughput
+        assert t12 > t1
+
+    def test_reconfigs_bounded_by_instructions(self, qrd_sched):
+        r = overlap_iterations(qrd_sched, 12)
+        assert r.n_reconfigurations <= r.n_instructions
+
+    def test_reconfigs_per_iteration(self, qrd_sched):
+        r = overlap_iterations(qrd_sched, 12)
+        assert r.reconfigs_per_iteration == pytest.approx(
+            r.n_reconfigurations / 12
+        )
+
+    def test_matmul_single_config(self, matmul_sched):
+        r = overlap_iterations(matmul_sched, 8)
+        # dotPs all share a configuration; merges don't reconfigure the
+        # vector core: a single configuration load overall
+        assert r.n_reconfigurations == 1
+
+    def test_m_one_degenerates_to_sequence(self, qrd_sched):
+        r = overlap_iterations(qrd_sched, 1)
+        assert r.schedule_length >= qrd_sched.makespan  # no masking at M=1
+
+    def test_invalid_m(self, qrd_sched):
+        with pytest.raises(ValueError):
+            overlap_iterations(qrd_sched, 0)
+
+    def test_block_starts_monotone(self, qrd_sched):
+        r = overlap_iterations(qrd_sched, 12)
+        assert all(a < b for a, b in zip(r.block_starts, r.block_starts[1:]))
+
+    def test_dependency_gap_honored(self, qrd_sched):
+        """Every data dependency's latency appears between block starts."""
+        from repro.sched.overlap import _block_dependencies
+
+        blocks = instruction_blocks(qrd_sched)
+        r = overlap_iterations(qrd_sched, 12)
+        deps = _block_dependencies(qrd_sched.graph, blocks, qrd_sched.cfg)
+        for b in blocks:
+            for pb, gap in deps[b.index]:
+                assert r.block_starts[b.index] >= r.block_starts[pb] + gap
+
+    def test_output_window_and_burstiness(self, qrd_sched):
+        r = overlap_iterations(qrd_sched, 12)
+        lo, hi = r.output_window
+        assert 0 < lo <= hi <= r.schedule_length
+        assert 0 < r.burstiness <= 1
+
+    def test_overlap_blocks_empty(self):
+        from repro.ir.graph import Graph
+
+        r = overlap_blocks(Graph(), [], 4)
+        assert r.schedule_length == 0 and r.n_instructions == 0

@@ -1,0 +1,55 @@
+"""The `python -m repro.bench` CLI and harness helpers."""
+
+import pytest
+
+from repro.bench.__main__ import main
+from repro.bench.harness import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bbb"], [[1, 2.5], [10, 0.125]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.123456]])
+        assert "0.123" in out
+
+
+class TestCli:
+    def test_fig8(self, capsys):
+        assert main(["fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "matrix A" in out and "NOT accessible" in out
+        assert "matrix C" in out and "1-cycle accessible" in out
+
+    def test_fig45(self, capsys):
+        assert main(["fig45"]) == 0
+        out = capsys.readouterr().out
+        assert "matrix_form" in out and "vector_form" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "before" in out and "after" in out
+
+    def test_table1_small(self, capsys):
+        assert main(["table1", "--sizes", "64,16", "--timeout", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule length" in out
+        assert "optimal" in out
+
+    def test_table3_matmul_only(self, capsys):
+        assert main(["table3", "--kernels", "matmul", "--timeout", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "MATMUL" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tableX"])

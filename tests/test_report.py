@@ -1,0 +1,83 @@
+"""Schedule report rendering."""
+
+import pytest
+
+from repro.apps import build_matmul, build_arf
+from repro.ir import merge_pipeline_ops
+from repro.report import gantt, memory_map, modulo_window, schedule_summary
+from repro.sched import schedule
+from repro.sched.modulo import modulo_schedule
+
+
+@pytest.fixture(scope="module")
+def matmul_sched():
+    return schedule(merge_pipeline_ops(build_matmul()), timeout_ms=60_000)
+
+
+class TestGantt:
+    def test_contains_all_unit_rows(self, matmul_sched):
+        text = gantt(matmul_sched)
+        for row in ("lane 0", "lane 3", "scalar", "idx/mrg", "reconfig"):
+            assert row in text
+
+    def test_marks_issues(self, matmul_sched):
+        text = gantt(matmul_sched)
+        # dotPs marked 'v', merges 'm'
+        assert "v" in text and "m" in text
+
+    def test_clipping(self, matmul_sched):
+        text = gantt(matmul_sched, max_cycles=4)
+        assert "clipped" in text
+
+    def test_lane_packing_visible(self, matmul_sched):
+        # cycle 0 issues 4 dotPs: all four lane rows marked at column 0
+        lines = {
+            l.split()[0] + l.split()[1]: l for l in gantt(matmul_sched).splitlines()
+            if l.startswith("lane")
+        }
+        col0 = [lines[f"lane{i}"].replace(f"lane {i}   ", "")[0] for i in range(4)]
+        assert col0 == ["v", "v", "v", "v"]
+
+
+class TestMemoryMap:
+    def test_rows_per_used_slot(self, matmul_sched):
+        text = memory_map(matmul_sched)
+        assert text.count("slot ") == matmul_sched.slots_used()
+
+    def test_no_overlap_markers(self, matmul_sched):
+        # '!' would mean two live vectors share a slot — Diff2 forbids it
+        body = memory_map(matmul_sched).rsplit("legend:", 1)[0]
+        assert "!" not in body
+
+    def test_legend_present(self, matmul_sched):
+        assert "legend:" in memory_map(matmul_sched)
+
+    def test_no_allocation_message(self):
+        s = schedule(
+            merge_pipeline_ops(build_matmul()),
+            with_memory=False,
+            timeout_ms=30_000,
+        )
+        assert "no memory allocation" in memory_map(s)
+
+
+class TestModuloWindow:
+    def test_window_rows(self):
+        g = merge_pipeline_ops(build_arf())
+        r = modulo_schedule(g, timeout_ms=60_000)
+        text = modulo_window(r, g)
+        assert f"II = {r.ii}" in text
+        assert text.count("o=") == r.ii
+
+    def test_unfound(self):
+        g = merge_pipeline_ops(build_matmul())
+        r = modulo_schedule(g, max_ii=2, timeout_ms=5_000)
+        assert "no modulo schedule" in modulo_window(r, g)
+
+
+class TestSummary:
+    def test_mentions_key_numbers(self, matmul_sched):
+        s = schedule_summary(matmul_sched)
+        assert "matmul" in s
+        assert str(matmul_sched.makespan) in s
+        assert "slots" in s
