@@ -96,3 +96,43 @@ def test_bench_qrd_schedule_solve(benchmark):
         return s
 
     benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+# Seed-engine throughput on the QRD solve (FIFO queue, no event typing,
+# full Diff2 rescans): the reference this engine is measured against.
+SEED_QRD_NODES_PER_SEC = 239.0
+
+
+def test_bench_qrd_node_throughput(benchmark):
+    """Node throughput (nodes/sec) of the full QRD solve.
+
+    The acceptance bar for the event-driven engine: at least 2x the
+    seed's 239 nodes/sec.  The measured value and the baseline are
+    recorded in the benchmark JSON (``extra_info``) so the history is
+    tracked, and asserted so CI fails on a >=50% regression of the win.
+    """
+    from repro.apps import build_qrd
+    from repro.ir import merge_pipeline_ops
+    from repro.sched import schedule
+
+    g = merge_pipeline_ops(build_qrd())
+
+    def run():
+        s = schedule(g, timeout_ms=60_000)
+        assert s.status.value == "optimal"
+        return s
+
+    s = benchmark.pedantic(run, rounds=3, iterations=1)
+    st = s.search_stats
+    nps = st.nodes_per_sec()
+    benchmark.extra_info["nodes"] = st.nodes
+    benchmark.extra_info["nodes_per_sec"] = round(nps, 1)
+    benchmark.extra_info["seed_nodes_per_sec"] = SEED_QRD_NODES_PER_SEC
+    benchmark.extra_info["speedup_vs_seed"] = round(
+        nps / SEED_QRD_NODES_PER_SEC, 2
+    )
+    benchmark.extra_info["propagations"] = st.propagations
+    assert nps >= 2.0 * SEED_QRD_NODES_PER_SEC, (
+        f"node throughput {nps:.0f}/s below 2x seed "
+        f"({SEED_QRD_NODES_PER_SEC}/s)"
+    )

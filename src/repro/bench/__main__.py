@@ -6,12 +6,14 @@ Usage::
     python -m repro.bench table2 [--iterations 12]
     python -m repro.bench table3 [--kernels qrd,arf,matmul] [--timeout 600]
     python -m repro.bench fig3 | fig45 | fig6 | fig8
+    python -m repro.bench profile [--profile-kernel qrd] [--out stats.json]
     python -m repro.bench all
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.bench.harness import (
@@ -22,6 +24,7 @@ from repro.bench.harness import (
     print_table1,
     print_table2,
     print_table3,
+    profile_solver,
     table1_memory_sweep,
     table2_overlap,
     table3_modulo,
@@ -31,7 +34,8 @@ from repro.bench.harness import (
 def main(argv=None) -> int:
     p = argparse.ArgumentParser(prog="python -m repro.bench")
     p.add_argument("experiment", choices=[
-        "table1", "table2", "table3", "fig3", "fig45", "fig6", "fig8", "all",
+        "table1", "table2", "table3", "fig3", "fig45", "fig6", "fig8",
+        "profile", "all",
     ])
     p.add_argument("--sizes", default="64,32,16,10",
                    help="memory sizes for table1 (comma-separated)")
@@ -41,6 +45,10 @@ def main(argv=None) -> int:
                    help="kernels for table3")
     p.add_argument("--timeout", type=float, default=120.0,
                    help="solver budget per experiment, seconds")
+    p.add_argument("--profile-kernel", default="qrd",
+                   help="kernel for the profile experiment")
+    p.add_argument("--out", default=None,
+                   help="write profile JSON here instead of stdout")
     args = p.parse_args(argv)
 
     todo = (
@@ -78,6 +86,20 @@ def main(argv=None) -> int:
             for name, (slots, ok, reason) in fig8_memory().items():
                 verdict = "1-cycle accessible" if ok else f"NOT accessible ({reason})"
                 print(f"matrix {name}: slots {slots}: {verdict}")
+        elif exp == "profile":
+            payload = json.dumps(
+                profile_solver(
+                    kernel=args.profile_kernel,
+                    timeout_ms=args.timeout * 1000,
+                ),
+                indent=2,
+            )
+            if args.out:
+                with open(args.out, "w") as f:
+                    f.write(payload + "\n")
+                print(f"wrote {args.out}")
+            else:
+                print(payload)
         print()
     return 0
 

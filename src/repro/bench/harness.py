@@ -61,6 +61,8 @@ class Table1Row:
     n_slots_used: int
     opt_time_ms: float
     status: str
+    nodes: int = 0
+    failures: int = 0
 
 
 def table1_memory_sweep(
@@ -85,6 +87,7 @@ def table1_memory_sweep(
     rows = []
     for n in sizes:
         s = schedule(g, cfg=cfg, n_slots=n, timeout_ms=timeout_ms)
+        st = s.search_stats
         rows.append(
             Table1Row(
                 n_slots_available=n,
@@ -92,6 +95,8 @@ def table1_memory_sweep(
                 n_slots_used=s.slots_used() if s.starts else 0,
                 opt_time_ms=s.solve_time_ms,
                 status=s.status.value,
+                nodes=st.nodes if st else 0,
+                failures=st.failures if st else 0,
             )
         )
     return rows, props
@@ -103,14 +108,47 @@ def print_table1(rows: List[Table1Row], props: Dict[str, int]) -> str:
         f"|Cr.P| = {props['CrP']}, # v_data = {props['v_data']}\n"
     )
     body = format_table(
-        ["schedule length (cc)", "#slots available", "#slots used", "opt. time (ms)", "status"],
+        ["schedule length (cc)", "#slots available", "#slots used",
+         "opt. time (ms)", "nodes", "status"],
         [
             [r.schedule_length, r.n_slots_available, r.n_slots_used,
-             round(r.opt_time_ms), r.status]
+             round(r.opt_time_ms), r.nodes, r.status]
             for r in rows
         ],
     )
     return header + body
+
+
+# ----------------------------------------------------------------------
+# Solver profiling: one kernel, full SolverStats as JSON-ready dict
+# ----------------------------------------------------------------------
+def profile_solver(
+    kernel: str = "qrd",
+    n_slots: Optional[int] = None,
+    timeout_ms: float = 60_000.0,
+    cfg: EITConfig = DEFAULT_CONFIG,
+) -> Dict[str, object]:
+    """Schedule one kernel and return its full solver telemetry.
+
+    The returned dict is JSON-serializable: kernel identity, schedule
+    outcome, and the complete :class:`repro.cp.stats.SolverStats` dump
+    (nodes, failures, propagation counts per constraint class, per-phase
+    node/time split, incumbent timeline).  This is what the CI
+    quick-profile job uploads so solver-performance regressions show up
+    in artifacts, not anecdotes.
+    """
+    g = prepared(kernel)
+    s = schedule(g, cfg=cfg, n_slots=n_slots, timeout_ms=timeout_ms)
+    out: Dict[str, object] = {
+        "kernel": kernel,
+        "n_slots": n_slots if n_slots is not None else cfg.n_slots,
+        "status": s.status.value,
+        "makespan": s.makespan,
+        "fallback": s.fallback,
+        "solve_time_ms": s.solve_time_ms,
+        "solver_stats": s.search_stats.as_dict() if s.search_stats else None,
+    }
+    return out
 
 
 # ----------------------------------------------------------------------

@@ -24,14 +24,18 @@ Design notes
   trails the previous domain so search can backtrack in O(changes).
 * Constraints are propagators: objects with a ``propagate(store)`` method
   that prune variable domains and raise :class:`~repro.cp.engine.Inconsistency`
-  on wipe-out.  A FIFO queue runs propagators to fixpoint.
+  on wipe-out.  Propagators subscribe to typed domain events
+  (:class:`~repro.cp.engine.Event`: MIN / MAX / ASSIGN / DOMAIN) and are
+  scheduled through priority buckets — cheap arithmetic before expensive
+  globals — until fixpoint.  See ``docs/solver-internals.md``.
 * Search is recursive DFS over decisions, with branch-and-bound
   minimization used by the scheduler exactly as in section 3.5 of the
   paper (three sequential phases inside one branch-and-bound search).
 """
 
 from repro.cp.domain import Domain, EMPTY_DOMAIN
-from repro.cp.engine import Inconsistency, Store
+from repro.cp.engine import Event, Inconsistency, Store
+from repro.cp.stats import SolverStats
 from repro.cp.var import IntVar
 from repro.cp.constraints.arith import (
     Eq,
@@ -77,6 +81,7 @@ __all__ = [
     "EMPTY_DOMAIN",
     "Eq",
     "EqImpliesEq",
+    "Event",
     "GuardedEqImpliesEq",
     "Inconsistency",
     "IntVar",
@@ -92,6 +97,7 @@ __all__ = [
     "SearchResult",
     "SearchStats",
     "SolveStatus",
+    "SolverStats",
     "Store",
     "Task",
     "XEqC",

@@ -30,6 +30,8 @@ from repro.cp.var import IntVar
 class AllDifferent(Constraint):
     """All variables take pairwise distinct values."""
 
+    priority = 2  # expensive global: run after the cheap propagators settle
+
     def __init__(self, xs: Sequence[IntVar]):
         self.xs: Tuple[IntVar, ...] = tuple(xs)
 

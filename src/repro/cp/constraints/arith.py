@@ -12,18 +12,28 @@ from __future__ import annotations
 from typing import Callable, Sequence, Tuple
 
 from repro.cp.domain import Domain
-from repro.cp.engine import Constraint, Inconsistency, Store
+from repro.cp.engine import Constraint, Event, Inconsistency, Store
 from repro.cp.var import IntVar
 
 
 class XEqC(Constraint):
-    """``x == c``."""
+    """``x == c``.
+
+    Entailed after its first propagation (``x`` is ``{c}`` and domains
+    only shrink — any later narrowing of ``x`` is a wipe-out the store
+    raises on its own), so it subscribes to nothing.
+    """
+
+    priority = 0
 
     def __init__(self, x: IntVar, c: int):
         self.x, self.c = x, c
 
     def variables(self) -> Tuple[IntVar, ...]:
         return (self.x,)
+
+    def subscriptions(self):
+        return ()
 
     def propagate(self, store: Store) -> None:
         store.assign(self.x, self.c)
@@ -33,13 +43,18 @@ class XEqC(Constraint):
 
 
 class XNeqC(Constraint):
-    """``x != c``."""
+    """``x != c`` — entailed once posted (a removed value never returns)."""
+
+    priority = 0
 
     def __init__(self, x: IntVar, c: int):
         self.x, self.c = x, c
 
     def variables(self) -> Tuple[IntVar, ...]:
         return (self.x,)
+
+    def subscriptions(self):
+        return ()
 
     def propagate(self, store: Store) -> None:
         store.remove_value(self.x, self.c)
@@ -50,6 +65,9 @@ class XNeqC(Constraint):
 
 class Eq(Constraint):
     """``x == y`` with full domain intersection."""
+
+    priority = 0
+    idempotent = True
 
     def __init__(self, x: IntVar, y: IntVar):
         self.x, self.y = x, y
@@ -69,11 +87,17 @@ class Eq(Constraint):
 class Neq(Constraint):
     """``x != y`` (prunes when either side becomes assigned)."""
 
+    priority = 0
+    idempotent = True
+
     def __init__(self, x: IntVar, y: IntVar):
         self.x, self.y = x, y
 
     def variables(self) -> Tuple[IntVar, ...]:
         return (self.x, self.y)
+
+    def subscriptions(self):
+        return ((self.x, Event.ASSIGN), (self.y, Event.ASSIGN))
 
     def propagate(self, store: Store) -> None:
         if self.x.is_assigned():
@@ -86,7 +110,14 @@ class Neq(Constraint):
 
 
 class XPlusCLeqY(Constraint):
-    """``x + c <= y`` — the precedence constraint (paper eq. 1)."""
+    """``x + c <= y`` — the precedence constraint (paper eq. 1).
+
+    Wakes only when ``min(x)`` rises or ``max(y)`` drops; no other event
+    can enable new pruning.
+    """
+
+    priority = 0
+    idempotent = True
 
     def __init__(self, x: IntVar, c: int, y: IntVar):
         self.x, self.c, self.y = x, c, y
@@ -94,9 +125,12 @@ class XPlusCLeqY(Constraint):
     def variables(self) -> Tuple[IntVar, ...]:
         return (self.x, self.y)
 
+    def subscriptions(self):
+        return ((self.x, Event.MIN), (self.y, Event.MAX))
+
     def propagate(self, store: Store) -> None:
-        store.set_min(self.y, self.x.min() + self.c)
-        store.set_max(self.x, self.y.max() - self.c)
+        store.set_min(self.y, self.x.domain.lo + self.c)
+        store.set_max(self.x, self.y.domain.hi - self.c)
 
     def __repr__(self) -> str:
         return f"{self.x.name} + {self.c} <= {self.y.name}"
@@ -104,6 +138,9 @@ class XPlusCLeqY(Constraint):
 
 class XPlusCEqY(Constraint):
     """``y == x + c`` with arc consistency via domain shifting (paper eq. 4)."""
+
+    priority = 0
+    idempotent = True
 
     def __init__(self, x: IntVar, c: int, y: IntVar):
         self.x, self.c, self.y = x, c, y
@@ -122,11 +159,16 @@ class XPlusCEqY(Constraint):
 class XPlusYEqZ(Constraint):
     """``x + y == z`` with bounds consistency."""
 
+    priority = 0
+
     def __init__(self, x: IntVar, y: IntVar, z: IntVar):
         self.x, self.y, self.z = x, y, z
 
     def variables(self) -> Tuple[IntVar, ...]:
         return (self.x, self.y, self.z)
+
+    def subscriptions(self):
+        return tuple((v, Event.BOUNDS) for v in self.variables())
 
     def propagate(self, store: Store) -> None:
         x, y, z = self.x, self.y, self.z
@@ -153,6 +195,9 @@ class LinearEq(Constraint):
 
     def variables(self) -> Tuple[IntVar, ...]:
         return self.xs
+
+    def subscriptions(self):
+        return tuple((v, Event.BOUNDS) for v in self.xs)
 
     def _term_bounds(self, a: int, x: IntVar) -> Tuple[int, int]:
         if a >= 0:
@@ -194,6 +239,12 @@ class LinearLeq(Constraint):
     def variables(self) -> Tuple[IntVar, ...]:
         return self.xs
 
+    def subscriptions(self):
+        # only a rising lower bound of a positive term (or falling upper
+        # bound of a negative one) can trigger new pruning; subscribing
+        # to both bounds is the cheap sound approximation
+        return tuple((v, Event.BOUNDS) for v in self.xs)
+
     def propagate(self, store: Store) -> None:
         lo_terms = []
         total_lo = 0
@@ -225,9 +276,12 @@ class Max(Constraint):
     def variables(self) -> Tuple[IntVar, ...]:
         return (self.y,) + self.xs
 
+    def subscriptions(self):
+        return tuple((v, Event.BOUNDS) for v in self.variables())
+
     def propagate(self, store: Store) -> None:
-        hi = max(x.max() for x in self.xs)
-        lo = max(x.min() for x in self.xs)
+        hi = max(x.domain.hi for x in self.xs)
+        lo = max(x.domain.lo for x in self.xs)
         store.set_max(self.y, hi)
         store.set_min(self.y, lo)
         y_max = self.y.max()
@@ -255,6 +309,9 @@ class Min(Constraint):
     def variables(self) -> Tuple[IntVar, ...]:
         return (self.y,) + self.xs
 
+    def subscriptions(self):
+        return tuple((v, Event.BOUNDS) for v in self.variables())
+
     def propagate(self, store: Store) -> None:
         lo = min(x.min() for x in self.xs)
         hi = min(x.max() for x in self.xs)
@@ -275,6 +332,8 @@ class UnaryFunc(Constraint):
     Enumerates ``dom(x)``, so intended for small domains (slots/lines/
     pages).  ``f`` must be deterministic and cheap.
     """
+
+    idempotent = True
 
     def __init__(self, y: IntVar, x: IntVar, f: Callable[[int], int], label: str = "f"):
         self.y, self.x, self.f, self.label = y, x, f, label

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-from repro.cp.engine import Constraint, Inconsistency, Store
+from repro.cp.engine import Constraint, Event, Inconsistency, Store
 from repro.cp.var import IntVar
 
 
@@ -47,6 +47,8 @@ class Task:
 class Cumulative(Constraint):
     """``Cumulative(tasks, capacity)`` — paper eq. 2."""
 
+    priority = 2  # expensive global: run after the cheap propagators settle
+
     def __init__(self, tasks: Sequence[Task], capacity: int):
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
@@ -62,6 +64,11 @@ class Cumulative(Constraint):
 
     def variables(self) -> Tuple[IntVar, ...]:
         return tuple(t.start for t in self.tasks)
+
+    def subscriptions(self):
+        # Time-tabling only reads start bounds, so interior holes made by
+        # value-removal propagators need not wake it.
+        return tuple((t.start, Event.BOUNDS) for t in self.tasks)
 
     # -- profile ---------------------------------------------------------
     def _compulsory_parts(self) -> List[Tuple[int, int, int, Task]]:

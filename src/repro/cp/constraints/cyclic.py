@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from repro.cp.engine import Constraint, Inconsistency, Store
+from repro.cp.engine import Constraint, Event, Inconsistency, Store
 from repro.cp.var import IntVar
 
 
@@ -31,6 +31,9 @@ class CyclicDistance(Constraint):
     this degenerates to ``x != y``.
     """
 
+    priority = 0
+    idempotent = True  # prunes a fixed window around an assigned center
+
     def __init__(self, x: IntVar, y: IntVar, mindist: int, modulus: int):
         if mindist < 1:
             raise ValueError("mindist must be >= 1")
@@ -47,6 +50,10 @@ class CyclicDistance(Constraint):
 
     def variables(self) -> Tuple[IntVar, ...]:
         return (self.x, self.y)
+
+    def subscriptions(self):
+        # Pruning only ever starts from an assigned endpoint.
+        return ((self.x, Event.ASSIGN), (self.y, Event.ASSIGN))
 
     def _prune_around(self, store: Store, var: IntVar, center: int) -> None:
         for delta in range(-(self.mindist - 1), self.mindist):

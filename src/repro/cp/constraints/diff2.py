@@ -17,11 +17,20 @@ Propagation is pairwise constructive disjunction: for every pair, each
 of the four relative placements (left-of / right-of / below / above) is
 tested for feasibility against current bounds; when only one survives it
 is enforced, and when none survives the store fails.
+
+The propagator is **incremental**: it opts into the engine's dirty-set
+delivery (``wants_dirty``) and re-examines only pairs with at least one
+rectangle whose variables changed since the previous invocation.  This
+is sound because every state the trail restores was a propagation
+fixpoint, and a pair's pruning condition depends only on the bounds of
+its own two rectangles — with the paper-scale models (~80 lifetimes
+sharing one Diff2, >3000 pairs) it is the difference between O(n²) and
+O(changed · n) per search node, the hottest loop of the whole solver.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.cp.engine import Constraint, Inconsistency, Store
 from repro.cp.var import IntVar
@@ -30,11 +39,11 @@ Length = Union[int, IntVar]
 
 
 def _lo(x: Length) -> int:
-    return x.min() if isinstance(x, IntVar) else x
+    return x.domain.lo if isinstance(x, IntVar) else x
 
 
 def _hi(x: Length) -> int:
-    return x.max() if isinstance(x, IntVar) else x
+    return x.domain.hi if isinstance(x, IntVar) else x
 
 
 class Rect2:
@@ -56,13 +65,17 @@ class Rect2:
 class Diff2(Constraint):
     """Pairwise 2-D non-overlap over a list of :class:`Rect2`."""
 
+    priority = 2
+    wants_dirty = True
+
     def __init__(self, rects: Sequence[Rect2]):
         self.rects: Tuple[Rect2, ...] = tuple(rects)
-        self._pairs = [
-            (self.rects[i], self.rects[j])
-            for i in range(len(self.rects))
-            for j in range(i + 1, len(self.rects))
-        ]
+        # var -> indices of rectangles mentioning it (dirty-set lookup)
+        self._var_rects: Dict[IntVar, List[int]] = {}
+        for i, r in enumerate(self.rects):
+            for v in (r.ox, r.oy, r.lx, r.ly):
+                if isinstance(v, IntVar):
+                    self._var_rects.setdefault(v, []).append(i)
 
     def variables(self) -> Tuple[IntVar, ...]:
         out: List[IntVar] = []
@@ -77,49 +90,63 @@ class Diff2(Constraint):
 
     # -- placement feasibility -------------------------------------------
     @staticmethod
-    def _before_possible(o1: IntVar, l1: Length, o2: IntVar) -> bool:
-        """Can rectangle 1 end at or before rectangle 2 begins (1-D)?"""
-        return o1.min() + _lo(l1) <= o2.max()
-
-    @staticmethod
     def _enforce_before(store: Store, o1: IntVar, l1: Length, o2: IntVar) -> None:
         """Enforce ``o1 + l1 <= o2`` on bounds."""
-        store.set_min(o2, o1.min() + _lo(l1))
-        store.set_max(o1, o2.max() - _lo(l1))
+        store.set_min(o2, o1.domain.lo + _lo(l1))
+        store.set_max(o1, o2.domain.hi - _lo(l1))
         if isinstance(l1, IntVar):
-            store.set_max(l1, o2.max() - o1.min())
+            store.set_max(l1, o2.domain.hi - o1.domain.lo)
 
-    @staticmethod
-    def _zero_area_possible(r: Rect2) -> bool:
-        return _lo(r.lx) <= 0 or _lo(r.ly) <= 0
+    def _prop_pair(self, store: Store, a: Rect2, b: Rect2) -> None:
+        # A rectangle that may still have zero area cannot be forced
+        # into any relative placement; skip the pair entirely.
+        a_lx_lo, a_ly_lo = _lo(a.lx), _lo(a.ly)
+        b_lx_lo, b_ly_lo = _lo(b.lx), _lo(b.ly)
+        if a_lx_lo <= 0 or a_ly_lo <= 0 or b_lx_lo <= 0 or b_ly_lo <= 0:
+            return
+        aox, aoy, box, boy = a.ox.domain, a.oy.domain, b.ox.domain, b.oy.domain
+        f0 = aox.lo + a_lx_lo <= box.hi  # a left of b
+        f1 = box.lo + b_lx_lo <= aox.hi  # b left of a
+        f2 = aoy.lo + a_ly_lo <= boy.hi  # a below b
+        f3 = boy.lo + b_ly_lo <= aoy.hi  # b below a
+        n = f0 + f1 + f2 + f3
+        if n == 0:
+            raise Inconsistency(f"Diff2: {a!r} and {b!r} must overlap")
+        if n == 1:
+            if f0:
+                self._enforce_before(store, a.ox, a.lx, b.ox)
+            elif f1:
+                self._enforce_before(store, b.ox, b.lx, a.ox)
+            elif f2:
+                self._enforce_before(store, a.oy, a.ly, b.oy)
+            else:
+                self._enforce_before(store, b.oy, b.ly, a.oy)
 
     def propagate(self, store: Store) -> None:
-        for a, b in self._pairs:
-            # A rectangle that may still have zero area cannot be forced
-            # into any relative placement.
-            if self._zero_area_possible(a) or self._zero_area_possible(b):
-                if _hi(a.lx) <= 0 or _hi(a.ly) <= 0 or _hi(b.lx) <= 0 or _hi(b.ly) <= 0:
-                    continue  # surely zero area: no interaction at all
-                # Possibly zero area: only check for guaranteed violation.
-                continue
-            feas = [
-                self._before_possible(a.ox, a.lx, b.ox),  # a left of b
-                self._before_possible(b.ox, b.lx, a.ox),  # b left of a
-                self._before_possible(a.oy, a.ly, b.oy),  # a below b
-                self._before_possible(b.oy, b.ly, a.oy),  # b below a
-            ]
-            n = sum(feas)
-            if n == 0:
-                raise Inconsistency(f"Diff2: {a!r} and {b!r} must overlap")
-            if n == 1:
-                if feas[0]:
-                    self._enforce_before(store, a.ox, a.lx, b.ox)
-                elif feas[1]:
-                    self._enforce_before(store, b.ox, b.lx, a.ox)
-                elif feas[2]:
-                    self._enforce_before(store, a.oy, a.ly, b.oy)
+        rects = self.rects
+        n = len(rects)
+        dirty = self._dirty
+        if not dirty:
+            # first (post-time) run: examine every pair
+            for i in range(n):
+                a = rects[i]
+                for j in range(i + 1, n):
+                    self._prop_pair(store, a, rects[j])
+            return
+        changed = {
+            i for v in dirty for i in self._var_rects.get(v, ())
+        }
+        dirty.clear()
+        for i in sorted(changed):
+            a = rects[i]
+            for j in range(n):
+                if j == i or (j in changed and j < i):
+                    continue  # both-changed pairs handled once, from min(i, j)
+                b = rects[j]
+                if i < j:
+                    self._prop_pair(store, a, b)
                 else:
-                    self._enforce_before(store, b.oy, b.ly, a.oy)
+                    self._prop_pair(store, b, a)
 
     def __repr__(self) -> str:
         return f"Diff2({len(self.rects)} rects)"

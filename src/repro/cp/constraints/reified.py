@@ -38,6 +38,10 @@ def _assigned_different(a: IntVar, b: IntVar) -> bool:
 class EqImpliesEq(Constraint):
     """``(a == b) => (c == d)`` with contrapositive propagation."""
 
+    # Both branches reach a local fixpoint in one pass (intersection
+    # assignment / single value removal), so self-wakes are redundant.
+    idempotent = True
+
     def __init__(self, a: IntVar, b: IntVar, c: IntVar, d: IntVar):
         self.a, self.b, self.c, self.d = a, b, c, d
 
@@ -71,6 +75,8 @@ class GuardedEqImpliesEq(Constraint):
     each.  When the inner implication is provably violated the guard is
     falsified, i.e. the two operations are pushed to different cycles.
     """
+
+    idempotent = True  # same one-pass-fixpoint argument as EqImpliesEq
 
     def __init__(
         self, g1: IntVar, g2: IntVar, a: IntVar, b: IntVar, c: IntVar, d: IntVar

@@ -14,21 +14,32 @@ emptiness is reported to the caller, which raises
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Iterable, Iterator, Sequence, Tuple
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 Interval = Tuple[int, int]
 
 
 class Domain:
-    """A finite set of integers stored as disjoint inclusive intervals."""
+    """A finite set of integers stored as disjoint inclusive intervals.
 
-    __slots__ = ("_ivs", "_size")
+    ``lo``/``hi`` are plain attributes (``None`` when empty) so bound
+    reads on the propagation hot path are a single attribute access.
+    """
+
+    __slots__ = ("_ivs", "_size", "lo", "hi")
 
     def __init__(self, intervals: Sequence[Interval]):
         # Invariant: intervals sorted, disjoint and separated by gaps >= 2
         # (adjacent intervals are coalesced by the constructors below).
-        self._ivs: Tuple[Interval, ...] = tuple(intervals)
-        self._size = sum(hi - lo + 1 for lo, hi in self._ivs)
+        ivs = tuple(intervals)
+        self._ivs: Tuple[Interval, ...] = ivs
+        self._size = sum(hi - lo + 1 for lo, hi in ivs)
+        if ivs:
+            self.lo: Optional[int] = ivs[0][0]
+            self.hi: Optional[int] = ivs[-1][1]
+        else:
+            self.lo = None
+            self.hi = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -81,14 +92,14 @@ class Domain:
         return bool(self._ivs)
 
     def min(self) -> int:
-        if not self._ivs:
+        if self.lo is None:
             raise ValueError("min() of empty domain")
-        return self._ivs[0][0]
+        return self.lo
 
     def max(self) -> int:
-        if not self._ivs:
+        if self.hi is None:
             raise ValueError("max() of empty domain")
-        return self._ivs[-1][1]
+        return self.hi
 
     def value(self) -> int:
         """The single value of a singleton domain."""

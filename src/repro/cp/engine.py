@@ -1,21 +1,42 @@
-"""Constraint store: variables, trail, propagation queue, backtracking.
+"""Constraint store: variables, trail, event-driven propagation, backtracking.
 
 The :class:`Store` is the solver's central object.  It owns every
 variable and constraint, provides the *only* mutation path for variable
 domains (so narrowings are trailed and watchers are woken), and runs
 propagation to fixpoint.
 
+Propagation is **event-driven**: a constraint subscribes to the events
+it can actually react to (:class:`Event` — min raised, max lowered,
+variable assigned, or any domain change) instead of being woken on every
+narrowing of every variable it mentions.  A precedence propagator
+``x + c <= y`` for example only wakes when ``min(x)`` rises or
+``max(y)`` drops; pruning the middle of either domain never schedules
+it.  Woken constraints land in one of three FIFO buckets by
+:attr:`Constraint.priority`, and the fixpoint loop always drains cheaper
+buckets first so expensive globals (Cumulative, Diff2, AllDifferent) run
+against already-tightened bounds.
+
+Constraints that declare ``wants_dirty`` additionally receive the *set
+of variables* that changed since their last invocation (``self._dirty``)
+so they can propagate incrementally — :class:`repro.cp.constraints.diff2.Diff2`
+uses this to re-examine only rectangle pairs whose bounds moved, which
+turns the hot path of the paper's memory-allocation model from
+O(pairs) per wake into O(changed pairs).  Dirty sets survive queue
+drains and backtracking: every state the trail restores was a
+propagation fixpoint, so a stale entry only costs a redundant check,
+never a missed pruning.
+
 Backtracking uses time-stamped trailing: ``push_level`` marks the trail,
 domain changes record ``(var, old_domain)`` once per level, and
 ``pop_level`` replays the trail backwards.  Because
 :class:`repro.cp.domain.Domain` is immutable, restoring is a reference
-assignment.
+assignment — branch and undo are O(changes), not O(variables).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cp.var import IntVar
@@ -29,21 +50,60 @@ class Inconsistency(Exception):
     """
 
 
+class Event:
+    """Domain-change event bits a constraint can subscribe to.
+
+    ``DOMAIN`` fires on *every* narrowing and therefore subsumes the
+    others as a subscription; ``MIN``/``MAX`` fire when the respective
+    bound moves; ``ASSIGN`` fires when the domain becomes a singleton.
+    """
+
+    DOMAIN = 1
+    MIN = 2
+    MAX = 4
+    ASSIGN = 8
+    BOUNDS = MIN | MAX
+    ANY = DOMAIN  # alias: DOMAIN is raised on every change
+
+
 class Constraint:
     """Base class for propagators.
 
-    Subclasses implement :meth:`propagate` and declare the variables they
-    watch via :meth:`variables`.  ``propagate`` must be idempotent at
-    fixpoint: running it again with unchanged domains must not prune.
+    Subclasses implement :meth:`propagate`, declare the variables they
+    mention via :meth:`variables`, and may override :meth:`subscriptions`
+    to narrow the events that wake them (the default wakes on any change
+    of any variable, which is always sound).
+
+    ``propagate`` must be idempotent at fixpoint: running it again with
+    unchanged domains must not prune.  Propagators that additionally
+    reach their *own* fixpoint within a single call may set
+    ``idempotent = True``; the store then skips the self-wakeup caused
+    by their own prunings.
     """
+
+    #: scheduling bucket: 0 = cheap binary, 1 = linear/functional,
+    #: 2 = expensive globals.  Lower runs first.
+    priority: int = 1
+    #: True when one propagate() call reaches the propagator's own
+    #: fixpoint, making self-wakeups pointless.
+    idempotent: bool = False
+    #: opt-in: the store maintains ``self._dirty`` — the set of watched
+    #: variables changed since the last propagate() call.
+    wants_dirty: bool = False
 
     #: set by the store when the constraint sits in the propagation queue
     _queued: bool = False
     #: index assigned by the store at post time
     _cid: int = -1
+    #: dirty-variable set (only when ``wants_dirty``)
+    _dirty = None
 
     def variables(self) -> Tuple["IntVar", ...]:
         raise NotImplementedError
+
+    def subscriptions(self) -> Iterable[Tuple["IntVar", int]]:
+        """``(var, event_mask)`` pairs that wake this constraint."""
+        return [(v, Event.DOMAIN) for v in self.variables()]
 
     def propagate(self, store: "Store") -> None:
         raise NotImplementedError
@@ -55,19 +115,29 @@ class Constraint:
         return f"<{type(self).__name__}>"
 
 
+#: number of priority buckets in the scheduling queue
+N_PRIORITIES = 3
+
+
 class Store:
-    """Variable/constraint owner with trailing and a FIFO propagation queue."""
+    """Variable/constraint owner with trailing and an event-driven queue."""
 
     def __init__(self) -> None:
         self.vars: List["IntVar"] = []
         self.constraints: List[Constraint] = []
-        self._queue: Deque[Constraint] = deque()
+        self._queues: Tuple[deque, ...] = tuple(
+            deque() for _ in range(N_PRIORITIES)
+        )
         self._trail: List[Tuple["IntVar", object]] = []
         self._marks: List[int] = []
         self.level: int = 0
+        #: constraint currently inside propagate() (self-wakeup filter)
+        self._active: Constraint | None = None
         # statistics
         self.n_propagations: int = 0
         self.n_failures: int = 0
+        self.n_wakeups: int = 0
+        self.propagations_by_class: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -84,8 +154,10 @@ class Store:
         """
         constraint._cid = len(self.constraints)
         self.constraints.append(constraint)
-        for v in constraint.variables():
-            v.watchers.append(constraint)
+        for v, mask in constraint.subscriptions():
+            v.watchers.append((mask, constraint))
+        if constraint.wants_dirty:
+            constraint._dirty = set()
         constraint.posted(self)
         self._enqueue(constraint)
         self.propagate()
@@ -94,36 +166,51 @@ class Store:
     # ------------------------------------------------------------------
     # Domain mutation (the only legal path)
     # ------------------------------------------------------------------
-    def _save(self, var: "IntVar") -> None:
-        if var._stamp != self.level:
-            self._trail.append((var, var.domain))
-            var._stamp = self.level
-
     def _changed(self, var: "IntVar", new_domain) -> None:
         if new_domain.is_empty():
             self.n_failures += 1
             raise Inconsistency(f"domain wipe-out on {var.name}")
-        if new_domain is var.domain or new_domain == var.domain:
+        old = var.domain
+        if new_domain is old or new_domain == old:
             # Equality (not just identity) matters: propagators that
             # rebuild domains value-by-value must not look like changes,
             # or the propagation queue never reaches fixpoint.
             return
-        self._save(var)
+        if var._stamp != self.level:
+            self._trail.append((var, old))
+            var._stamp = self.level
         var.domain = new_domain
-        for c in var.watchers:
-            self._enqueue(c)
+        emask = Event.DOMAIN
+        if new_domain.lo > old.lo:
+            emask |= Event.MIN
+        if new_domain.hi < old.hi:
+            emask |= Event.MAX
+        if new_domain.lo == new_domain.hi and old.lo != old.hi:
+            emask |= Event.ASSIGN
+        active = self._active
+        queues = self._queues
+        for mask, c in var.watchers:
+            if mask & emask:
+                self.n_wakeups += 1
+                if c._dirty is not None:
+                    c._dirty.add(var)
+                if not c._queued and not (c is active and c.idempotent):
+                    c._queued = True
+                    queues[c.priority].append(c)
 
     def set_min(self, var: "IntVar", lo: int) -> None:
-        if lo > var.domain.min():
-            self._changed(var, var.domain.remove_below(lo))
+        d = var.domain
+        if lo > d.lo:
+            self._changed(var, d.remove_below(lo))
 
     def set_max(self, var: "IntVar", hi: int) -> None:
-        if hi < var.domain.max():
-            self._changed(var, var.domain.remove_above(hi))
+        d = var.domain
+        if hi < d.hi:
+            self._changed(var, d.remove_above(hi))
 
     def assign(self, var: "IntVar", value: int) -> None:
         dom = var.domain
-        if dom.is_singleton() and dom.min() == value:
+        if dom.lo == value and dom.hi == value:
             return
         if value not in dom:
             self.n_failures += 1
@@ -149,27 +236,47 @@ class Store:
     # ------------------------------------------------------------------
     # Propagation
     # ------------------------------------------------------------------
+    @property
+    def _queue(self) -> List[Constraint]:
+        """Pending constraints across all priority buckets (debug aid)."""
+        return [c for q in self._queues for c in q]
+
     def _enqueue(self, c: Constraint) -> None:
         if not c._queued:
             c._queued = True
-            self._queue.append(c)
+            self._queues[c.priority].append(c)
 
     def propagate(self) -> None:
-        """Run the propagation queue to fixpoint.
+        """Run the propagation queue to fixpoint, cheapest bucket first.
 
         On :class:`Inconsistency` the queue is drained (so the next
-        search node starts clean) and the exception re-raised.
+        search node starts clean) and the exception re-raised.  Dirty
+        sets are *not* cleared on drain: backtracking restores a state
+        that was itself a fixpoint, so leftover entries are conservative.
         """
-        q = self._queue
+        queues = self._queues
+        by_class = self.propagations_by_class
         try:
-            while q:
-                c = q.popleft()
+            while True:
+                c = None
+                for q in queues:
+                    if q:
+                        c = q.popleft()
+                        break
+                if c is None:
+                    return
                 c._queued = False
                 self.n_propagations += 1
+                name = type(c).__name__
+                by_class[name] = by_class.get(name, 0) + 1
+                self._active = c
                 c.propagate(self)
+                self._active = None
         except Inconsistency:
-            while q:
-                q.popleft()._queued = False
+            self._active = None
+            for q in queues:
+                while q:
+                    q.popleft()._queued = False
             raise
 
     # ------------------------------------------------------------------
@@ -181,11 +288,17 @@ class Store:
 
     def pop_level(self) -> None:
         mark = self._marks.pop()
-        while len(self._trail) > mark:
-            var, old = self._trail.pop()
+        trail = self._trail
+        while len(trail) > mark:
+            var, old = trail.pop()
             var.domain = old
             var._stamp = -1
         self.level -= 1
+
+    @property
+    def depth(self) -> int:
+        """Number of levels currently pushed (0 at the root)."""
+        return len(self._marks)
 
     # ------------------------------------------------------------------
     # Convenience

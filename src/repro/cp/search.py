@@ -11,6 +11,15 @@ branch-and-bound run.
 Branching is binary: ``var = value`` on the left, ``var != value`` on
 the right, which together with the ``smallest_min`` selector gives the
 classic set-times-like strategy for scheduling problems.
+
+Telemetry: every run fills a :class:`repro.cp.stats.SolverStats` —
+nodes, failures, backtracks, per-phase node counts and wall time,
+propagation counters copied from the store, and the incumbent
+(best-objective) timeline.  A wall-clock or node budget may expire at
+any point, including mid-phase; the search then unwinds through its
+``finally`` chain so the store is left exactly as it was entered (all
+levels popped, trail empty), with the partial statistics preserved and
+``stats.timed_out`` set.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ from enum import Enum
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.cp.engine import Inconsistency, Store
+from repro.cp.stats import SearchStats, SolverStats
 from repro.cp.var import IntVar
 
 VarSelect = Callable[[Sequence[IntVar]], Optional[IntVar]]
@@ -60,9 +70,10 @@ def smallest_min(candidates: Sequence[IntVar]) -> Optional[IntVar]:
     best = None
     key = None
     for v in candidates:
-        if v.is_assigned():
+        d = v.domain
+        if d.lo == d.hi:
             continue
-        k = (v.min(), v.size())
+        k = (d.lo, len(d))
         if key is None or k < key:
             best, key = v, k
     return best
@@ -109,20 +120,11 @@ class SolveStatus(Enum):
 
 
 @dataclass
-class SearchStats:
-    nodes: int = 0
-    failures: int = 0
-    solutions: int = 0
-    time_ms: float = 0.0
-    time_to_best_ms: float = 0.0
-
-
-@dataclass
 class SearchResult:
     status: SolveStatus
     objective: Optional[int] = None
     assignment: Dict[str, int] = field(default_factory=dict)
-    stats: SearchStats = field(default_factory=SearchStats)
+    stats: SolverStats = field(default_factory=SolverStats)
 
     @property
     def found(self) -> bool:
@@ -149,9 +151,10 @@ class Search:
         self.store = store
         self.timeout_ms = timeout_ms
         self.node_limit = node_limit
-        self.stats = SearchStats()
+        self.stats = SolverStats()
         self._deadline: Optional[float] = None
         self._t0: float = 0.0
+        self._last_tick: float = 0.0
         self._best_obj: Optional[int] = None
         self._best_assignment: Dict[str, int] = {}
         self._found: bool = False
@@ -188,39 +191,59 @@ class Search:
             return seq
         return [Phase(seq)]
 
+    def _phase_name(self, i: int) -> str:
+        phase = self._phases[i]
+        return phase.name or f"phase{i}"
+
     def _record_solution(self) -> None:
-        self.stats.solutions += 1
+        stats = self.stats
+        stats.solutions += 1
         assignment = {
-            v.name: v.min() for v in self.store.vars if v.is_assigned()
+            v.name: v.domain.lo for v in self.store.vars if v.is_assigned()
         }
         obj = self._objective.min() if self._objective is not None else None
         self._best_obj = obj
         self._best_assignment = assignment
         self._found = True
-        self.stats.time_to_best_ms = (time.monotonic() - self._t0) * 1000.0
+        elapsed_ms = (time.monotonic() - self._t0) * 1000.0
+        stats.time_to_best_ms = elapsed_ms
+        if obj is not None:
+            stats.objective_timeline.append((elapsed_ms, obj))
         if self.on_solution is not None:
             self.on_solution(assignment, obj)
 
-    def _check_budget(self) -> None:
-        if self._deadline is not None and time.monotonic() > self._deadline:
+    def _tick(self, phase_idx: int) -> None:
+        """Per-node bookkeeping: budget check and per-phase time/node count.
+
+        Raises :class:`_Budget` when the wall-clock or node budget is
+        exhausted — possibly mid-phase; the caller's ``finally`` chain
+        then unwinds every pushed level, leaving the store consistent.
+        """
+        stats = self.stats
+        now = time.monotonic()
+        name = self._phase_name(phase_idx)
+        stats.phase_nodes[name] = stats.phase_nodes.get(name, 0) + 1
+        stats.phase_time_ms[name] = (
+            stats.phase_time_ms.get(name, 0.0)
+            + (now - self._last_tick) * 1000.0
+        )
+        self._last_tick = now
+        if self._deadline is not None and now > self._deadline:
+            stats.timed_out = True
             raise _Budget("timeout")
-        if self.node_limit is not None and self.stats.nodes > self.node_limit:
+        if self.node_limit is not None and stats.nodes > self.node_limit:
+            stats.timed_out = True
             raise _Budget("node limit")
 
-    def _pick(self) -> Optional[IntVar]:
-        for phase in self._phases:
+    def _pick(self):
+        """``(phase_index, phase, variable)`` of the next decision, or None."""
+        for i, phase in enumerate(self._phases):
             v = phase.pick()
             if v is not None:
-                return v
+                return i, phase, v
         return None
 
-    def _pick_phase(self) -> Optional[Phase]:
-        for phase in self._phases:
-            if phase.pick() is not None:
-                return phase
-        return None
-
-    def _dfs(self) -> None:
+    def _dfs(self, depth: int) -> None:
         """Explore the subtree under the current store state.
 
         Only the left branch (``var = value``) recurses; the right branch
@@ -230,15 +253,17 @@ class Search:
         variables instead of the sum of their domain sizes.
         """
         store = self.store
+        stats = self.stats
+        if depth > stats.peak_depth:
+            stats.peak_depth = depth
         while True:
-            self._check_budget()
-            self.stats.nodes += 1
-            phase = self._pick_phase()
-            if phase is None:
+            stats.nodes += 1
+            decision = self._pick()
+            if decision is None:
                 self._record_solution()
                 return
-            var = phase.pick()
-            assert var is not None
+            phase_idx, phase, var = decision
+            self._tick(phase_idx)
             value = phase.value_select(var)
 
             # Left branch: var = value
@@ -247,14 +272,15 @@ class Search:
                 self._apply_bound()
                 store.assign(var, value)
                 store.propagate()
-                self._dfs()
+                self._dfs(depth + 1)
             except Inconsistency:
-                self.stats.failures += 1
+                stats.failures += 1
+                stats.backtracks += 1
             finally:
                 store.pop_level()
 
             # In pure satisfaction mode, stop after the first solution.
-            if self._objective is None and self.stats.solutions > 0:
+            if self._objective is None and stats.solutions > 0:
                 return
 
             # Right branch: var != value, explored within this frame.
@@ -263,7 +289,8 @@ class Search:
                 store.remove_value(var, value)
                 store.propagate()
             except Inconsistency:
-                self.stats.failures += 1
+                stats.failures += 1
+                stats.backtracks += 1
                 return
 
     def _apply_bound(self) -> None:
@@ -276,24 +303,41 @@ class Search:
         self._best_obj = None
         self._best_assignment = {}
         self._found = False
-        self.stats = SearchStats()
-        self._t0 = time.monotonic()
+        self.stats = stats = SolverStats()
+        store = self.store
+        prop0 = store.n_propagations
+        wake0 = store.n_wakeups
+        by_class0 = dict(store.propagations_by_class)
+        self._t0 = self._last_tick = time.monotonic()
         self._deadline = (
             self._t0 + self.timeout_ms / 1000.0 if self.timeout_ms else None
         )
 
         timed_out = False
-        self.store.push_level()
+        entry_depth = store.depth
+        store.push_level()
         try:
-            self._dfs()
+            self._dfs(depth=1)
         except _Budget:
             timed_out = True
         except Inconsistency:
             # Root-level failure (can happen if _apply_bound fires at root).
             pass
         finally:
-            self.store.pop_level()
-        self.stats.time_ms = (time.monotonic() - self._t0) * 1000.0
+            # The finally chain in _dfs pops every level it pushed, even
+            # on budget expiry mid-phase; this pop restores the entry
+            # state exactly.
+            store.pop_level()
+        assert store.depth == entry_depth, "search left unpopped levels"
+        stats.time_ms = (time.monotonic() - self._t0) * 1000.0
+        stats.timed_out = timed_out
+        stats.propagations = store.n_propagations - prop0
+        stats.wakeups = store.n_wakeups - wake0
+        stats.propagations_by_class = {
+            k: v - by_class0.get(k, 0)
+            for k, v in store.propagations_by_class.items()
+            if v - by_class0.get(k, 0) > 0
+        }
 
         if self._found:
             if objective is None:
@@ -304,9 +348,9 @@ class Search:
                 status=status,
                 objective=self._best_obj,
                 assignment=self._best_assignment,
-                stats=self.stats,
+                stats=stats,
             )
         return SearchResult(
             status=SolveStatus.TIMEOUT if timed_out else SolveStatus.INFEASIBLE,
-            stats=self.stats,
+            stats=stats,
         )

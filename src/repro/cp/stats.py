@@ -1,0 +1,91 @@
+"""Solver telemetry: one stats object shared by engine and search.
+
+:class:`SolverStats` is the observability surface of the whole CP
+substrate.  The :class:`~repro.cp.engine.Store` counts propagator work
+(propagations, wakeups, failures, per-constraint-class breakdown); the
+:class:`~repro.cp.search.Search` counts tree shape (nodes, failures,
+backtracks, peak depth), per-phase effort, and the incumbent timeline of
+a branch-and-bound run.  Everything is plain data — ``as_dict()`` gives
+the JSON payload the bench harness and the CI quick-profile job upload.
+
+``SearchStats`` is kept as a backwards-compatible alias: result objects
+throughout :mod:`repro.sched` carry the same type under the old name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class SolverStats:
+    """Counters and timings of one search run.
+
+    Tree shape
+        ``nodes`` (decision points expanded), ``failures`` (dead ends),
+        ``backtracks`` (levels popped after a failure), ``solutions``,
+        ``peak_depth``.
+    Propagator work
+        ``propagations`` (propagator invocations during search),
+        ``wakeups`` (subscription events delivered), and
+        ``propagations_by_class`` keyed by constraint class name.
+    Time
+        ``time_ms`` total, ``time_to_best_ms`` until the incumbent that
+        was finally returned, ``phase_time_ms``/``phase_nodes`` keyed by
+        search-phase name, and ``objective_timeline`` — the
+        ``(elapsed_ms, objective)`` staircase of incumbents, i.e. the
+        best-makespan-over-time curve of a minimization.
+    Budget
+        ``timed_out`` is True when the wall-clock or node budget expired
+        before the search was exhausted.
+    """
+
+    nodes: int = 0
+    failures: int = 0
+    backtracks: int = 0
+    solutions: int = 0
+    peak_depth: int = 0
+    propagations: int = 0
+    wakeups: int = 0
+    time_ms: float = 0.0
+    time_to_best_ms: float = 0.0
+    timed_out: bool = False
+    propagations_by_class: Dict[str, int] = field(default_factory=dict)
+    phase_nodes: Dict[str, int] = field(default_factory=dict)
+    phase_time_ms: Dict[str, float] = field(default_factory=dict)
+    objective_timeline: List[Tuple[float, int]] = field(default_factory=list)
+
+    def nodes_per_sec(self) -> float:
+        """Search-node throughput; 0 when no time was measured."""
+        if self.time_ms <= 0.0:
+            return 0.0
+        return self.nodes / (self.time_ms / 1000.0)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready payload (bench harness, CI profile artifact)."""
+        return {
+            "nodes": self.nodes,
+            "failures": self.failures,
+            "backtracks": self.backtracks,
+            "solutions": self.solutions,
+            "peak_depth": self.peak_depth,
+            "propagations": self.propagations,
+            "wakeups": self.wakeups,
+            "time_ms": round(self.time_ms, 3),
+            "time_to_best_ms": round(self.time_to_best_ms, 3),
+            "timed_out": self.timed_out,
+            "nodes_per_sec": round(self.nodes_per_sec(), 1),
+            "propagations_by_class": dict(self.propagations_by_class),
+            "phase_nodes": dict(self.phase_nodes),
+            "phase_time_ms": {
+                k: round(v, 3) for k, v in self.phase_time_ms.items()
+            },
+            "objective_timeline": [
+                (round(t, 3), obj) for t, obj in self.objective_timeline
+            ],
+        }
+
+
+#: Backwards-compatible name used by :mod:`repro.sched.result` and tests.
+SearchStats = SolverStats

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.cp.domain import Domain
 from repro.cp.engine import Constraint, Store
@@ -49,22 +49,24 @@ class IntVar:
         self.store = store
         self.name = name or _fresh_name()
         self.domain = dom
-        self.watchers: List[Constraint] = []
+        #: ``(event_mask, constraint)`` subscriptions, wired by Store.post
+        self.watchers: List[Tuple[int, Constraint]] = []
         self._stamp = -1
         self.index = store.register_var(self)
 
     # -- queries -------------------------------------------------------
     def min(self) -> int:
-        return self.domain.min()
+        return self.domain.lo
 
     def max(self) -> int:
-        return self.domain.max()
+        return self.domain.hi
 
     def size(self) -> int:
         return len(self.domain)
 
     def is_assigned(self) -> bool:
-        return self.domain.is_singleton()
+        d = self.domain
+        return d.lo == d.hi
 
     def value(self) -> int:
         return self.domain.value()

@@ -9,7 +9,10 @@ at when judging a schedule:
   which slot when), directly visualizing the Diff2 packing of eq. 11;
 * :func:`modulo_window` — the steady-state II window of a modulo
   schedule with per-offset configuration and resource usage;
-* :func:`schedule_summary` — the one-paragraph numbers.
+* :func:`schedule_summary` — the one-paragraph numbers;
+* :func:`solver_stats` — the search telemetry (nodes, failures,
+  propagation counts per constraint class, per-phase time, incumbent
+  timeline) collected by :class:`repro.cp.stats.SolverStats`.
 
 Everything is pure string formatting over the result objects; nothing
 here affects scheduling.
@@ -153,4 +156,46 @@ def schedule_summary(sched: Schedule) -> str:
     if sched.slots:
         parts.append(f"{sched.slots_used()} memory slots used "
                      f"of {sched.cfg.n_slots}")
+    if sched.fallback:
+        parts.append("greedy fallback (CP budget expired with no incumbent)")
     return "; ".join(parts)
+
+
+def solver_stats(sched: Schedule) -> str:
+    """Search telemetry of a CP-scheduled kernel, one block of text.
+
+    Shows the branch-and-bound effort (nodes, failures, peak depth),
+    where propagation time went (per constraint class), how the search
+    phases split the work, and the incumbent-makespan timeline — the
+    numbers behind the paper's "solved in seconds" claims.
+    """
+    st = sched.search_stats
+    if st is None:
+        return "(no solver statistics: schedule did not come from the CP search)"
+    rows = [
+        f"solver: {st.nodes} nodes, {st.failures} failures, "
+        f"{st.solutions} solutions, peak depth {st.peak_depth}",
+        f"time: {st.time_ms:.0f} ms total, best at {st.time_to_best_ms:.0f} ms"
+        + (", TIMED OUT" if st.timed_out else "")
+        + f"  ({st.nodes_per_sec():.0f} nodes/s)",
+        f"propagation: {st.propagations} runs from {st.wakeups} wakeups",
+    ]
+    if st.propagations_by_class:
+        total = sum(st.propagations_by_class.values())
+        top = sorted(
+            st.propagations_by_class.items(), key=lambda kv: -kv[1]
+        )
+        rows.append("  by class: " + ", ".join(
+            f"{name} {count} ({count / total:.0%})" for name, count in top[:6]
+        ))
+    for name in st.phase_nodes:
+        rows.append(
+            f"  phase {name}: {st.phase_nodes[name]} nodes, "
+            f"{st.phase_time_ms.get(name, 0.0):.0f} ms"
+        )
+    if st.objective_timeline:
+        points = ", ".join(
+            f"{obj}@{ms:.0f}ms" for ms, obj in st.objective_timeline
+        )
+        rows.append(f"  incumbents: {points}")
+    return "\n".join(rows)

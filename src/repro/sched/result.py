@@ -34,6 +34,9 @@ class Schedule:
     status: SolveStatus = SolveStatus.FEASIBLE
     solve_time_ms: float = 0.0
     search_stats: Optional[SearchStats] = None
+    #: True when the CP budget expired without an incumbent and the
+    #: starts come from the greedy list scheduler instead (no slots).
+    fallback: bool = False
 
     # -- basic accessors -------------------------------------------------
     def start(self, node: Node) -> int:

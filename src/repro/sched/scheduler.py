@@ -13,6 +13,7 @@ from repro.arch.eit import DEFAULT_CONFIG, EITConfig
 from repro.arch.isa import OpCategory
 from repro.cp import Inconsistency, Search, SolveStatus
 from repro.ir.graph import Graph
+from repro.sched.list_sched import greedy_schedule
 from repro.sched.model import ScheduleModel
 from repro.sched.result import Schedule
 
@@ -41,8 +42,13 @@ def schedule(
         carries no slot assignment (the paper's "manual" schedules are
         compared against this mode).
     timeout_ms:
-        branch-and-bound budget.  On timeout the best schedule found so
-        far is returned with ``status=FEASIBLE``.
+        branch-and-bound budget.  On timeout the best incumbent found so
+        far is returned with ``status=FEASIBLE``; if the budget expired
+        before *any* incumbent, the greedy list schedule is returned
+        instead (``status=TIMEOUT``, ``fallback=True``, no slots) so
+        callers always get runnable start times.  Provable infeasibility
+        (the Table 1 too-small-memory rows) is never masked by the
+        fallback: it still reports ``INFEASIBLE`` with empty ``starts``.
 
     Returns a schedule with ``status``:
 
@@ -76,6 +82,22 @@ def schedule(
     result = search.minimize(model.makespan, model.phases())
 
     if not result.found:
+        if result.status is SolveStatus.TIMEOUT:
+            # Graceful degradation: budget exhausted before the search
+            # reached its first solution.  Fall back to the greedy list
+            # schedule (resource-feasible by construction, no memory
+            # allocation) rather than handing back nothing.
+            greedy = greedy_schedule(graph, cfg)
+            return Schedule(
+                graph=graph,
+                cfg=cfg,
+                starts=greedy.starts,
+                makespan=greedy.makespan,
+                status=SolveStatus.TIMEOUT,
+                solve_time_ms=result.stats.time_ms,
+                search_stats=result.stats,
+                fallback=True,
+            )
         return Schedule(
             graph=graph,
             cfg=cfg,

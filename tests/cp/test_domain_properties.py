@@ -1,0 +1,172 @@
+"""Property-based tests of the domain/trail substrate.
+
+Random sequences of narrowing operations (``set_min`` / ``set_max`` /
+``remove_value`` / ``remove_interval`` / ``assign``) interleaved with
+``push_level`` / ``pop_level`` are replayed against a plain Python-set
+shadow model.  Invariants:
+
+* after every successful operation the variable's domain equals the
+  shadow set exactly (not just its bounds);
+* a variable domain is *never* observably empty — an operation that
+  would empty it raises :class:`Inconsistency` and leaves the previous
+  domain in place;
+* ``pop_level`` restores the exact domain (identity with the interval
+  structure, not merely the same bounds) that was current at the
+  matching ``push_level``, no matter how many operations or failures
+  happened in between.
+
+This is the ground the trail-based search stands on: O(changes) undo is
+only correct if every interleaving restores exact state.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cp import Inconsistency, IntVar, Store
+
+LO, HI = 0, 30
+
+# one mutation step: (kind, operand(s))
+_ops = st.one_of(
+    st.tuples(st.just("set_min"), st.integers(LO - 3, HI + 3)),
+    st.tuples(st.just("set_max"), st.integers(LO - 3, HI + 3)),
+    st.tuples(st.just("remove_value"), st.integers(LO - 3, HI + 3)),
+    st.tuples(
+        st.just("remove_interval"),
+        st.tuples(st.integers(LO - 3, HI + 3), st.integers(LO - 3, HI + 3)),
+    ),
+    st.tuples(st.just("assign"), st.integers(LO - 3, HI + 3)),
+    st.tuples(st.just("push"), st.none()),
+    st.tuples(st.just("pop"), st.none()),
+)
+
+
+def _apply_shadow(shadow: set, kind: str, arg) -> set:
+    """The reference semantics of one operation on a plain set."""
+    if kind == "set_min":
+        return {v for v in shadow if v >= arg}
+    if kind == "set_max":
+        return {v for v in shadow if v <= arg}
+    if kind == "remove_value":
+        return shadow - {arg}
+    if kind == "remove_interval":
+        lo, hi = arg
+        return {v for v in shadow if not lo <= v <= hi}
+    if kind == "assign":
+        return {arg} if arg in shadow else set()
+    raise AssertionError(kind)
+
+
+@given(st.lists(_ops, max_size=40))
+@settings(max_examples=200, deadline=None)
+def test_domain_tracks_shadow_and_trail_restores_exactly(ops):
+    store = Store()
+    x = IntVar(store, LO, HI, name="x")
+    y = IntVar(store, LO, HI, name="y")
+    shadows = {x: set(range(LO, HI + 1)), y: set(range(LO, HI + 1))}
+    # stack of (domain-per-var, shadow-per-var) snapshots, one per push
+    saved = []
+    toggle = 0
+
+    for kind, arg in ops:
+        if kind == "push":
+            store.push_level()
+            saved.append(
+                (
+                    {v: v.domain for v in (x, y)},
+                    {v: set(s) for v, s in shadows.items()},
+                )
+            )
+            continue
+        if kind == "pop":
+            if not saved:
+                continue
+            store.pop_level()
+            doms, shads = saved.pop()
+            for v in (x, y):
+                assert v.domain == doms[v], "pop_level did not restore domain"
+                shadows[v] = shads[v]
+            continue
+
+        var = (x, y)[toggle]
+        toggle ^= 1
+        expected = _apply_shadow(shadows[var], kind, arg)
+        try:
+            if kind == "set_min":
+                store.set_min(var, arg)
+            elif kind == "set_max":
+                store.set_max(var, arg)
+            elif kind == "remove_value":
+                store.remove_value(var, arg)
+            elif kind == "remove_interval":
+                store.remove_interval(var, arg[0], arg[1])
+            elif kind == "assign":
+                store.assign(var, arg)
+        except Inconsistency:
+            # Only legal when the operation would have emptied the domain,
+            # and the previous domain must still be in place.
+            assert expected == set(), (
+                f"{kind}({arg}) raised but shadow is {sorted(expected)[:5]}..."
+            )
+            assert set(var.domain) == shadows[var]
+            continue
+        assert expected, "operation emptied the domain without raising"
+        assert set(var.domain) == expected, (
+            f"{kind}({arg}): domain {var.domain!r} != shadow"
+        )
+        assert not var.domain.is_empty()
+        shadows[var] = expected
+
+    # unwind whatever is still pushed: full restore down to the root
+    while saved:
+        store.pop_level()
+        doms, _shads = saved.pop()
+        for v in (x, y):
+            assert v.domain == doms[v]
+    assert store.depth == 0
+    # changes made at the root (level 0) are permanent by design; the
+    # trail must hold only those (everything above was popped)
+    assert all(var._stamp in (-1, 0) for var, _old in store._trail)
+
+
+@given(
+    st.lists(st.integers(LO, HI), min_size=1, max_size=15),
+    st.integers(LO, HI),
+)
+@settings(max_examples=100, deadline=None)
+def test_nested_levels_restore_in_lifo_order(removals, floor):
+    """Each level removes some values; popping unwinds them in reverse."""
+    store = Store()
+    x = IntVar(store, LO, HI, name="x")
+    history = [x.domain]
+    for v in removals:
+        store.push_level()
+        try:
+            store.remove_value(x, v)
+            store.set_min(x, min(floor, x.domain.hi))
+        except Inconsistency:
+            pass
+        history.append(x.domain)
+    for expected in reversed(history[:-1]):
+        store.pop_level()
+        assert x.domain == expected
+    assert x.domain == history[0]
+    assert len(x.domain) == HI - LO + 1
+
+
+@given(st.lists(st.integers(LO, HI), min_size=2, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_assign_twice_same_level_trails_once(values):
+    """The time-stamp optimization must not break restoration when one
+    variable changes many times inside a single level."""
+    store = Store()
+    x = IntVar(store, LO, HI, name="x")
+    vs = sorted(set(values))
+    store.push_level()
+    trail_base = len(store._trail)
+    for v in vs:
+        store.set_min(x, v)  # monotone rising mins: each call but no-ops narrows
+        assert len(store._trail) <= trail_base + 1
+    # exactly one entry iff the level changed x at all (v == LO is a no-op)
+    assert len(store._trail) == trail_base + (1 if vs[-1] > LO else 0)
+    store.pop_level()
+    assert x.min() == LO and x.max() == HI

@@ -194,3 +194,65 @@ class TestPhases:
         r = s.solve(xs)
         assert r.stats.nodes > 0
         assert r.stats.time_ms >= 0
+
+
+class TestBudgetExpiry:
+    """Regression: a budget expiring mid-phase must leave the store fully
+    popped and the partial statistics (nodes, backtracks, per-phase
+    counters) intact."""
+
+    @staticmethod
+    def _two_phase_model():
+        store = Store()
+        xs = [IntVar(store, 0, 8, name=f"x{i}") for i in range(9)]
+        ys = [IntVar(store, 0, 8, name=f"y{i}") for i in range(9)]
+        store.post(AllDifferent(xs))
+        store.post(AllDifferent(ys))
+        mk = IntVar(store, 0, 100, name="mk")
+        store.post(Max(mk, xs + ys))
+        return store, xs, ys, mk
+
+    def test_node_limit_mid_phase_store_fully_popped(self):
+        store, xs, ys, mk = self._two_phase_model()
+        trail_before = len(store._trail)
+        s = Search(store, node_limit=5)
+        r = s.minimize(mk, [Phase(xs, name="first"), Phase(ys, name="second")])
+        assert store.depth == 0
+        assert len(store._trail) == trail_before
+        # root domains restored exactly
+        assert xs[0].min() == 0 and xs[0].max() == 8
+
+    def test_expired_budget_still_counts_nodes_and_backtracks(self):
+        store, xs, ys, mk = self._two_phase_model()
+        s = Search(store, node_limit=5)
+        r = s.minimize(mk, [Phase(xs, name="first"), Phase(ys, name="second")])
+        st = r.stats
+        assert st.timed_out
+        assert st.nodes > 0
+        assert st.peak_depth > 0
+        # the phase the budget died in still has its node count
+        assert sum(st.phase_nodes.values()) > 0
+        assert all(n >= 0 for n in st.phase_time_ms.values())
+
+    def test_zero_timeout_expires_on_first_node(self):
+        store, xs, ys, mk = self._two_phase_model()
+        trail_before = len(store._trail)  # root-level entries stay
+        s = Search(store, timeout_ms=0.0001)
+        r = s.minimize(mk, [Phase(xs, name="first"), Phase(ys, name="second")])
+        assert r.status is SolveStatus.TIMEOUT
+        assert r.stats.timed_out
+        assert store.depth == 0 and len(store._trail) == trail_before
+
+    def test_budget_with_incumbent_reports_feasible(self):
+        store = Store()
+        xs = [IntVar(store, 0, 12, name=f"s{i}") for i in range(10)]
+        mk = IntVar(store, 0, 40, name="mk")
+        store.post(Cumulative([Task(x, 2, 1) for x in xs], 2))
+        store.post(Max(mk, xs))
+        trail_before = len(store._trail)
+        s = Search(store, node_limit=60)
+        r = s.minimize(mk, [Phase(xs)])
+        if r.stats.timed_out:
+            assert r.status is SolveStatus.FEASIBLE
+            assert r.objective is not None
+        assert store.depth == 0 and len(store._trail) == trail_before

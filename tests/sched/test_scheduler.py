@@ -78,7 +78,32 @@ class TestMemoryCoupling:
         g = merge_pipeline_ops(build_matmul())
         s = schedule(g, n_slots=2, timeout_ms=3_000)
         assert s.status in (SolveStatus.INFEASIBLE, SolveStatus.TIMEOUT)
-        assert s.starts == {}
+        if s.status is SolveStatus.INFEASIBLE:
+            # proven: no schedule is claimed, no fallback offered
+            assert s.starts == {} and not s.fallback
+        else:
+            # budget ran out before the proof: the greedy fallback may
+            # supply start times, but never a slot assignment
+            assert s.slots == {}
+
+
+class TestTimeoutFallback:
+    def test_timeout_without_incumbent_returns_greedy(self):
+        g = merge_pipeline_ops(build_qrd())
+        s = schedule(g, timeout_ms=0.0001)
+        assert s.status is SolveStatus.TIMEOUT
+        assert s.fallback
+        assert s.slots == {}
+        assert s.makespan == greedy_schedule(g).makespan
+        assert verify_schedule(s, check_memory=False) == []
+        # partial telemetry still attached
+        assert s.search_stats is not None and s.search_stats.timed_out
+
+    def test_fallback_never_applies_when_search_finishes(self):
+        g = merge_pipeline_ops(build_matmul())
+        s = schedule(g, timeout_ms=60_000)
+        assert s.status is SolveStatus.OPTIMAL
+        assert not s.fallback
 
     def test_lane_constrained_architecture(self):
         g = merge_pipeline_ops(build_matmul())
