@@ -1,0 +1,93 @@
+"""Parallel-sweep speedup floor and warm-cache behaviour.
+
+The design-space sweep is embarrassingly parallel, so fanning it out
+over a process pool must actually buy wall-clock: on a machine with at
+least 4 cores, ``jobs=4`` is required to be >= 2x faster than
+``jobs=1`` on the same grid — while producing cell-for-cell identical
+design points (asserted unconditionally, whatever the core count).
+A warm :class:`repro.cache.ScheduleCache` rerun must do zero CP search.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.apps import SynthSpec, kernel_builder
+from repro.arch.eit import DEFAULT_CONFIG, EITConfig
+from repro.cache import ScheduleCache
+from repro.sched.explore import explore_detailed
+
+PROFILES = {
+    "eit": DEFAULT_CONFIG,
+    "narrow2": EITConfig(n_lanes=2),
+    "deep9": EITConfig(pipeline_depth=9),
+}
+
+# Seeds chosen so every cell solves to proven optimality in well under
+# its budget (no timeout-dependent statuses — parallel and sequential
+# sweeps must be bit-identical) while still costing enough CP search
+# (~0.5-2.5 s per kernel x 3 profiles) that fan-out overhead cannot
+# mask the speedup.
+KERNELS = {
+    f"synth{seed}": kernel_builder(SynthSpec(n_ops=18, seed=seed))
+    for seed in (3, 8, 10, 14, 16, 17, 20, 23)
+}
+
+
+def _sweep(jobs):
+    t0 = time.monotonic()
+    outcome = explore_detailed(
+        KERNELS, PROFILES, timeout_ms=60_000, modulo_timeout_ms=60_000,
+        jobs=jobs,
+    )
+    return outcome, time.monotonic() - t0
+
+
+def test_parallel_speedup_floor(benchmark):
+    seq, t_seq = _sweep(jobs=1)
+
+    def parallel():
+        return _sweep(jobs=4)
+
+    par, t_par = benchmark.pedantic(parallel, rounds=1, iterations=1)
+
+    # determinism first: identical design points, whatever the core count
+    assert [p.as_dict() for p in par.points] == [
+        p.as_dict() for p in seq.points
+    ]
+    print(f"\nsweep: jobs=1 {t_seq:.2f}s, jobs=4 {t_par:.2f}s "
+          f"(speedup {t_seq / max(t_par, 1e-9):.2f}x, "
+          f"{os.cpu_count()} cores)")
+    if (os.cpu_count() or 1) >= 4:
+        assert t_seq / t_par >= 2.0, (
+            f"jobs=4 only {t_seq / t_par:.2f}x faster than jobs=1 "
+            f"on a {os.cpu_count()}-core machine (floor: 2x)"
+        )
+    else:
+        pytest.skip(
+            f"speedup floor needs >= 4 cores, have {os.cpu_count()}"
+            " (identity still asserted above)"
+        )
+
+
+def test_warm_cache_sweep_is_free(benchmark):
+    cache = ScheduleCache()
+    cold = explore_detailed(
+        KERNELS, PROFILES, timeout_ms=60_000, modulo_timeout_ms=60_000,
+        cache=cache,
+    )
+    assert cold.solver.nodes > 0
+
+    def warm():
+        return explore_detailed(
+            KERNELS, PROFILES, timeout_ms=60_000, modulo_timeout_ms=60_000,
+            cache=cache,
+        )
+
+    warm_outcome = benchmark.pedantic(warm, rounds=1, iterations=1)
+    assert warm_outcome.solver.nodes == 0  # zero CP search on a warm cache
+    assert [p.as_dict() for p in warm_outcome.points] == [
+        p.as_dict() for p in cold.points
+    ]
+    print(f"\ncold {cold.wall_ms:.0f} ms -> warm {warm_outcome.wall_ms:.0f} ms")

@@ -17,7 +17,7 @@ from repro.apps.matmul import build as build_matmul
 from repro.apps.qrd import build as build_qrd
 from repro.apps.arf import build as build_arf
 from repro.apps.backsub import build as build_backsub
-from repro.apps.synth import SynthSpec, random_kernel
+from repro.apps.synth import SynthSpec, kernel_builder, random_kernel, synth_suite
 
 __all__ = [
     "SynthSpec",
@@ -25,5 +25,7 @@ __all__ = [
     "build_backsub",
     "build_matmul",
     "build_qrd",
+    "kernel_builder",
     "random_kernel",
+    "synth_suite",
 ]

@@ -14,8 +14,9 @@ zero, and magnitudes kept near 1 so long op chains stay finite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+import functools
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -26,7 +27,13 @@ from repro.ir.graph import Graph
 
 @dataclass(frozen=True)
 class SynthSpec:
-    """Knobs for the generator."""
+    """Knobs for the generator.
+
+    ``seed`` is the *only* entropy source: every draw the generator
+    makes comes from ``np.random.default_rng(seed)``, so the same spec
+    always yields the same kernel — whether it is built in this process
+    or inside a pool worker of a parallel sweep.
+    """
 
     n_ops: int = 20
     n_inputs: int = 4
@@ -36,13 +43,24 @@ class SynthSpec:
     seed: int = 0
 
 
-def random_kernel(spec: Optional[SynthSpec] = None, **kwargs) -> Graph:
-    """Generate one random kernel; ``kwargs`` override :class:`SynthSpec`."""
+def random_kernel(
+    spec: Optional[SynthSpec] = None,
+    rng: Optional[np.random.Generator] = None,
+    **kwargs,
+) -> Graph:
+    """Generate one random kernel; ``kwargs`` override :class:`SynthSpec`.
+
+    All randomness comes from one generator seeded with ``spec.seed``;
+    pass ``rng`` only to *observe* or share a stream explicitly (e.g.
+    when composing several generators in one experiment) — by default
+    every call is a pure function of the spec.
+    """
     if spec is None:
         spec = SynthSpec(**kwargs)
     elif kwargs:
         raise TypeError("pass either a spec or keyword overrides, not both")
-    rng = np.random.default_rng(spec.seed)
+    if rng is None:
+        rng = np.random.default_rng(spec.seed)
 
     def rand_vec_values():
         v = rng.standard_normal(4) + 1j * rng.standard_normal(4)
@@ -116,3 +134,38 @@ def random_kernel(spec: Optional[SynthSpec] = None, **kwargs) -> Graph:
                 else:
                     scalars.append(a.dotP(b))
     return t.graph
+
+
+def kernel_builder(spec_or_seed) -> Callable[[], Graph]:
+    """A picklable zero-argument builder for one synthetic kernel.
+
+    ``explore(..., jobs=N)``'s kernels mapping wants plain callables;
+    lambdas and closures don't pickle, so this returns a
+    ``functools.partial`` over the module-level :func:`random_kernel`
+    bound to a frozen spec.  Accepts either a :class:`SynthSpec` or a
+    bare seed.
+    """
+    spec = (
+        spec_or_seed
+        if isinstance(spec_or_seed, SynthSpec)
+        else SynthSpec(seed=int(spec_or_seed))
+    )
+    return functools.partial(random_kernel, spec)
+
+
+def synth_suite(
+    n_kernels: int = 4,
+    seed: int = 0,
+    base_spec: Optional[SynthSpec] = None,
+) -> Dict[str, Callable[[], Graph]]:
+    """A named family of seeded synthetic kernels for sweeps.
+
+    Kernel *i* uses seed ``seed + i`` on ``base_spec`` — fully
+    explicit, so a parallel sweep and a sequential one build identical
+    kernels, and any kernel can be regenerated from its name alone.
+    """
+    base = base_spec or SynthSpec()
+    return {
+        f"synth{seed + i}": kernel_builder(replace(base, seed=seed + i))
+        for i in range(n_kernels)
+    }

@@ -7,6 +7,8 @@ Usage::
     python -m repro.bench table3 [--kernels qrd,arf,matmul] [--timeout 600]
     python -m repro.bench fig3 | fig45 | fig6 | fig8
     python -m repro.bench profile [--profile-kernel qrd] [--out stats.json]
+    python -m repro.bench explore [--jobs 4] [--no-cache] [--cache-dir DIR] \
+                                  [--out BENCH_explore.json]
     python -m repro.bench all
 """
 
@@ -17,10 +19,12 @@ import json
 import sys
 
 from repro.bench.harness import (
+    explore_bench,
     fig3_ir,
     fig45_expansion,
     fig6_merging,
     fig8_memory,
+    print_explore,
     print_table1,
     print_table2,
     print_table3,
@@ -35,7 +39,7 @@ def main(argv=None) -> int:
     p = argparse.ArgumentParser(prog="python -m repro.bench")
     p.add_argument("experiment", choices=[
         "table1", "table2", "table3", "fig3", "fig45", "fig6", "fig8",
-        "profile", "all",
+        "profile", "explore", "all",
     ])
     p.add_argument("--sizes", default="64,32,16,10",
                    help="memory sizes for table1 (comma-separated)")
@@ -48,7 +52,13 @@ def main(argv=None) -> int:
     p.add_argument("--profile-kernel", default="qrd",
                    help="kernel for the profile experiment")
     p.add_argument("--out", default=None,
-                   help="write profile JSON here instead of stdout")
+                   help="write profile/explore JSON here instead of stdout")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the explore sweep")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the content-addressed schedule cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="persist the schedule cache to this directory")
     args = p.parse_args(argv)
 
     todo = (
@@ -86,6 +96,21 @@ def main(argv=None) -> int:
             for name, (slots, ok, reason) in fig8_memory().items():
                 verdict = "1-cycle accessible" if ok else f"NOT accessible ({reason})"
                 print(f"matrix {name}: slots {slots}: {verdict}")
+        elif exp == "explore":
+            kernels = args.kernels.split(",")
+            payload = explore_bench(
+                kernels=kernels,
+                jobs=args.jobs,
+                use_cache=not args.no_cache,
+                cache_dir=args.cache_dir,
+                timeout_ms=args.timeout * 1000,
+                modulo_timeout_ms=args.timeout * 1000,
+            )
+            print(print_explore(payload))
+            if args.out:
+                with open(args.out, "w") as f:
+                    f.write(json.dumps(payload, indent=2) + "\n")
+                print(f"wrote {args.out}")
         elif exp == "profile":
             payload = json.dumps(
                 profile_solver(

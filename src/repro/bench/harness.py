@@ -8,7 +8,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.eit import DEFAULT_CONFIG, EITConfig
 from repro.arch.memory import figure8_examples
-from repro.apps import build_arf, build_matmul, build_qrd
+from repro.apps import build_arf, build_backsub, build_matmul, build_qrd
 from repro.ir import (
     matrix_op_to_vector_ops,
     merge_pipeline_ops,
@@ -28,6 +28,7 @@ KERNELS: Dict[str, Callable[[], Graph]] = {
     "qrd": build_qrd,
     "arf": build_arf,
     "matmul": build_matmul,
+    "backsub": build_backsub,
 }
 
 
@@ -279,6 +280,76 @@ def print_table3(rows: List[Table3Row]) -> str:
             for r in rows
         ],
     )
+
+
+# ----------------------------------------------------------------------
+# Design-space sweep benchmark (the parallel-scheduling exhibit)
+# ----------------------------------------------------------------------
+def explore_bench(
+    kernels: Sequence[str] = ("qrd", "arf", "matmul"),
+    profiles: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+    timeout_ms: float = 30_000.0,
+    modulo_timeout_ms: float = 30_000.0,
+) -> Dict[str, object]:
+    """Run the kernels × profiles sweep and return the JSON payload.
+
+    This is what ``python -m repro.bench explore`` emits as
+    ``BENCH_explore.json``: every design point, the wall-clock of the
+    sweep itself, the merged solver telemetry, and the cache counters —
+    the numbers that track the perf trajectory of the sweep across
+    commits.
+    """
+    from repro.cache import ScheduleCache
+    from repro.sched.explore import STANDARD_PROFILES, explore_detailed
+
+    profile_names = list(profiles) if profiles else list(STANDARD_PROFILES)
+    cache = (
+        ScheduleCache(disk_dir=cache_dir) if use_cache or cache_dir else None
+    )
+    outcome = explore_detailed(
+        {k: KERNELS[k] for k in kernels},
+        {p: STANDARD_PROFILES[p] for p in profile_names},
+        timeout_ms=timeout_ms,
+        modulo_timeout_ms=modulo_timeout_ms,
+        jobs=jobs,
+        cache=cache,
+    )
+    return {
+        "kernels": list(kernels),
+        "profiles": profile_names,
+        "jobs": outcome.jobs,
+        "n_cells": outcome.n_cells,
+        "wall_ms": round(outcome.wall_ms, 3),
+        "solver": outcome.solver.as_dict(),
+        "cache": outcome.cache_stats,
+        "points": [p.as_dict() for p in outcome.points],
+    }
+
+
+def print_explore(payload: Dict[str, object]) -> str:
+    """Human rendering of an :func:`explore_bench` payload."""
+    header = (
+        f"sweep: {len(payload['kernels'])} kernels x "
+        f"{len(payload['profiles'])} profiles, jobs={payload['jobs']}, "
+        f"wall {payload['wall_ms'] / 1000.0:.1f} s, "
+        f"{payload['solver']['nodes']} CP nodes"
+    )
+    if payload["cache"]:
+        c = payload["cache"]
+        header += f"; cache {c['hits']} hits / {c['misses']} misses"
+    body = format_table(
+        ["kernel", "profile", "makespan", "slots", "status", "actual II",
+         "thr. (iter/cc)"],
+        [
+            [p["kernel"], p["profile"], p["makespan"], p["slots_used"],
+             p["status"], p["modulo_ii"], round(p["modulo_throughput"], 4)]
+            for p in payload["points"]
+        ],
+    )
+    return header + "\n" + body
 
 
 # ----------------------------------------------------------------------

@@ -147,10 +147,17 @@ class Search:
         store: Store,
         timeout_ms: Optional[float] = None,
         node_limit: Optional[int] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ):
         self.store = store
         self.timeout_ms = timeout_ms
         self.node_limit = node_limit
+        #: cooperative cancellation: polled once per search node; when it
+        #: returns True the run unwinds exactly like a budget expiry
+        #: (store fully popped, partial stats preserved).  The parallel
+        #: racing modulo search points this at a shared Event so losing
+        #: II candidates stop burning cycles once a better II is proven.
+        self.should_stop = should_stop
         self.stats = SolverStats()
         self._deadline: Optional[float] = None
         self._t0: float = 0.0
@@ -234,6 +241,10 @@ class Search:
         if self.node_limit is not None and stats.nodes > self.node_limit:
             stats.timed_out = True
             raise _Budget("node limit")
+        if self.should_stop is not None and self.should_stop():
+            stats.timed_out = True
+            stats.cancelled = True
+            raise _Budget("cancelled")
 
     def _pick(self):
         """``(phase_index, phase, variable)`` of the next decision, or None."""

@@ -38,7 +38,9 @@ class SolverStats:
         best-makespan-over-time curve of a minimization.
     Budget
         ``timed_out`` is True when the wall-clock or node budget expired
-        before the search was exhausted.
+        before the search was exhausted; ``cancelled`` is True when an
+        external ``should_stop`` hook ended the run (the parallel racing
+        search uses this to abandon II candidates that lost the race).
     """
 
     nodes: int = 0
@@ -51,10 +53,42 @@ class SolverStats:
     time_ms: float = 0.0
     time_to_best_ms: float = 0.0
     timed_out: bool = False
+    cancelled: bool = False
     propagations_by_class: Dict[str, int] = field(default_factory=dict)
     phase_nodes: Dict[str, int] = field(default_factory=dict)
     phase_time_ms: Dict[str, float] = field(default_factory=dict)
     objective_timeline: List[Tuple[float, int]] = field(default_factory=list)
+
+    def merge(self, other: "SolverStats") -> "SolverStats":
+        """Accumulate another run's counters into this one, in place.
+
+        Used to aggregate telemetry across the many independent solves
+        of a design-space sweep (sequential or fanned out over a worker
+        pool): counters and times add, ``peak_depth`` takes the max, the
+        budget flags OR together, and the per-class / per-phase
+        dictionaries add key-wise.  ``objective_timeline`` and
+        ``time_to_best_ms`` are per-solve notions and are left untouched.
+        Returns ``self`` so calls chain.
+        """
+        self.nodes += other.nodes
+        self.failures += other.failures
+        self.backtracks += other.backtracks
+        self.solutions += other.solutions
+        self.peak_depth = max(self.peak_depth, other.peak_depth)
+        self.propagations += other.propagations
+        self.wakeups += other.wakeups
+        self.time_ms += other.time_ms
+        self.timed_out = self.timed_out or other.timed_out
+        self.cancelled = self.cancelled or other.cancelled
+        for k, v in other.propagations_by_class.items():
+            self.propagations_by_class[k] = (
+                self.propagations_by_class.get(k, 0) + v
+            )
+        for k, v in other.phase_nodes.items():
+            self.phase_nodes[k] = self.phase_nodes.get(k, 0) + v
+        for k, v in other.phase_time_ms.items():
+            self.phase_time_ms[k] = self.phase_time_ms.get(k, 0.0) + v
+        return self
 
     def nodes_per_sec(self) -> float:
         """Search-node throughput; 0 when no time was measured."""
@@ -75,6 +109,7 @@ class SolverStats:
             "time_ms": round(self.time_ms, 3),
             "time_to_best_ms": round(self.time_to_best_ms, 3),
             "timed_out": self.timed_out,
+            "cancelled": self.cancelled,
             "nodes_per_sec": round(self.nodes_per_sec(), 1),
             "propagations_by_class": dict(self.propagations_by_class),
             "phase_nodes": dict(self.phase_nodes),

@@ -6,17 +6,27 @@ profiles over a set of kernels, collecting single-iteration makespan,
 memory footprint and steady-state modulo throughput — the numbers an
 architecture team trades off when sizing lanes, pipeline depth and the
 banked memory.
+
+The sweep is a grid of *independent* CSPs, so it scales with cores:
+``explore(..., jobs=N)`` submits every (kernel, profile) cell — its
+flat schedule solve and its modulo solve — as one task graph over a
+:class:`repro.sched.parallel.WorkerPool`.  A
+:class:`repro.cache.ScheduleCache` short-circuits cells whose content
+address (canonical graph hash + config + solver options) was solved
+before, so a warm rerun of a full sweep performs zero CP search.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.arch.eit import DEFAULT_CONFIG, EITConfig
+from repro.cp.stats import SolverStats
 from repro.ir import merge_pipeline_ops
 from repro.ir.graph import Graph
-from repro.sched.modulo import modulo_schedule
+from repro.sched.modulo import derive_per_ii_timeout, modulo_schedule
 from repro.sched.scheduler import schedule
 
 #: ready-made profiles for sweeps (the paper's instance plus variants)
@@ -46,6 +56,165 @@ class DesignPoint:
     def feasible(self) -> bool:
         return self.makespan >= 0
 
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kernel": self.kernel,
+            "profile": self.profile,
+            "makespan": self.makespan,
+            "slots_used": self.slots_used,
+            "status": self.status,
+            "modulo_ii": self.modulo_ii,
+            "modulo_throughput": self.modulo_throughput,
+        }
+
+
+@dataclass
+class ExploreOutcome:
+    """A sweep's points plus its own telemetry.
+
+    ``solver`` merges the :class:`SolverStats` of every *fresh* solve
+    the sweep performed — cache hits contribute nothing, so a fully
+    warm rerun shows ``solver.nodes == 0``.
+    """
+
+    points: List[DesignPoint]
+    wall_ms: float = 0.0
+    jobs: int = 1
+    n_cells: int = 0
+    solver: SolverStats = field(default_factory=SolverStats)
+    cache_stats: Optional[Dict[str, int]] = None
+
+
+def _point_from_payloads(
+    kname: str, pname: str, sched_payload: Mapping, modulo_payload: Mapping
+) -> DesignPoint:
+    starts = sched_payload["starts"]
+    slots = sched_payload["slots"]
+    found = modulo_payload["status"] in ("optimal", "feasible")
+    return DesignPoint(
+        kernel=kname,
+        profile=pname,
+        makespan=sched_payload["makespan"],
+        slots_used=len(set(slots.values())) if starts else 0,
+        status=sched_payload["status"],
+        modulo_ii=modulo_payload["actual_ii"] if found else -1,
+        modulo_throughput=(
+            1.0 / modulo_payload["actual_ii"]
+            if found and modulo_payload["actual_ii"] > 0
+            else 0.0
+        ),
+    )
+
+
+def explore_detailed(
+    kernels: Mapping[str, Callable[[], Graph]],
+    profiles: Optional[Mapping[str, EITConfig]] = None,
+    timeout_ms: float = 30_000.0,
+    modulo_timeout_ms: float = 30_000.0,
+    include_reconfigs: bool = False,
+    jobs: int = 1,
+    cache: Optional["ScheduleCache"] = None,
+) -> ExploreOutcome:
+    """Evaluate every kernel on every profile; full telemetry.
+
+    ``kernels`` maps names to graph builders (e.g.
+    ``{"matmul": repro.apps.build_matmul}``).  Infeasible or timed-out
+    points are reported with ``makespan = -1`` rather than raising, so a
+    sweep always completes.  With ``jobs > 1`` the grid fans out over a
+    process pool; builders must then be picklable *or* cheap, since
+    graphs are built once in the parent and shipped to workers as data
+    (builders themselves never cross the process boundary).  A dying
+    worker degrades its cell to the greedy fallback.  ``cache``
+    short-circuits previously solved cells by content address.
+    """
+    from repro.cache import (
+        cache_key,
+        modulo_from_payload,
+        schedule_payload,
+        modulo_payload as to_modulo_payload,
+    )
+    from repro.sched.parallel import SolveRequest, solve_many
+
+    t0 = time.monotonic()
+    profiles = profiles or STANDARD_PROFILES
+    outcome = ExploreOutcome(points=[], jobs=jobs)
+
+    # Build every kernel graph once, in the parent, in deterministic
+    # order — parallel and sequential sweeps schedule identical graphs.
+    graphs: Dict[str, Graph] = {
+        kname: merge_pipeline_ops(builder()) for kname, builder in kernels.items()
+    }
+
+    # Assemble the task graph: two solves per cell, all independent.
+    cells: List[Tuple[str, str]] = [
+        (kname, pname) for kname in kernels for pname in profiles
+    ]
+    outcome.n_cells = len(cells)
+    payloads: Dict[str, Mapping] = {}  # req_id -> result payload
+    requests: List[SolveRequest] = []
+    keys: Dict[str, str] = {}  # req_id -> cache key
+
+    for kname, pname in cells:
+        graph, cfg = graphs[kname], profiles[pname]
+        per_ii = derive_per_ii_timeout(
+            modulo_timeout_ms, graph, cfg, include_reconfigs
+        )
+        for kind, options in (
+            ("schedule", {"timeout_ms": timeout_ms}),
+            (
+                "modulo",
+                {
+                    "include_reconfigs": include_reconfigs,
+                    "timeout_ms": modulo_timeout_ms,
+                    "per_ii_timeout_ms": per_ii,
+                },
+            ),
+        ):
+            req_id = f"{kname}/{pname}/{kind}"
+            if cache is not None:
+                key = cache_key(graph, cfg, kind, options)
+                keys[req_id] = key
+                hit = cache.get(key)
+                if hit is not None:
+                    payloads[req_id] = hit
+                    continue
+            requests.append(
+                SolveRequest(
+                    req_id=req_id,
+                    kind=kind,
+                    graph=graph,
+                    cfg=cfg,
+                    options=tuple(sorted(options.items())),
+                )
+            )
+
+    results = solve_many(requests, jobs=jobs)
+    for req_id, res in results.items():
+        payloads[req_id] = res.payload
+        if res.stats is not None:
+            outcome.solver.merge(res.stats)
+            if cache is not None:
+                cache.record_solve(res.stats.nodes)
+        if cache is not None and not res.degraded:
+            # degraded (greedy-fallback) results are not worth caching:
+            # a rerun should attempt the real solve again
+            cache.put(keys[req_id], res.payload)
+
+    for kname, pname in cells:
+        outcome.points.append(
+            _point_from_payloads(
+                kname,
+                pname,
+                payloads[f"{kname}/{pname}/schedule"],
+                payloads[f"{kname}/{pname}/modulo"],
+            )
+        )
+
+    outcome.wall_ms = (time.monotonic() - t0) * 1000.0
+    if cache is not None:
+        outcome.cache_stats = cache.stats.as_dict()
+    return outcome
+
 
 def explore(
     kernels: Mapping[str, Callable[[], Graph]],
@@ -53,39 +222,19 @@ def explore(
     timeout_ms: float = 30_000.0,
     modulo_timeout_ms: float = 30_000.0,
     include_reconfigs: bool = False,
+    jobs: int = 1,
+    cache: Optional["ScheduleCache"] = None,
 ) -> List[DesignPoint]:
-    """Evaluate every kernel on every profile.
-
-    ``kernels`` maps names to graph builders (e.g.
-    ``{"matmul": repro.apps.build_matmul}``).  Infeasible or timed-out
-    points are reported with ``makespan = -1`` rather than raising, so a
-    sweep always completes.
-    """
-    profiles = profiles or STANDARD_PROFILES
-    points: List[DesignPoint] = []
-    for kname, builder in kernels.items():
-        graph = merge_pipeline_ops(builder())
-        for pname, cfg in profiles.items():
-            s = schedule(graph, cfg=cfg, timeout_ms=timeout_ms)
-            m = modulo_schedule(
-                graph,
-                cfg,
-                include_reconfigs=include_reconfigs,
-                timeout_ms=modulo_timeout_ms,
-                per_ii_timeout_ms=modulo_timeout_ms / 3,
-            )
-            points.append(
-                DesignPoint(
-                    kernel=kname,
-                    profile=pname,
-                    makespan=s.makespan,
-                    slots_used=s.slots_used() if s.starts else 0,
-                    status=s.status.value,
-                    modulo_ii=m.actual_ii if m.found else -1,
-                    modulo_throughput=m.throughput if m.found else 0.0,
-                )
-            )
-    return points
+    """Evaluate every kernel on every profile (see :func:`explore_detailed`)."""
+    return explore_detailed(
+        kernels,
+        profiles,
+        timeout_ms=timeout_ms,
+        modulo_timeout_ms=modulo_timeout_ms,
+        include_reconfigs=include_reconfigs,
+        jobs=jobs,
+        cache=cache,
+    ).points
 
 
 def pareto_front(
@@ -94,16 +243,24 @@ def pareto_front(
     """Profiles not dominated on (makespan, modulo II) for a kernel.
 
     Lower is better on both axes; infeasible points never appear.
+    Runs in O(n log n): a sweep over the sorted *unique* coordinate
+    pairs finds the frontier, then every point sitting on a frontier
+    coordinate is kept — co-located duplicates (two profiles landing on
+    the same (makespan, II)) are all reported, deterministically ordered
+    by (makespan, II, profile).
     """
     candidates = [p for p in points if p.kernel == kernel and p.feasible
                   and p.modulo_ii > 0]
-    front = []
-    for p in candidates:
-        dominated = any(
-            (q.makespan <= p.makespan and q.modulo_ii <= p.modulo_ii)
-            and (q.makespan < p.makespan or q.modulo_ii < p.modulo_ii)
-            for q in candidates
-        )
-        if not dominated:
-            front.append(p)
-    return sorted(front, key=lambda p: (p.makespan, p.modulo_ii))
+    if not candidates:
+        return []
+    pairs = sorted({(p.makespan, p.modulo_ii) for p in candidates})
+    front_pairs = set()
+    best_ii: Optional[int] = None
+    for makespan, ii in pairs:  # makespan ascending, ii ascending within
+        if best_ii is None or ii < best_ii:
+            front_pairs.add((makespan, ii))
+            best_ii = ii
+    front = [
+        p for p in candidates if (p.makespan, p.modulo_ii) in front_pairs
+    ]
+    return sorted(front, key=lambda p: (p.makespan, p.modulo_ii, p.profile))

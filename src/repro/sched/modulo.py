@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.arch.eit import DEFAULT_CONFIG, EITConfig, ResourceKind
 from repro.arch.isa import OpCategory
@@ -51,6 +51,7 @@ from repro.cp import (
     Phase,
     Search,
     SolveStatus,
+    SolverStats,
     Store,
     Task,
 )
@@ -75,6 +76,12 @@ class ModuloResult:
     offsets: Dict[int, int] = field(default_factory=dict)  # op nid -> offset
     stages: Dict[int, int] = field(default_factory=dict)  # op nid -> stage
     tried: List[Tuple[int, str]] = field(default_factory=list)
+    #: True when this result came from the greedy degradation path (a
+    #: crashed/timed-out pool worker) rather than the CP search.
+    fallback: bool = False
+    #: merged solver telemetry of every candidate II tried (None for
+    #: fallback/cached results — no fresh search happened).
+    search_stats: Optional["SolverStats"] = None
 
     @property
     def throughput(self) -> float:
@@ -129,15 +136,65 @@ def resource_lower_bound(
     return max(vec_cycles, scalar_cycles, index_cycles, 1)
 
 
-def _try_ii(
+def ii_search_range(
+    graph: Graph,
+    cfg: EITConfig = DEFAULT_CONFIG,
+    include_reconfigs: bool = False,
+    max_ii: Optional[int] = None,
+) -> Tuple[int, int, int]:
+    """``(lb, hi, flat_makespan)`` — the candidate-II window of a kernel.
+
+    ``lb`` is the resource lower bound, ``hi`` the greedy flat makespan
+    plus one (a trivially sufficient II) unless ``max_ii`` overrides it.
+    Both the sequential loop and the parallel racer iterate exactly this
+    range, which is what makes their results comparable.
+    """
+    flat = greedy_schedule(graph, cfg)
+    lb = resource_lower_bound(graph, cfg, include_reconfigs)
+    hi = max_ii if max_ii is not None else max(flat.makespan + 1, lb)
+    return lb, hi, flat.makespan
+
+
+def derive_per_ii_timeout(
+    modulo_timeout_ms: float,
+    graph: Graph,
+    cfg: EITConfig = DEFAULT_CONFIG,
+    include_reconfigs: bool = False,
+    max_ii: Optional[int] = None,
+) -> float:
+    """A per-candidate budget that cannot starve a wide II window.
+
+    A fixed ``modulo_timeout_ms / 3`` slice lets three hard candidates
+    exhaust the whole budget while a dozen more go untried.  Instead,
+    split the global budget by the *actual* number of candidates between
+    the resource lower bound and the greedy makespan (never coarser than
+    the old 3-way split), so every window in the range gets a fair share
+    of the budget.
+    """
+    lb, hi, _ = ii_search_range(graph, cfg, include_reconfigs, max_ii)
+    n_candidates = max(1, hi - lb + 1)
+    return modulo_timeout_ms / max(3, n_candidates)
+
+
+def stages_for_window(flat_makespan: int, window: int) -> int:
+    """Max pipeline stages allowed for one candidate window."""
+    return max(1, -(-flat_makespan // window) + 1)
+
+
+def try_candidate(
     graph: Graph,
     cfg: EITConfig,
     window: int,
     include_reconfigs: bool,
     timeout_ms: float,
     max_stages: int,
+    should_stop: Optional[Callable[[], bool]] = None,
 ):
     """Solve the satisfaction CSP for one candidate window length.
+
+    Returns ``(solution, status, stats)`` where ``solution`` is
+    ``(offsets, stages)`` or None and ``stats`` the run's
+    :class:`SolverStats` (empty when root posting already failed).
 
     Decision variables are *absolute* start times ``s``; offsets and
     stages are channeled arc-consistently (``o = s mod W``,
@@ -218,9 +275,9 @@ def _try_ii(
                         )
                     )
     except Inconsistency:
-        return None, SolveStatus.INFEASIBLE
+        return None, SolveStatus.INFEASIBLE, SolverStats()
 
-    search = Search(store, timeout_ms=timeout_ms)
+    search = Search(store, timeout_ms=timeout_ms, should_stop=should_stop)
     # Set-times search over absolute start times: always extend the
     # schedule at its earliest open point, as in the flat scheduler.
     result = search.solve(
@@ -234,10 +291,10 @@ def _try_ii(
         ]
     )
     if not result.found:
-        return None, result.status
+        return None, result.status, result.stats
     offs = {o.nid: result.value(offset[o.nid].name) for o in ops}
     stgs = {o.nid: result.value(stage[o.nid].name) for o in ops}
-    return (offs, stgs), result.status
+    return (offs, stgs), result.status, result.stats
 
 
 def window_config_stream(
@@ -251,6 +308,83 @@ def window_config_stream(
     return stream
 
 
+def result_from_solution(
+    graph: Graph,
+    cfg: EITConfig,
+    include_reconfigs: bool,
+    window: int,
+    solution: Tuple[Dict[int, int], Dict[int, int]],
+    proven_all_below: bool,
+    opt_time_ms: float,
+    tried: List[Tuple[int, str]],
+    search_stats: Optional[SolverStats] = None,
+) -> ModuloResult:
+    """Assemble a feasible :class:`ModuloResult` from one CSP solution.
+
+    Shared by the sequential loop and the parallel racer so both produce
+    byte-identical results from the same ``(window, solution)``.
+    """
+    offsets, stages = solution
+    stream = window_config_stream(graph, offsets, window)
+    n_rec = cyclic_config_runs(stream)
+    if include_reconfigs:
+        actual = window
+    else:
+        actual = window + steady_state_overhead(stream, cfg.reconfig_cost)
+    return ModuloResult(
+        graph_name=graph.name,
+        include_reconfigs=include_reconfigs,
+        ii=window,
+        n_reconfigurations=n_rec,
+        actual_ii=actual,
+        status=SolveStatus.OPTIMAL if proven_all_below else SolveStatus.FEASIBLE,
+        opt_time_ms=opt_time_ms,
+        offsets=offsets,
+        stages=stages,
+        tried=tried,
+        search_stats=search_stats,
+    )
+
+
+def greedy_modulo_fallback(
+    graph: Graph,
+    cfg: EITConfig = DEFAULT_CONFIG,
+    include_reconfigs: bool = False,
+) -> ModuloResult:
+    """A valid (but far from minimal) modulo schedule from the greedy flat one.
+
+    With ``W = flat_makespan + 1`` every operation fits in stage 0 at
+    offset equal to its flat start, so the steady-state window is just
+    the flat schedule — resource-feasible by construction.  Used as the
+    degradation path when a pool worker crashes or the CP search never
+    returns: the sweep keeps a usable throughput number instead of dying.
+    """
+    flat = greedy_schedule(graph, cfg)
+    window = flat.makespan + 1
+    offsets = {op.nid: flat.starts[op.nid] for op in graph.op_nodes()}
+    stages = {op.nid: 0 for op in graph.op_nodes()}
+    stream = window_config_stream(graph, offsets, window)
+    n_rec = cyclic_config_runs(stream)
+    if include_reconfigs:
+        actual = window + steady_state_overhead(stream, cfg.reconfig_cost)
+        window = actual
+    else:
+        actual = window + steady_state_overhead(stream, cfg.reconfig_cost)
+    return ModuloResult(
+        graph_name=graph.name,
+        include_reconfigs=include_reconfigs,
+        ii=window,
+        n_reconfigurations=n_rec,
+        actual_ii=actual,
+        status=SolveStatus.FEASIBLE,
+        opt_time_ms=0.0,
+        offsets=offsets,
+        stages=stages,
+        tried=[(window, "greedy-fallback")],
+        fallback=True,
+    )
+
+
 def modulo_schedule(
     graph: Graph,
     cfg: EITConfig = DEFAULT_CONFIG,
@@ -258,17 +392,34 @@ def modulo_schedule(
     timeout_ms: float = 600_000.0,  # the paper's 10-minute solver budget
     max_ii: Optional[int] = None,
     per_ii_timeout_ms: Optional[float] = None,
+    jobs: int = 1,
 ) -> ModuloResult:
     """Find the minimum-II modulo schedule for a kernel.
 
     Iterates candidate windows upward from the resource lower bound,
     solving one satisfaction CSP each, within a global time budget.
+    With ``jobs > 1`` a window of candidate IIs is raced in parallel
+    (see :func:`repro.sched.parallel.modulo_schedule_parallel`); the
+    result is still the *minimal* feasible II, identical to the
+    sequential search.
     """
+    if jobs > 1:
+        from repro.sched.parallel import modulo_schedule_parallel
+
+        return modulo_schedule_parallel(
+            graph,
+            cfg,
+            include_reconfigs=include_reconfigs,
+            timeout_ms=timeout_ms,
+            max_ii=max_ii,
+            per_ii_timeout_ms=per_ii_timeout_ms,
+            jobs=jobs,
+        )
+
     t0 = time.monotonic()
-    flat = greedy_schedule(graph, cfg)
-    lb = resource_lower_bound(graph, cfg, include_reconfigs)
-    hi = max_ii if max_ii is not None else max(flat.makespan + 1, lb)
+    lb, hi, flat_makespan = ii_search_range(graph, cfg, include_reconfigs, max_ii)
     tried: List[Tuple[int, str]] = []
+    merged = SolverStats()
     proven_all_below = True
 
     for window in range(lb, hi + 1):
@@ -284,37 +435,31 @@ def modulo_schedule(
                 status=SolveStatus.TIMEOUT,
                 opt_time_ms=elapsed,
                 tried=tried,
+                search_stats=merged,
             )
-        max_stages = max(1, -(-flat.makespan // window) + 1)
+        max_stages = stages_for_window(flat_makespan, window)
         budget = remaining
         if per_ii_timeout_ms is not None:
             budget = min(budget, per_ii_timeout_ms)
-        solution, status = _try_ii(
+        solution, status, run_stats = try_candidate(
             graph, cfg, window, include_reconfigs, budget, max_stages
         )
+        merged.merge(run_stats)
         tried.append((window, status.value))
         if solution is None:
             if status is not SolveStatus.INFEASIBLE:
                 proven_all_below = False
             continue
-        offsets, stages = solution
-        stream = window_config_stream(graph, offsets, window)
-        n_rec = cyclic_config_runs(stream)
-        if include_reconfigs:
-            actual = window
-        else:
-            actual = window + steady_state_overhead(stream, cfg.reconfig_cost)
-        return ModuloResult(
-            graph_name=graph.name,
-            include_reconfigs=include_reconfigs,
-            ii=window,
-            n_reconfigurations=n_rec,
-            actual_ii=actual,
-            status=SolveStatus.OPTIMAL if proven_all_below else SolveStatus.FEASIBLE,
-            opt_time_ms=(time.monotonic() - t0) * 1000.0,
-            offsets=offsets,
-            stages=stages,
-            tried=tried,
+        return result_from_solution(
+            graph,
+            cfg,
+            include_reconfigs,
+            window,
+            solution,
+            proven_all_below,
+            (time.monotonic() - t0) * 1000.0,
+            tried,
+            search_stats=merged,
         )
 
     return ModuloResult(
@@ -326,6 +471,7 @@ def modulo_schedule(
         status=SolveStatus.INFEASIBLE if proven_all_below else SolveStatus.TIMEOUT,
         opt_time_ms=(time.monotonic() - t0) * 1000.0,
         tried=tried,
+        search_stats=merged,
     )
 
 

@@ -7,7 +7,7 @@ of the makespan, and returns a verified :class:`repro.sched.result.Schedule`.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.arch.eit import DEFAULT_CONFIG, EITConfig
 from repro.arch.isa import OpCategory
@@ -26,6 +26,7 @@ def schedule(
     timeout_ms: Optional[float] = 60_000.0,
     horizon: Optional[int] = None,
     memory_encoding: str = "implication",
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> Schedule:
     """Schedule a kernel with (optionally) joint memory allocation.
 
@@ -49,6 +50,10 @@ def schedule(
         callers always get runnable start times.  Provable infeasibility
         (the Table 1 too-small-memory rows) is never masked by the
         fallback: it still reports ``INFEASIBLE`` with empty ``starts``.
+    should_stop:
+        optional cooperative-cancellation hook polled once per search
+        node (see :class:`repro.cp.Search`); pool workers point this at
+        a shared event so a sweep can be cancelled mid-solve.
 
     Returns a schedule with ``status``:
 
@@ -78,7 +83,7 @@ def schedule(
             status=SolveStatus.INFEASIBLE,
         )
 
-    search = Search(model.store, timeout_ms=timeout_ms)
+    search = Search(model.store, timeout_ms=timeout_ms, should_stop=should_stop)
     result = search.minimize(model.makespan, model.phases())
 
     if not result.found:

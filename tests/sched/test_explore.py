@@ -67,3 +67,53 @@ class TestExplore:
     def test_standard_profiles_valid(self):
         for cfg in STANDARD_PROFILES.values():
             assert cfg.n_lanes >= 1
+
+
+def _pt(profile, makespan, ii):
+    return DesignPoint(
+        kernel="k", profile=profile, makespan=makespan, slots_used=1,
+        status="optimal", modulo_ii=ii, modulo_throughput=1.0 / ii,
+    )
+
+
+class TestParetoFront:
+    def test_tied_pairs_all_reported(self):
+        # a and b land on the same (makespan, II) coordinate: both are
+        # on the frontier and both must be reported (the old O(n^2)
+        # pairwise scan silently deduplicated by list position)
+        pts = [
+            _pt("a", 10, 4),
+            _pt("b", 10, 4),
+            _pt("c", 12, 3),
+            _pt("d", 12, 5),  # dominated by a/b
+            _pt("e", 9, 6),
+        ]
+        front = pareto_front(pts, "k")
+        assert [p.profile for p in front] == ["e", "a", "b", "c"]
+
+    def test_duplicate_points_never_dominate_each_other(self):
+        pts = [_pt("x", 5, 5), _pt("y", 5, 5)]
+        assert [p.profile for p in pareto_front(pts, "k")] == ["x", "y"]
+
+    def test_single_point(self):
+        assert [p.profile for p in pareto_front([_pt("only", 3, 2)], "k")] \
+            == ["only"]
+
+    def test_other_kernels_ignored(self):
+        pts = [_pt("a", 10, 4)]
+        assert pareto_front(pts, "someone-else") == []
+
+
+class TestPerIITimeout:
+    def test_derived_from_window_size_not_a_constant(self):
+        from repro.apps import build_qrd
+        from repro.ir import merge_pipeline_ops
+        from repro.sched.modulo import derive_per_ii_timeout, ii_search_range
+
+        graph = merge_pipeline_ops(build_qrd())
+        lb, hi, _ = ii_search_range(graph)
+        n = hi - lb + 1
+        t = derive_per_ii_timeout(30_000, graph)
+        assert t == pytest.approx(30_000 / max(3, n))
+        # the old hard-coded /3 over-spends whenever the window is wide
+        assert t <= 30_000 / 3

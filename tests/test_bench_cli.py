@@ -50,6 +50,23 @@ class TestCli:
         out = capsys.readouterr().out
         assert "MATMUL" in out
 
+    def test_explore_writes_json(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_explore.json"
+        assert main([
+            "explore", "--kernels", "matmul", "--jobs", "2",
+            "--timeout", "2", "--out", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 1 kernels x 6 profiles, jobs=2" in out
+        import json
+
+        payload = json.loads(out_file.read_text())
+        assert payload["kernels"] == ["matmul"]
+        assert payload["jobs"] == 2
+        assert len(payload["points"]) == 6
+        assert payload["cache"]["misses"] == 12  # 6 cells x 2 solves
+        assert payload["solver"]["nodes"] > 0
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["tableX"])

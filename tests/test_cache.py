@@ -1,0 +1,194 @@
+"""Content-addressed schedule cache: canonical hashing and the tiers."""
+
+import json
+import os
+
+import pytest
+
+from repro.apps import build_matmul
+from repro.arch.eit import DEFAULT_CONFIG, EITConfig
+from repro.cache import (
+    CACHE_FORMAT_VERSION,
+    ScheduleCache,
+    cache_key,
+    graph_fingerprint,
+    modulo_from_payload,
+    modulo_payload,
+    schedule_from_payload,
+    schedule_payload,
+)
+from repro.dsl import EITVector, trace
+from repro.ir import merge_pipeline_ops
+from repro.sched.explore import explore_detailed
+from repro.sched.modulo import modulo_schedule
+from repro.sched.scheduler import schedule
+
+
+def _diamond(order: str):
+    """The same dataflow diamond, with its middle nodes built in
+    either order — structurally identical graphs, different node ids."""
+    with trace(f"diamond_{order}") as t:
+        a = EITVector(1, 2, 3, 4, name="a")
+        b = EITVector(0.5, 1.0, 1.5, 2.0, name="b")
+        if order == "uv":
+            u = a + b
+            v = a * b
+        else:
+            v = a * b
+            u = a + b
+        (u - v).sort()
+    return t.graph
+
+
+class TestFingerprint:
+    def test_node_order_invariant(self):
+        g1, g2 = _diamond("uv"), _diamond("vu")
+        names1 = [n.op.name for n in g1.op_nodes()]
+        names2 = [n.op.name for n in g2.op_nodes()]
+        assert names1 != names2  # genuinely different creation orders
+        assert graph_fingerprint(g1) == graph_fingerprint(g2)
+        assert cache_key(g1, DEFAULT_CONFIG, "schedule", {}) == cache_key(
+            g2, DEFAULT_CONFIG, "schedule", {}
+        )
+
+    def test_structural_change_alters_hash(self):
+        with trace("k1") as t1:
+            a = EITVector(1, 2, 3, 4, name="a")
+            b = EITVector(1, 1, 1, 1, name="b")
+            _ = a + b
+        with trace("k2") as t2:
+            a = EITVector(1, 2, 3, 4, name="a")
+            b = EITVector(1, 1, 1, 1, name="b")
+            _ = a - b
+        assert graph_fingerprint(t1.graph) != graph_fingerprint(t2.graph)
+
+    def test_operand_order_matters(self):
+        with trace("k1") as t1:
+            a = EITVector(1, 2, 3, 4, name="a")
+            b = EITVector(1, 1, 1, 1, name="b")
+            _ = (a + a) - b
+        with trace("k2") as t2:
+            a = EITVector(1, 2, 3, 4, name="a")
+            b = EITVector(1, 1, 1, 1, name="b")
+            _ = b - (a + a)
+        assert graph_fingerprint(t1.graph) != graph_fingerprint(t2.graph)
+
+    def test_merging_changes_hash(self):
+        # qrd is the kernel the merging pass actually rewrites
+        from repro.apps import build_qrd
+
+        plain = graph_fingerprint(build_qrd())
+        merged = graph_fingerprint(merge_pipeline_ops(build_qrd()))
+        assert plain != merged
+
+
+class TestCacheKey:
+    def test_one_latency_change_misses(self):
+        g = _diamond("uv")
+        base = cache_key(g, DEFAULT_CONFIG, "schedule", {"timeout_ms": 1000})
+        bumped = EITConfig(scalar_latency=DEFAULT_CONFIG.scalar_latency + 1)
+        assert cache_key(g, bumped, "schedule", {"timeout_ms": 1000}) != base
+
+    def test_kind_and_options_change_key(self):
+        g = _diamond("uv")
+        k1 = cache_key(g, DEFAULT_CONFIG, "schedule", {"timeout_ms": 1000})
+        k2 = cache_key(g, DEFAULT_CONFIG, "modulo", {"timeout_ms": 1000})
+        k3 = cache_key(g, DEFAULT_CONFIG, "schedule", {"timeout_ms": 2000})
+        assert len({k1, k2, k3}) == 3
+
+    def test_option_order_irrelevant(self):
+        g = _diamond("uv")
+        assert cache_key(
+            g, DEFAULT_CONFIG, "modulo", {"a": 1, "b": 2}
+        ) == cache_key(g, DEFAULT_CONFIG, "modulo", {"b": 2, "a": 1})
+
+
+class TestPayloadRoundTrip:
+    def test_schedule_survives_json(self):
+        g = merge_pipeline_ops(build_matmul())
+        s = schedule(g, timeout_ms=20_000)
+        payload = json.loads(json.dumps(schedule_payload(s)))
+        back = schedule_from_payload(payload, g, DEFAULT_CONFIG)
+        assert back.starts == s.starts
+        assert back.slots == s.slots
+        assert back.makespan == s.makespan
+        assert back.status == s.status
+
+    def test_modulo_survives_json(self):
+        g = merge_pipeline_ops(build_matmul())
+        m = modulo_schedule(g, timeout_ms=20_000)
+        back = modulo_from_payload(json.loads(json.dumps(modulo_payload(m))))
+        assert back.offsets == m.offsets
+        assert back.stages == m.stages
+        assert (back.ii, back.actual_ii, back.status) == (
+            m.ii, m.actual_ii, m.status,
+        )
+        assert back.tried == m.tried
+
+
+class TestScheduleCache:
+    def test_lru_eviction(self):
+        c = ScheduleCache(capacity=2)
+        c.put("k1", {"x": 1})
+        c.put("k2", {"x": 2})
+        assert c.get("k1") == {"x": 1}  # refreshes k1: k2 is now LRU
+        c.put("k3", {"x": 3})
+        assert len(c) == 2
+        assert c.stats.evictions == 1
+        assert c.get("k2") is None
+        assert c.get("k1") == {"x": 1}
+        assert c.get("k3") == {"x": 3}
+
+    def test_disk_tier_survives_restart(self, tmp_path):
+        d = str(tmp_path / "cache")
+        c1 = ScheduleCache(disk_dir=d)
+        c1.put("deadbeef", {"makespan": 7})
+        c2 = ScheduleCache(disk_dir=d)  # fresh memory tier
+        assert c2.get("deadbeef") == {"makespan": 7}
+        assert c2.stats.disk_hits == 1
+        assert c2.get("deadbeef") == {"makespan": 7}  # now from memory
+        assert c2.stats.disk_hits == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        d = str(tmp_path / "cache")
+        c = ScheduleCache(disk_dir=d)
+        with open(os.path.join(d, "bad.json"), "w") as f:
+            f.write("{not json")
+        assert c.get("bad") is None
+        assert c.stats.misses == 1
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        d = str(tmp_path / "cache")
+        c = ScheduleCache(disk_dir=d)
+        with open(os.path.join(d, "old.json"), "w") as f:
+            json.dump({"v": CACHE_FORMAT_VERSION + 1, "payload": {"x": 1}}, f)
+        assert c.get("old") is None
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ScheduleCache(capacity=0)
+
+
+class TestWarmSweep:
+    def test_warm_rerun_performs_zero_cp_search(self):
+        cache = ScheduleCache()
+        kernels = {"matmul": build_matmul}
+        profiles = {"eit": DEFAULT_CONFIG, "narrow2": EITConfig(n_lanes=2)}
+        cold = explore_detailed(
+            kernels, profiles, timeout_ms=20_000, modulo_timeout_ms=20_000,
+            cache=cache,
+        )
+        assert cold.solver.nodes > 0
+        assert cache.stats.misses == 4  # 2 cells x (schedule + modulo)
+        warm = explore_detailed(
+            kernels, profiles, timeout_ms=20_000, modulo_timeout_ms=20_000,
+            cache=cache,
+        )
+        # every cell answered by content address: zero new search
+        assert warm.solver.nodes == 0
+        assert cache.stats.misses == 4  # no new misses
+        assert cache.stats.hits == 4
+        assert cache.stats.solver_nodes == cold.solver.nodes
+        assert [p.as_dict() for p in warm.points] == [
+            p.as_dict() for p in cold.points
+        ]
