@@ -1,0 +1,70 @@
+"""Standalone static analysis: oracle-grade re-checks of eqs. 1-11.
+
+Four pass families, all returning structured
+:class:`~repro.analysis.diagnostics.DiagnosticReport`s:
+
+* :func:`lint_graph` — IR structural/type invariants (``IR1xx``);
+* :func:`audit_schedule` — flat-schedule constraints re-derived from
+  scratch, eqs. 1-5 (``SCH2xx``), plus memory eqs. 6-11 (``MEM3xx``)
+  via :func:`audit_memory` when slots are present;
+* :func:`audit_modulo` — the steady-state modulo window, including
+  wraparound occupancy and reconfiguration gaps;
+* :func:`audit_program` — codegen hazards over generated machine code
+  (``GEN4xx``).
+
+None of these import the CP constraint-posting code
+(:mod:`repro.sched.model` / :mod:`repro.sched.memmodel`): the model
+and the auditor are independent implementations of the same paper
+equations, so they can catch each other's bugs.
+
+``assert_schedule_clean`` / ``assert_modulo_clean`` are the pytest
+oracles the differential and random-kernel suites call.
+"""
+
+from repro.analysis.codegen_audit import audit_program
+from repro.analysis.diagnostics import (
+    CODES,
+    AuditError,
+    CodeInfo,
+    Diagnostic,
+    DiagnosticReport,
+    Location,
+    Severity,
+    merge_reports,
+)
+from repro.analysis.ir_lint import lint_graph
+from repro.analysis.memory_audit import audit_memory, audit_modulo_memory
+from repro.analysis.schedule_audit import audit_modulo, audit_schedule
+
+__all__ = [
+    "AuditError",
+    "CODES",
+    "CodeInfo",
+    "Diagnostic",
+    "DiagnosticReport",
+    "Location",
+    "Severity",
+    "assert_modulo_clean",
+    "assert_schedule_clean",
+    "audit_memory",
+    "audit_modulo",
+    "audit_modulo_memory",
+    "audit_program",
+    "audit_schedule",
+    "lint_graph",
+    "merge_reports",
+]
+
+
+def assert_schedule_clean(sched, check_memory: bool = True) -> None:
+    """Pytest oracle: fail with the rendered report on any ERROR."""
+    report = audit_schedule(sched, check_memory=check_memory)
+    assert report.ok, report.render()
+
+
+def assert_modulo_clean(result, graph, cfg=None) -> None:
+    """Pytest oracle for modulo results; fails with the rendered report."""
+    from repro.arch.eit import DEFAULT_CONFIG
+
+    report = audit_modulo(result, graph, cfg or DEFAULT_CONFIG)
+    assert report.ok, report.render()

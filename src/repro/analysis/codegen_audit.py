@@ -1,0 +1,219 @@
+"""Codegen hazard checker: audits a generated :class:`Program`.
+
+Cross-checks the machine code against the schedule it was lowered from
+and the IR it implements:
+
+* GEN401 — instruction/schedule cycle agreement: every scheduled op
+  appears in the wide instruction of its start cycle (and nowhere
+  else), micro-op latencies match the ISA, the cycle count matches the
+  makespan;
+* GEN402 — scalar register interference: two scalars whose live
+  intervals overlap must not share a register (the hazard
+  :mod:`repro.codegen.regalloc` exists to prevent — re-derived here
+  from the schedule, not from the allocator);
+* GEN403 — reconfiguration hazards: the ``reconfigure`` bit must be
+  set exactly when the vector configuration differs from the previous
+  vector instruction's;
+* GEN404 — operand references: micro-op operands/destinations must
+  point at the slots the schedule allocated (vector) or a consistent
+  register (scalar), in the IR's operand order;
+* GEN405 — lane assignment: lanes within one instruction are disjoint
+  and each vector op occupies exactly its lane demand;
+* GEN406 — every vector micro-op's configuration class equals its
+  instruction's ``vector_config``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.arch.eit import ResourceKind
+from repro.arch.isa import OpCategory
+from repro.codegen.machine_code import Program
+from repro.ir.graph import OpNode
+from repro.sched.result import Schedule
+
+from repro.analysis.diagnostics import DiagnosticReport
+
+
+def audit_program(program: Program, sched: Schedule) -> DiagnosticReport:
+    """Audit generated machine code against its schedule and IR."""
+    g, cfg = program.graph, program.cfg
+    report = DiagnosticReport(pass_name="codegen-audit", subject=g.name)
+
+    if program.n_cycles != sched.makespan + 1:
+        report.add(
+            "GEN401",
+            f"program spans {program.n_cycles} cycles, schedule needs "
+            f"{sched.makespan + 1}",
+        )
+
+    # -- cycle agreement (GEN401) --------------------------------------
+    seen: Dict[int, List[int]] = {}  # op nid -> cycles it appears at
+    for cycle, ins in program.instructions.items():
+        if ins.cycle != cycle:
+            report.add(
+                "GEN401",
+                f"instruction keyed at cycle {cycle} says cycle {ins.cycle}",
+                cycle=cycle,
+            )
+        for micro in ins.all_ops():
+            seen.setdefault(micro.node_id, []).append(cycle)
+    for op in g.op_nodes():
+        cycles = seen.get(op.nid, [])
+        expected = sched.starts.get(op.nid)
+        if expected is None:
+            continue
+        if cycles != [expected]:
+            report.add(
+                "GEN401",
+                f"{op.name} scheduled at cycle {expected} but emitted at "
+                f"{cycles or 'no cycle'}",
+                node=op.name, cycle=expected,
+            )
+    for nid in seen:
+        if not isinstance(g.node(nid), OpNode):
+            report.add(
+                "GEN401",
+                f"micro-op references non-operation node {g.node(nid).name}",
+                node=g.node(nid).name,
+            )
+
+    # -- per-instruction checks (GEN403/405/406 + GEN404) --------------
+    sreg_of: Dict[int, int] = {}  # scalar data nid -> register
+    for nid, ref in program.data_location.items():
+        if ref.space == "sreg":
+            sreg_of[nid] = ref.index
+
+    prev_config: Optional[str] = None
+    for cycle in sorted(program.instructions):
+        ins = program.instructions[cycle]
+        expected_reconf = (
+            ins.vector_config is not None and ins.vector_config != prev_config
+        )
+        if ins.vector_config is not None:
+            prev_config = ins.vector_config
+        if ins.reconfigure != expected_reconf:
+            report.add(
+                "GEN403",
+                f"cycle {cycle}: reconfigure={ins.reconfigure} but the "
+                f"configuration stream implies {expected_reconf}",
+                cycle=cycle,
+            )
+
+        lanes_used: Set[int] = set()
+        for micro in ins.vector_ops:
+            node = g.node(micro.node_id)
+            if not isinstance(node, OpNode):
+                continue
+            if node.config_class != ins.vector_config:
+                report.add(
+                    "GEN406",
+                    f"cycle {cycle}: {node.name} has configuration "
+                    f"{node.config_class}, instruction carries "
+                    f"{ins.vector_config}",
+                    node=node.name, cycle=cycle,
+                )
+            width = node.op.lanes(cfg)
+            if len(micro.lanes) != width or len(set(micro.lanes)) != len(
+                micro.lanes
+            ):
+                report.add(
+                    "GEN405",
+                    f"cycle {cycle}: {node.name} occupies lanes "
+                    f"{micro.lanes}, expected {width} distinct lanes",
+                    node=node.name, cycle=cycle,
+                )
+            overlap = lanes_used & set(micro.lanes)
+            if overlap:
+                report.add(
+                    "GEN405",
+                    f"cycle {cycle}: lanes {sorted(overlap)} assigned twice",
+                    node=node.name, cycle=cycle,
+                )
+            lanes_used |= set(micro.lanes)
+            if any(l >= cfg.n_lanes or l < 0 for l in micro.lanes):
+                report.add(
+                    "GEN405",
+                    f"cycle {cycle}: {node.name} uses lanes {micro.lanes} "
+                    f"outside 0..{cfg.n_lanes - 1}",
+                    node=node.name, cycle=cycle,
+                )
+
+        for micro in ins.all_ops():
+            node = g.node(micro.node_id)
+            if not isinstance(node, OpNode):
+                continue
+            if micro.latency != node.op.latency(cfg):
+                report.add(
+                    "GEN401",
+                    f"cycle {cycle}: {node.name} encodes latency "
+                    f"{micro.latency}, ISA says {node.op.latency(cfg)}",
+                    node=node.name, cycle=cycle,
+                )
+            _check_refs(report, g, sched, sreg_of, node, micro, cycle)
+
+    # -- scalar register interference (GEN402) -------------------------
+    by_reg: Dict[int, List[Tuple[int, int, str]]] = {}
+    for d in g.data_nodes():
+        if d.category is not OpCategory.SCALAR_DATA or d.nid not in sreg_of:
+            continue
+        if d.nid not in sched.starts:
+            continue
+        start = sched.starts[d.nid]
+        succs = g.succs(d)
+        end = max(
+            (sched.starts[s.nid] for s in succs if s.nid in sched.starts),
+            default=sched.makespan,
+        )
+        by_reg.setdefault(sreg_of[d.nid], []).append((start, end, d.name))
+    for reg, intervals in sorted(by_reg.items()):
+        intervals.sort()
+        for (a0, a1, an), (b0, b1, bn) in zip(intervals, intervals[1:]):
+            # registers free strictly after the last read, so closed
+            # intervals sharing even one cycle interfere
+            if b0 <= a1:
+                report.add(
+                    "GEN402",
+                    f"register r[{reg}]: {an} [{a0},{a1}] and {bn} "
+                    f"[{b0},{b1}] are simultaneously live",
+                    node=an,
+                )
+    return report
+
+
+def _check_refs(
+    report: DiagnosticReport,
+    g,
+    sched: Schedule,
+    sreg_of: Dict[int, int],
+    node: OpNode,
+    micro,
+    cycle: int,
+) -> None:
+    """GEN404: operands/destinations in IR order against the allocation."""
+    for what, refs, data in (
+        ("operand", micro.operands, g.preds(node)),
+        ("destination", micro.dests, g.succs(node)),
+    ):
+        if len(refs) != len(data):
+            report.add(
+                "GEN404",
+                f"cycle {cycle}: {node.name} encodes {len(refs)} "
+                f"{what}s, IR has {len(data)}",
+                node=node.name, cycle=cycle,
+            )
+            continue
+        for ref, d in zip(refs, data):
+            if d.category is OpCategory.VECTOR_DATA:
+                want = ("mem", sched.slots.get(d.nid))
+            else:
+                want = ("sreg", sreg_of.get(d.nid))
+            if (ref.space, ref.index) != want:
+                report.add(
+                    "GEN404",
+                    f"cycle {cycle}: {node.name} {what} {d.name} is "
+                    f"{ref}, allocation says "
+                    f"{want[0]}[{want[1]}]",
+                    node=node.name, cycle=cycle,
+                )

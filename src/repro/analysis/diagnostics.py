@@ -1,0 +1,298 @@
+"""Structured diagnostics shared by every static-analysis pass.
+
+A :class:`Diagnostic` pinpoints one violated invariant with a *stable
+code* (``IR101`` ... ``GEN406``), a severity, an optional location
+(node / cycle / slot), the paper equation it re-checks and a fix hint.
+:class:`DiagnosticReport` is what every pass returns; passes never
+raise — callers that want an exception wrap a failing report in
+:class:`AuditError` (see the ``audit=True`` solve paths).
+
+The code registry below is the single source of truth for the catalog
+in ``docs/static-analysis.md``: code → (title, paper equation, hint).
+Codes are append-only; a code is never reused for a different invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class Severity(Enum):
+    ERROR = "error"      # the artifact is invalid; audit fails
+    WARNING = "warning"  # suspicious but not provably wrong
+    INFO = "info"        # informational finding
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Registry entry for one diagnostic code."""
+
+    title: str
+    equation: str  # paper equation(s) the check re-derives, or "" if none
+    hint: str      # default fix hint
+
+
+#: The full catalog.  ``docs/static-analysis.md`` is generated from this
+#: table's content; keep them in sync.
+CODES: Dict[str, CodeInfo] = {
+    # -- IR linter (structural invariants of section 3.2) ---------------
+    "IR101": CodeInfo("graph contains a cycle", "",
+                      "the IR must be a DAG; break the feedback edge"),
+    "IR102": CodeInfo("edge violates bipartiteness", "",
+                      "edges may only connect an operation to a data node"),
+    "IR103": CodeInfo("data node has multiple producers", "",
+                      "every data node is written by at most one operation"),
+    "IR104": CodeInfo("operation output count out of range", "",
+                      "vector/scalar ops produce 1 result; a matrix op up "
+                      "to 4 row vectors (section 3.2.1)"),
+    "IR105": CodeInfo("operation has no inputs", "",
+                      "every operation consumes at least one datum"),
+    "IR106": CodeInfo("dangling data node", "",
+                      "a data node with neither producer nor consumer is "
+                      "dead; remove it or wire it up"),
+    "IR107": CodeInfo("malformed merged pipeline node", "",
+                      "nodes fused by merge_pipeline_ops must carry the "
+                      "'expr' and 'roles' attributes"),
+    "IR108": CodeInfo("operation arity mismatch", "",
+                      "the in-degree must equal the operation's declared "
+                      "arity"),
+    "IR109": CodeInfo("result category mismatch", "",
+                      "scalar-producing ops write SCALAR_DATA, all others "
+                      "VECTOR_DATA"),
+    "IR110": CodeInfo("unknown operation", "",
+                      "non-merged operations must exist in the ISA table"),
+    # -- schedule auditor (eqs. 1-5 re-derived) -------------------------
+    "SCH201": CodeInfo("precedence violated", "eq. 1",
+                       "a consumer must start no earlier than producer "
+                       "start + latency"),
+    "SCH202": CodeInfo("vector lane overload", "eq. 2",
+                       "simultaneously issued vector ops may occupy at "
+                       "most n_lanes lanes"),
+    "SCH203": CodeInfo("mixed configurations in one cycle", "eq. 3",
+                       "the vector core holds exactly one configuration "
+                       "per cycle"),
+    "SCH204": CodeInfo("data start decoupled from producer", "eq. 4",
+                       "a produced datum starts exactly at producer start "
+                       "+ latency"),
+    "SCH205": CodeInfo("kernel input not at cycle 0", "eq. 4",
+                       "application inputs are preloaded and available at "
+                       "cycle 0"),
+    "SCH206": CodeInfo("unit overcommitted", "eq. 2",
+                       "the scalar accelerator and the index/merge unit "
+                       "each run one operation at a time"),
+    "SCH207": CodeInfo("makespan below latest completion", "eq. 5",
+                       "the makespan is the max over all completion times"),
+    "SCH208": CodeInfo("missing or negative start time", "",
+                       "every node needs a start cycle >= 0"),
+    "SCH209": CodeInfo("reconfiguration gap too small", "eq. 3",
+                       "different configurations in a modulo window need "
+                       "cyclic distance >= 1 + reconfig_cost"),
+    "SCH210": CodeInfo("modulo offset/stage inconsistent", "",
+                       "offset must lie in [0, II) and multi-cycle "
+                       "occupancy must fit the window"),
+    # -- memory-bank conflict detector (eqs. 6-11 re-derived) -----------
+    "MEM301": CodeInfo("slot missing or out of range", "eq. 6",
+                       "every vector datum needs a slot in [0, n_slots)"),
+    "MEM302": CodeInfo("bank conflict", "eq. 6",
+                       "slots accessed together must sit in distinct banks"),
+    "MEM303": CodeInfo("page/line conflict within an operation", "eq. 7",
+                       "one op's simultaneously accessed slots sharing a "
+                       "page must share a line"),
+    "MEM304": CodeInfo("page/line conflict across operations", "eqs. 8-9",
+                       "same-cycle ops access memory together; the "
+                       "page->line rule spans their groups"),
+    "MEM305": CodeInfo("memory port limit exceeded", "",
+                       "at most max_reads_per_cycle reads and "
+                       "max_writes_per_cycle writes per cycle"),
+    "MEM306": CodeInfo("slot lifetime overlap", "eqs. 10-11",
+                       "two values may share a slot only if their "
+                       "occupancy rectangles do not overlap"),
+    "MEM307": CodeInfo("modulo wraparound lifetime conflict", "eqs. 10-11",
+                       "in a modulo schedule occupancy wraps mod II; "
+                       "wrapped intervals in one slot must not intersect"),
+    # -- codegen hazard checker -----------------------------------------
+    "GEN401": CodeInfo("instruction/schedule cycle disagreement", "",
+                       "every scheduled op must appear in the wide "
+                       "instruction of its start cycle"),
+    "GEN402": CodeInfo("scalar register interference", "",
+                       "two live scalars must not share a register"),
+    "GEN403": CodeInfo("reconfigure flag inconsistent", "",
+                       "the reconfigure bit must be set exactly when the "
+                       "vector configuration changes"),
+    "GEN404": CodeInfo("operand reference mismatch", "eq. 6",
+                       "micro-op operands must reference the slots / "
+                       "registers the schedule allocated, in operand order"),
+    "GEN405": CodeInfo("lane misassignment", "eq. 2",
+                       "lanes within an instruction must be disjoint and "
+                       "match each op's lane demand"),
+    "GEN406": CodeInfo("configuration mismatch", "eq. 3",
+                       "a vector micro-op's configuration class must equal "
+                       "the instruction's vector_config"),
+}
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a diagnostic points (any subset of the fields)."""
+
+    node: Optional[str] = None   # IR node name
+    cycle: Optional[int] = None  # start cycle / window offset
+    slot: Optional[int] = None   # memory slot
+
+    def __str__(self) -> str:
+        parts = []
+        if self.node is not None:
+            parts.append(self.node)
+        if self.cycle is not None:
+            parts.append(f"cycle {self.cycle}")
+        if self.slot is not None:
+            parts.append(f"slot {self.slot}")
+        return ", ".join(parts) if parts else "-"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One violated invariant."""
+
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+    location: Location = field(default_factory=Location)
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unregistered diagnostic code {self.code!r}")
+
+    @property
+    def equation(self) -> str:
+        """The paper equation this diagnostic re-checks ("" if none)."""
+        return CODES[self.code].equation
+
+    @property
+    def title(self) -> str:
+        return CODES[self.code].title
+
+    def effective_hint(self) -> str:
+        return self.hint or CODES[self.code].hint
+
+    def render(self) -> str:
+        eq = f" [{self.equation}]" if self.equation else ""
+        loc = str(self.location)
+        at = f" at {loc}" if loc != "-" else ""
+        return f"{self.code}{eq} {self.severity}: {self.message}{at}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "equation": self.equation,
+            "node": self.location.node,
+            "cycle": self.location.cycle,
+            "slot": self.location.slot,
+            "hint": self.effective_hint(),
+        }
+
+
+@dataclass
+class DiagnosticReport:
+    """What every analysis pass returns: a named bag of diagnostics."""
+
+    pass_name: str
+    subject: str  # what was analysed (kernel name, program, ...)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(
+        self,
+        code: str,
+        message: str,
+        severity: Severity = Severity.ERROR,
+        node: Optional[str] = None,
+        cycle: Optional[int] = None,
+        slot: Optional[int] = None,
+        hint: str = "",
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                code=code,
+                message=message,
+                severity=severity,
+                location=Location(node=node, cycle=cycle, slot=slot),
+                hint=hint,
+            )
+        )
+
+    def extend(self, other: "DiagnosticReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity diagnostic was reported."""
+        return not self.errors
+
+    def codes(self) -> List[str]:
+        return sorted({d.code for d in self.diagnostics})
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        # truthiness == "has findings", mirroring the legacy List[str]
+        return bool(self.diagnostics)
+
+    def render(self) -> str:
+        head = (
+            f"{self.pass_name}({self.subject}): "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+        if not self.diagnostics:
+            return head + " — clean"
+        return "\n".join([head] + ["  " + d.render() for d in self.diagnostics])
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "pass": self.pass_name,
+            "subject": self.subject,
+            "ok": self.ok,
+            "n_errors": len(self.errors),
+            "n_warnings": len(self.warnings),
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+
+
+def merge_reports(
+    pass_name: str, subject: str, reports: Iterable[DiagnosticReport]
+) -> DiagnosticReport:
+    merged = DiagnosticReport(pass_name=pass_name, subject=subject)
+    for r in reports:
+        merged.extend(r)
+    return merged
+
+
+class AuditError(RuntimeError):
+    """Raised by the ``audit=True`` solve paths on a failing report.
+
+    Carries the full :class:`DiagnosticReport` as ``.report`` so callers
+    can inspect structured diagnostics instead of parsing the message.
+    """
+
+    def __init__(self, report: DiagnosticReport):
+        self.report = report
+        super().__init__(report.render())

@@ -1,0 +1,110 @@
+"""IR linter: structural and type/shape invariants of section 3.2.
+
+Re-derives every invariant directly from the graph — bipartiteness,
+acyclicity, producer/output multiplicities, operand arities, dangling
+data, merged-node well-formedness and result-category typing — and
+reports them as :class:`~repro.analysis.diagnostics.Diagnostic`s
+instead of raising on the first hit.
+
+``repro.ir.analysis.validate`` is a thin raising shim over this pass.
+"""
+
+from __future__ import annotations
+
+from repro.arch.isa import OP_TABLE, OpCategory
+from repro.ir.graph import DataNode, Graph, OpNode
+
+from repro.analysis.diagnostics import DiagnosticReport, Severity
+
+
+def lint_graph(graph: Graph) -> DiagnosticReport:
+    """Run every IR structural check; never raises."""
+    report = DiagnosticReport(pass_name="ir-lint", subject=graph.name)
+
+    try:
+        graph.topological_order()
+    except ValueError:
+        report.add("IR101", "graph contains a cycle")
+        # structural traversals below stay well-defined on cyclic graphs
+        # (they only walk adjacency), so keep linting.
+
+    for u, v in graph.edges():
+        if u.is_op == v.is_op:
+            report.add(
+                "IR102",
+                f"edge {u.name} -> {v.name} violates bipartiteness",
+                node=u.name,
+            )
+
+    for d in graph.data_nodes():
+        n_prod = graph.in_degree(d)
+        if n_prod > 1:
+            report.add(
+                "IR103", f"data node {d.name} has {n_prod} producers",
+                node=d.name,
+            )
+        if n_prod == 0 and graph.out_degree(d) == 0:
+            report.add(
+                "IR106", f"data node {d.name} is dangling (dead value)",
+                severity=Severity.WARNING, node=d.name,
+            )
+
+    for o in graph.op_nodes():
+        _lint_op(graph, o, report)
+    return report
+
+
+def _lint_op(graph: Graph, o: OpNode, report: DiagnosticReport) -> None:
+    n_out = graph.out_degree(o)
+    # Matrix-valued operations appear with one output data node per row
+    # vector (matrix *data* does not exist in the IR, section 3.2.1).
+    max_out = 4 if o.category is OpCategory.MATRIX_OP else 1
+    if not 1 <= n_out <= max_out:
+        report.add(
+            "IR104",
+            f"operation node {o.name} has {n_out} outputs, "
+            f"expected 1..{max_out}",
+            node=o.name,
+        )
+    n_in = graph.in_degree(o)
+    if n_in == 0:
+        report.add(
+            "IR105", f"operation node {o.name} has no inputs", node=o.name
+        )
+    elif n_in != o.op.arity:
+        report.add(
+            "IR108",
+            f"{o.name}: {n_in} operands, but {o.op.name} declares "
+            f"arity {o.op.arity}",
+            node=o.name,
+        )
+
+    if o.merged_from:
+        missing = [k for k in ("expr", "roles") if k not in o.attrs]
+        if missing:
+            report.add(
+                "IR107",
+                f"merged node {o.name} lacks attribute(s) "
+                f"{', '.join(missing)}",
+                node=o.name,
+            )
+    elif o.op.name not in OP_TABLE:
+        report.add(
+            "IR110",
+            f"{o.name}: operation {o.op.name!r} is not in the ISA table",
+            node=o.name,
+        )
+
+    expected = (
+        OpCategory.SCALAR_DATA
+        if o.op.result_is_scalar
+        else OpCategory.VECTOR_DATA
+    )
+    for out in graph.succs(o):
+        if isinstance(out, DataNode) and out.category is not expected:
+            report.add(
+                "IR109",
+                f"{o.name} produces {out.category.value} {out.name}, "
+                f"expected {expected.value}",
+                node=out.name,
+            )

@@ -1,0 +1,252 @@
+"""Memory-bank conflict detector: eqs. 6-11 re-derived from scratch.
+
+Everything here recomputes the banked-memory geometry inline from the
+architecture parameters —
+
+    bank(s) = s mod n_banks
+    line(s) = s div n_banks
+    page(s) = (s mod n_banks) div page_size        (eq. 6)
+
+— deliberately *not* reusing :mod:`repro.sched.memmodel` (the CP-side
+encoding being audited) nor :class:`repro.arch.memory.MemoryLayout`, so
+a bug in either cannot hide from this pass.
+
+Checks:
+
+* slot presence and range (MEM301);
+* per-cycle access groups: bank conflicts (MEM302, eq. 6), the
+  same-line-if-same-page rule within one operation's group (MEM303,
+  eq. 7) and across simultaneously scheduled operations (MEM304,
+  eqs. 8-9);
+* port limits (MEM305);
+* slot reuse as a direct 2-D rectangle-overlap check over
+  (start, slot) x (lifetime+1, 1) — the Diff2 of eq. 11 with eq. 10
+  lifetimes (MEM306);
+* modulo schedules: occupancy wraps modulo II, so wrapped intervals in
+  one slot must not intersect and no single occupancy may exceed the
+  window (MEM307).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.arch.eit import EITConfig, ResourceKind
+from repro.arch.isa import OpCategory
+from repro.ir.graph import Graph
+from repro.sched.result import Schedule
+
+from repro.analysis.diagnostics import DiagnosticReport
+
+
+# -- eq. 6 geometry, re-derived inline ---------------------------------
+def _bank(slot: int, cfg: EITConfig) -> int:
+    return slot % cfg.n_banks
+
+
+def _line(slot: int, cfg: EITConfig) -> int:
+    return slot // cfg.n_banks
+
+
+def _page(slot: int, cfg: EITConfig) -> int:
+    return (slot % cfg.n_banks) // cfg.page_size
+
+
+def audit_memory(
+    sched: Schedule, report: Optional[DiagnosticReport] = None
+) -> DiagnosticReport:
+    """Audit the slot allocation of a flat schedule (eqs. 6-11)."""
+    g, cfg = sched.graph, sched.cfg
+    if report is None:
+        report = DiagnosticReport(pass_name="memory-audit", subject=g.name)
+
+    vdata = g.nodes_of(OpCategory.VECTOR_DATA)
+    placed: Set[int] = set()
+    for d in vdata:
+        slot = sched.slots.get(d.nid)
+        if slot is None:
+            report.add("MEM301", f"vector data {d.name} has no slot",
+                       node=d.name)
+        elif not 0 <= slot < cfg.n_slots:
+            report.add(
+                "MEM301",
+                f"{d.name}: slot {slot} out of range 0..{cfg.n_slots - 1}",
+                node=d.name, slot=slot,
+            )
+        else:
+            placed.add(d.nid)
+
+    # -- per-cycle access groups (eqs. 6-9 + port limits) --------------
+    # accesses[(cycle, direction)]: slot -> names of accessing ops
+    accesses: Dict[Tuple[int, str], Dict[int, Set[str]]] = {}
+    for op in g.op_nodes():
+        if op.op.resource is not ResourceKind.VECTOR_CORE:
+            continue
+        if op.nid not in sched.starts:
+            continue  # reported as SCH208 by the schedule auditor
+        for direction, group in (
+            ("read", g.preds(op)),
+            ("write", g.succs(op)),
+        ):
+            for d in group:
+                if d.category is not OpCategory.VECTOR_DATA:
+                    continue
+                if d.nid not in placed or d.nid not in sched.starts:
+                    continue
+                # reads happen at the op's issue cycle, writes when the
+                # produced datum starts (= issue + latency, per eq. 4)
+                t = sched.starts[op.nid if direction == "read" else d.nid]
+                accesses.setdefault((t, direction), {}).setdefault(
+                    sched.slots[d.nid], set()
+                ).add(op.name)
+
+    for (t, direction), by_slot in sorted(accesses.items()):
+        slots = sorted(by_slot)
+        limit = (
+            cfg.max_reads_per_cycle
+            if direction == "read"
+            else cfg.max_writes_per_cycle
+        )
+        if len(slots) > limit:
+            report.add(
+                "MEM305",
+                f"cycle {t}: {len(slots)} {direction}s > port limit {limit}",
+                cycle=t,
+            )
+        for i, a in enumerate(slots):
+            for b in slots[i + 1:]:
+                if _bank(a, cfg) == _bank(b, cfg):
+                    report.add(
+                        "MEM302",
+                        f"cycle {t}: {direction} slots {a} and {b} share "
+                        f"bank {_bank(a, cfg)}",
+                        cycle=t, slot=a,
+                    )
+                elif (
+                    _page(a, cfg) == _page(b, cfg)
+                    and _line(a, cfg) != _line(b, cfg)
+                ):
+                    same_op = bool(by_slot[a] & by_slot[b])
+                    report.add(
+                        "MEM303" if same_op else "MEM304",
+                        f"cycle {t}: {direction} slots {a} (line "
+                        f"{_line(a, cfg)}) and {b} (line {_line(b, cfg)}) "
+                        f"share page {_page(a, cfg)} but not a line"
+                        + ("" if same_op else " across operations"),
+                        cycle=t, slot=a,
+                    )
+
+    # -- slot reuse: direct rectangle-overlap check (eqs. 10-11) -------
+    # Each datum occupies the rectangle [start, start+lifetime+1) x
+    # [slot, slot+1); the +1 pad mirrors the write-before-read memory
+    # semantics (a slot frees strictly after its last read).
+    by_slot_rects: Dict[int, List[Tuple[int, int, str]]] = {}
+    for d in vdata:
+        if d.nid not in placed or d.nid not in sched.starts:
+            continue
+        s = sched.starts[d.nid]
+        # eq. 10 recomputed from starts; consumers whose own start is
+        # missing are skipped (they are already reported as SCH208)
+        succ_starts = [
+            sched.starts[c.nid]
+            for c in g.succs(d)
+            if c.nid in sched.starts
+        ]
+        if succ_starts:
+            end = max(succ_starts)
+        elif g.succs(d):
+            end = s  # every consumer unplaced: nothing sound to check
+        else:
+            end = sched.makespan  # no consumers: lives to the end
+        by_slot_rects.setdefault(sched.slots[d.nid], []).append(
+            (s, end + 1, d.name)
+        )
+    for slot, rects in sorted(by_slot_rects.items()):
+        rects.sort()
+        for (a0, a1, an), (b0, b1, bn) in zip(rects, rects[1:]):
+            if b0 < a1:
+                report.add(
+                    "MEM306",
+                    f"slot {slot}: lifetimes of {an} [{a0},{a1}) and "
+                    f"{bn} [{b0},{b1}) overlap",
+                    node=an, slot=slot,
+                )
+    return report
+
+
+def _wrapped_overlap(a: int, la: int, b: int, lb: int, ii: int) -> bool:
+    """Do intervals [a, a+la) and [b, b+lb) intersect on a circle of
+    circumference ``ii``?"""
+    return (b - a) % ii < la or (a - b) % ii < lb
+
+
+def audit_modulo_memory(
+    graph: Graph,
+    cfg: EITConfig,
+    offsets: Dict[int, int],
+    stages: Dict[int, int],
+    slots: Dict[int, int],
+    ii: int,
+    report: Optional[DiagnosticReport] = None,
+) -> DiagnosticReport:
+    """Audit slot reuse under modulo execution (wraparound eqs. 10-11).
+
+    In steady state every iteration re-runs the same allocation shifted
+    by II cycles, so a datum's occupancy interval lives on a circle of
+    circumference II.  A slot is conflict-free iff all wrapped intervals
+    assigned to it are pairwise disjoint and each fits the window.
+    """
+    if report is None:
+        report = DiagnosticReport(
+            pass_name="memory-audit", subject=f"{graph.name}@II={ii}"
+        )
+
+    # absolute starts from (stage, offset); data follows eq. 4
+    start: Dict[int, int] = {}
+    for op in graph.op_nodes():
+        start[op.nid] = stages[op.nid] * ii + offsets[op.nid]
+    for d in graph.data_nodes():
+        prod = graph.producer(d)
+        start[d.nid] = (
+            0 if prod is None else start[prod.nid] + prod.op.latency(cfg)
+        )
+    makespan = max(
+        (
+            start[o.nid] + o.op.latency(cfg)
+            for o in graph.op_nodes()
+        ),
+        default=0,
+    )
+
+    by_slot: Dict[int, List[Tuple[int, int, str]]] = {}
+    for d in graph.nodes_of(OpCategory.VECTOR_DATA):
+        if d.nid not in slots:
+            report.add("MEM301", f"vector data {d.name} has no slot",
+                       node=d.name)
+            continue
+        succs = graph.succs(d)
+        end = max((start[s.nid] for s in succs), default=makespan)
+        occupancy = end - start[d.nid] + 1
+        if occupancy > ii:
+            report.add(
+                "MEM307",
+                f"{d.name}: occupancy {occupancy} exceeds II {ii} — the "
+                f"slot is still live when the next iteration writes it",
+                node=d.name, slot=slots[d.nid],
+            )
+            continue
+        by_slot.setdefault(slots[d.nid], []).append(
+            (start[d.nid] % ii, occupancy, d.name)
+        )
+    for slot, ivs in sorted(by_slot.items()):
+        for i, (a, la, an) in enumerate(ivs):
+            for b, lb, bn in ivs[i + 1:]:
+                if _wrapped_overlap(a, la, b, lb, ii):
+                    report.add(
+                        "MEM307",
+                        f"slot {slot}: wrapped lifetimes of {an} "
+                        f"(offset {a}, {la} cycles) and {bn} (offset {b}, "
+                        f"{lb} cycles) intersect modulo II={ii}",
+                        node=an, slot=slot,
+                    )
+    return report

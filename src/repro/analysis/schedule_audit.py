@@ -1,0 +1,259 @@
+"""Schedule auditor: the paper's eqs. 1-5 re-derived from scratch.
+
+This pass recomputes every constraint the CP model of
+:mod:`repro.sched.model` *posts*, directly from a finished
+:class:`~repro.sched.result.Schedule` — it imports nothing from the
+constraint-posting code, so a modeling bug cannot certify itself:
+
+* eq. 1  precedence along every edge;
+* eq. 2  ≤ n_lanes lane occupancy, via an interval sweep over issue
+  events (scalar/index units swept over their full durations);
+* eq. 3  one vector-core configuration per cycle;
+* eq. 4  data start = producer start + latency; inputs at cycle 0;
+* eq. 5  makespan = max completion.
+
+:func:`audit_modulo` re-checks the same families on a steady-state
+modulo window (per-offset resources, wraparound unit occupancy, cyclic
+reconfiguration distance).  Memory checks (eqs. 6-11) are delegated to
+:mod:`repro.analysis.memory_audit`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.arch.eit import DEFAULT_CONFIG, EITConfig, ResourceKind
+from repro.ir.graph import DataNode, Graph, OpNode
+from repro.sched.modulo import ModuloResult
+from repro.sched.result import Schedule
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.memory_audit import audit_memory
+
+
+def _sweep_overload(
+    events: List[Tuple[int, int, int]], capacity: int
+) -> List[Tuple[int, int]]:
+    """Interval sweep: ``(start, end, demand)`` tasks over a shared
+    capacity; returns ``(cycle, load)`` at every overloaded cycle."""
+    deltas: Dict[int, int] = {}
+    for s, e, demand in events:
+        deltas[s] = deltas.get(s, 0) + demand
+        deltas[e] = deltas.get(e, 0) - demand
+    overloads = []
+    load = 0
+    for t in sorted(deltas):
+        load += deltas[t]
+        if load > capacity:
+            overloads.append((t, load))
+    return overloads
+
+
+def audit_schedule(
+    sched: Schedule, check_memory: bool = True
+) -> DiagnosticReport:
+    """Audit a flat schedule against eqs. 1-5 (and 6-11 when slotted)."""
+    g, cfg = sched.graph, sched.cfg
+    report = DiagnosticReport(pass_name="schedule-audit", subject=g.name)
+
+    # start-time sanity (SCH208) + input anchoring (SCH205)
+    known: Set[int] = set()
+    for n in g.nodes():
+        s = sched.starts.get(n.nid)
+        if s is None:
+            report.add("SCH208", f"{n.name} has no start time", node=n.name)
+        elif s < 0:
+            report.add("SCH208", f"{n.name} starts at negative cycle {s}",
+                       node=n.name, cycle=s)
+        else:
+            known.add(n.nid)
+    for d in g.inputs():
+        if d.nid in known and sched.starts[d.nid] != 0:
+            report.add(
+                "SCH205",
+                f"input {d.name} starts at cycle {sched.starts[d.nid]}, "
+                f"expected 0",
+                node=d.name, cycle=sched.starts[d.nid],
+            )
+
+    # eq. 1 precedence / eq. 4 data-start coupling
+    for u, v in g.edges():
+        if u.nid not in known or v.nid not in known:
+            continue
+        su, sv = sched.starts[u.nid], sched.starts[v.nid]
+        lat = u.op.latency(cfg) if isinstance(u, OpNode) else 0
+        if su + lat > sv:
+            report.add(
+                "SCH201",
+                f"precedence violated: {u.name}@{su}+{lat} > {v.name}@{sv}",
+                node=v.name, cycle=sv,
+            )
+        if isinstance(u, OpNode) and isinstance(v, DataNode) and su + lat != sv:
+            report.add(
+                "SCH204",
+                f"data start mismatch: {v.name}@{sv} != {u.name}@{su}+{lat}",
+                node=v.name, cycle=sv,
+            )
+
+    # eq. 2 lane occupancy + unit exclusivity, eq. 3 configurations
+    lane_events: List[Tuple[int, int, int]] = []
+    cycle_configs: Dict[int, Set[str]] = {}
+    unit_events: Dict[ResourceKind, List[Tuple[int, int, int]]] = {
+        ResourceKind.SCALAR_UNIT: [],
+        ResourceKind.INDEX_MERGE: [],
+    }
+    for op in g.op_nodes():
+        if op.nid not in known:
+            continue
+        s = sched.starts[op.nid]
+        if op.op.resource is ResourceKind.VECTOR_CORE:
+            lane_events.append((s, s + 1, op.op.lanes(cfg)))
+            cycle_configs.setdefault(s, set()).add(op.config_class)
+        else:
+            unit_events[op.op.resource].append(
+                (s, s + op.op.duration(cfg), 1)
+            )
+    for t, load in _sweep_overload(lane_events, cfg.n_lanes):
+        report.add("SCH202", f"cycle {t}: {load} lanes > {cfg.n_lanes}",
+                   cycle=t)
+    for t, configs in sorted(cycle_configs.items()):
+        if len(configs) > 1:
+            report.add(
+                "SCH203",
+                f"cycle {t}: mixed configurations {sorted(configs)}",
+                cycle=t,
+            )
+    for res, events in unit_events.items():
+        for t, load in _sweep_overload(events, 1):
+            report.add("SCH206", f"cycle {t}: {res.value} runs {load} ops",
+                       cycle=t)
+
+    # eq. 5 makespan consistency
+    worst = max(
+        (
+            sched.starts[n.nid]
+            + (n.op.latency(cfg) if isinstance(n, OpNode) else 0)
+            for n in g.nodes()
+            if n.nid in known
+        ),
+        default=0,
+    )
+    if worst > sched.makespan:
+        report.add(
+            "SCH207",
+            f"makespan {sched.makespan} < latest completion {worst}",
+            cycle=worst,
+        )
+
+    if check_memory and sched.slots:
+        audit_memory(sched, report)
+    return report
+
+
+def audit_modulo(
+    result: ModuloResult, graph: Graph, cfg: EITConfig = DEFAULT_CONFIG
+) -> DiagnosticReport:
+    """Audit a modulo schedule's steady-state window.
+
+    Re-derives absolute starts from (stage, offset), then checks eq. 1
+    on them and eqs. 2-3 per *offset* (in steady state every iteration
+    overlaps, so per-offset load is what the hardware sees), including
+    wraparound occupancy of multi-cycle units and — for
+    ``include_reconfigs`` windows — the cyclic reconfiguration gap.
+    """
+    report = DiagnosticReport(
+        pass_name="modulo-audit",
+        subject=f"{graph.name}@II={result.ii}",
+    )
+    if not result.found:
+        report.add("SCH208", "no solution to verify")
+        return report
+
+    W = result.ii
+    start: Dict[int, int] = {}
+    for op in graph.op_nodes():
+        o = result.offsets.get(op.nid)
+        k = result.stages.get(op.nid)
+        if o is None or k is None:
+            report.add("SCH208", f"{op.name} has no offset/stage",
+                       node=op.name)
+            continue
+        if not 0 <= o < W:
+            report.add("SCH210", f"{op.name}: offset {o} outside [0, {W})",
+                       node=op.name, cycle=o)
+            continue
+        dur = op.op.duration(cfg)
+        if dur > 1 and o + dur > W:
+            report.add(
+                "SCH210",
+                f"{op.name}: duration {dur} at offset {o} wraps past the "
+                f"window of {W}",
+                node=op.name, cycle=o,
+            )
+        start[op.nid] = k * W + o
+
+    # eq. 1 on absolute starts, derived through each data node
+    for d in graph.data_nodes():
+        prods = [p for p in graph.preds(d) if p.nid in start]
+        for prod in prods:
+            lat = prod.op.latency(cfg)
+            for cons in graph.succs(d):
+                if cons.nid not in start:
+                    continue
+                if start[prod.nid] + lat > start[cons.nid]:
+                    report.add(
+                        "SCH201",
+                        f"precedence {prod.name}->{cons.name}: "
+                        f"{start[prod.nid]}+{lat} > {start[cons.nid]}",
+                        node=cons.name,
+                    )
+
+    # eqs. 2-3 per offset, with wraparound unit occupancy
+    lanes: Dict[int, int] = {}
+    configs: Dict[int, Set[str]] = {}
+    unit_busy: Dict[ResourceKind, Dict[int, int]] = {
+        ResourceKind.SCALAR_UNIT: {},
+        ResourceKind.INDEX_MERGE: {},
+    }
+    for op in graph.op_nodes():
+        if op.nid not in start:
+            continue
+        o = start[op.nid] % W
+        if op.op.resource is ResourceKind.VECTOR_CORE:
+            lanes[o] = lanes.get(o, 0) + op.op.lanes(cfg)
+            configs.setdefault(o, set()).add(op.config_class)
+        else:
+            busy = unit_busy[op.op.resource]
+            for t in range(o, o + op.op.duration(cfg)):
+                busy[t % W] = busy.get(t % W, 0) + 1
+    for o, n in sorted(lanes.items()):
+        if n > cfg.n_lanes:
+            report.add("SCH202", f"offset {o}: {n} lanes > {cfg.n_lanes}",
+                       cycle=o)
+    for o, cs in sorted(configs.items()):
+        if len(cs) > 1:
+            report.add("SCH203", f"offset {o}: mixed configs {sorted(cs)}",
+                       cycle=o)
+    for res, busy in unit_busy.items():
+        for o, n in sorted(busy.items()):
+            if n > 1:
+                report.add("SCH206", f"offset {o}: {res.value} x{n}",
+                           cycle=o)
+
+    if result.include_reconfigs:
+        occupied = sorted(
+            (o, next(iter(cs))) for o, cs in configs.items() if len(cs) == 1
+        )
+        gap = 1 + cfg.reconfig_cost
+        for i, (oa, ca) in enumerate(occupied):
+            for ob, cb in occupied[i + 1:]:
+                # cyclic distance on the window circle, re-derived
+                d = min((oa - ob) % W, (ob - oa) % W)
+                if ca != cb and d < gap:
+                    report.add(
+                        "SCH209",
+                        f"offsets {oa}/{ob}: configs {ca}/{cb} too close "
+                        f"for reconfiguration (cyclic distance {d} < {gap})",
+                        cycle=oa,
+                    )
+    return report

@@ -9,7 +9,14 @@ Usage::
     python -m repro.bench profile [--profile-kernel qrd] [--out stats.json]
     python -m repro.bench explore [--jobs 4] [--no-cache] [--cache-dir DIR] \
                                   [--out BENCH_explore.json]
+    python -m repro.bench audit [--kernels qrd,arf,matmul,backsub] \
+                                [--synth 2] [--json] [--out AUDIT.json]
     python -m repro.bench all
+
+``audit`` runs every static-analysis pass (IR lint, schedule/memory
+audit, codegen hazard check, modulo audit) over the shipped kernels and
+exits nonzero if any error-severity diagnostic is reported — the CI
+gate that the solver's output verifies against the paper's equations.
 """
 
 from __future__ import annotations
@@ -19,11 +26,13 @@ import json
 import sys
 
 from repro.bench.harness import (
+    audit_kernels,
     explore_bench,
     fig3_ir,
     fig45_expansion,
     fig6_merging,
     fig8_memory,
+    print_audit,
     print_explore,
     print_table1,
     print_table2,
@@ -39,7 +48,7 @@ def main(argv=None) -> int:
     p = argparse.ArgumentParser(prog="python -m repro.bench")
     p.add_argument("experiment", choices=[
         "table1", "table2", "table3", "fig3", "fig45", "fig6", "fig8",
-        "profile", "explore", "all",
+        "profile", "explore", "audit", "all",
     ])
     p.add_argument("--sizes", default="64,32,16,10",
                    help="memory sizes for table1 (comma-separated)")
@@ -59,7 +68,16 @@ def main(argv=None) -> int:
                    help="disable the content-addressed schedule cache")
     p.add_argument("--cache-dir", default=None,
                    help="persist the schedule cache to this directory")
+    p.add_argument("--synth", type=int, default=0,
+                   help="append N seeded synthetic kernels to the audit")
+    p.add_argument("--include-reconfigs", action="store_true",
+                   help="audit modulo schedules with in-model "
+                        "reconfigurations (much slower solves)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the audit payload as JSON on stdout")
     args = p.parse_args(argv)
+
+    rc = 0
 
     todo = (
         ["table1", "table2", "table3", "fig3", "fig45", "fig6", "fig8"]
@@ -111,6 +129,27 @@ def main(argv=None) -> int:
                 with open(args.out, "w") as f:
                     f.write(json.dumps(payload, indent=2) + "\n")
                 print(f"wrote {args.out}")
+        elif exp == "audit":
+            kernels = args.kernels.split(",")
+            if "backsub" not in kernels and args.kernels == "qrd,arf,matmul":
+                kernels.append("backsub")  # default set audits all four
+            payload = audit_kernels(
+                kernels=kernels,
+                timeout_ms=args.timeout * 1000,
+                modulo_timeout_ms=args.timeout * 1000,
+                include_reconfigs=args.include_reconfigs,
+                n_synth=args.synth,
+            )
+            if args.json:
+                print(json.dumps(payload, indent=2))
+            else:
+                print(print_audit(payload))
+            if args.out:
+                with open(args.out, "w") as f:
+                    f.write(json.dumps(payload, indent=2) + "\n")
+                print(f"wrote {args.out}")
+            if not payload["ok"]:
+                rc = 1
         elif exp == "profile":
             payload = json.dumps(
                 profile_solver(
@@ -126,7 +165,7 @@ def main(argv=None) -> int:
             else:
                 print(payload)
         print()
-    return 0
+    return rc
 
 
 if __name__ == "__main__":

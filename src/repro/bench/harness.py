@@ -353,6 +353,125 @@ def print_explore(payload: Dict[str, object]) -> str:
 
 
 # ----------------------------------------------------------------------
+# Static-analysis audit over the shipped kernels
+# ----------------------------------------------------------------------
+def audit_kernels(
+    kernels: Sequence[str] = ("qrd", "arf", "matmul", "backsub"),
+    timeout_ms: float = 60_000.0,
+    modulo_timeout_ms: float = 60_000.0,
+    include_reconfigs: bool = False,
+    n_synth: int = 0,
+    cfg: EITConfig = DEFAULT_CONFIG,
+) -> Dict[str, object]:
+    """Run every analysis pass over every shipped kernel; JSON payload.
+
+    For each kernel this lints the raw and merged IR, CP-schedules it
+    and audits the schedule (eqs. 1-5) and its memory allocation
+    (eqs. 6-11), generates machine code and audits that against the
+    schedule, then modulo-schedules it and audits the steady state.
+    ``n_synth > 0`` appends seeded synthetic kernels to the sweep.
+    The payload's ``ok`` is True iff *zero* error-severity diagnostics
+    were reported anywhere — the acceptance bar for the shipped kernels.
+    """
+    from repro.analysis import (
+        audit_modulo,
+        audit_program,
+        audit_schedule,
+        lint_graph,
+    )
+    from repro.apps import synth_suite
+    from repro.codegen.machine_code import generate
+
+    builders: Dict[str, Callable[[], Graph]] = {
+        k: KERNELS[k] for k in kernels
+    }
+    if n_synth > 0:
+        builders.update(synth_suite(n_kernels=n_synth))
+
+    results: List[Dict[str, object]] = []
+    all_ok = True
+    for name, builder in builders.items():
+        raw = builder()
+        merged = merge_pipeline_ops(raw)
+        reports = [lint_graph(raw), lint_graph(merged)]
+
+        s = schedule(merged, cfg=cfg, timeout_ms=timeout_ms)
+        sched_status = s.status.value
+        if s.starts:
+            reports.append(audit_schedule(s, check_memory=bool(s.slots)))
+            if s.slots:
+                reports.append(audit_program(generate(s), s))
+
+        m = modulo_schedule(
+            merged,
+            cfg=cfg,
+            include_reconfigs=include_reconfigs,
+            timeout_ms=modulo_timeout_ms,
+        )
+        modulo_status = m.status.value
+        if m.found:
+            reports.append(audit_modulo(m, merged, cfg))
+
+        kernel_ok = all(r.ok for r in reports)
+        all_ok = all_ok and kernel_ok
+        results.append({
+            "kernel": name,
+            "ok": kernel_ok,
+            "schedule_status": sched_status,
+            "makespan": s.makespan,
+            "modulo_status": modulo_status,
+            "modulo_ii": m.actual_ii if m.found else -1,
+            "n_errors": sum(len(r.errors) for r in reports),
+            "n_warnings": sum(len(r.warnings) for r in reports),
+            "reports": [r.as_dict() for r in reports],
+        })
+
+    return {
+        "kernels": sorted(builders),
+        "include_reconfigs": include_reconfigs,
+        "ok": all_ok,
+        "results": results,
+    }
+
+
+def print_audit(payload: Dict[str, object]) -> str:
+    """Human rendering of an :func:`audit_kernels` payload."""
+    rows = []
+    findings: List[str] = []
+    for r in payload["results"]:  # type: ignore[index]
+        rows.append([
+            r["kernel"],
+            "clean" if r["ok"] else "FAIL",
+            r["schedule_status"],
+            r["makespan"],
+            r["modulo_ii"],
+            r["n_errors"],
+            r["n_warnings"],
+        ])
+        for rep in r["reports"]:
+            for d in rep["diagnostics"]:
+                loc = ", ".join(
+                    str(v) for v in (d["node"], d["cycle"], d["slot"])
+                    if v is not None
+                )
+                findings.append(
+                    f"  {r['kernel']}/{rep['pass']}: {d['code']} "
+                    f"{d['severity']}: {d['message']}"
+                    + (f" ({loc})" if loc else "")
+                )
+    table = format_table(
+        ["kernel", "audit", "schedule", "makespan", "actual II",
+         "errors", "warnings"],
+        rows,
+    )
+    verdict = "AUDIT CLEAN" if payload["ok"] else "AUDIT FAILED"
+    body = table + "\n" + verdict
+    if findings:
+        body += "\n" + "\n".join(findings)
+    return body
+
+
+# ----------------------------------------------------------------------
 # Figures
 # ----------------------------------------------------------------------
 def fig3_ir() -> Tuple[Graph, str]:

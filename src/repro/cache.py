@@ -208,6 +208,9 @@ class CacheStats:
     evictions: int = 0
     disk_hits: int = 0
     solver_nodes: int = 0
+    #: cached payloads the static analyser rejected (corrupt entries
+    #: caught by an ``audit=True`` sweep and invalidated)
+    audit_rejections: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -217,6 +220,7 @@ class CacheStats:
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
             "solver_nodes": self.solver_nodes,
+            "audit_rejections": self.audit_rejections,
         }
 
     @property
@@ -308,6 +312,21 @@ class ScheduleCache:
     def record_solve(self, nodes: int) -> None:
         """Attribute ``nodes`` CP search nodes to filling a miss."""
         self.stats.solver_nodes += nodes
+
+    def invalidate(self, key: str) -> None:
+        """Drop ``key`` from both tiers (a payload failed its audit).
+
+        Counts an ``audit_rejections``; the next :meth:`get` for the
+        key is a clean miss, so the caller re-solves instead of
+        re-trusting a corrupt entry.
+        """
+        self.stats.audit_rejections += 1
+        self._mem.pop(key, None)
+        if self.disk_dir:
+            try:
+                os.remove(self._disk_path(key))
+            except OSError:
+                pass
 
     def __len__(self) -> int:
         return len(self._mem)

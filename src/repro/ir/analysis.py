@@ -9,45 +9,52 @@ bound that dominates the QRD schedule length in Table 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from repro.arch.eit import DEFAULT_CONFIG, EITConfig
 from repro.arch.isa import OpCategory
-from repro.ir.graph import DataNode, Graph, Node, OpNode
+from repro.ir.graph import Graph, Node, OpNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.diagnostics import DiagnosticReport
+
+
+class GraphValidationError(ValueError):
+    """Raised by :func:`validate`; carries the full structured report.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    call sites keep working; ``.report`` holds every diagnostic the IR
+    linter found, not just the first.
+    """
+
+    def __init__(self, message: str, report: "DiagnosticReport"):
+        super().__init__(message)
+        self.report = report
+
+
+#: the invariant families :func:`validate` has always enforced; the
+#: newer lints (arity, typing, merged-node shape) are reported by
+#: :func:`repro.analysis.lint_graph` but do not raise here, so graphs
+#: that validated before keep validating.
+_VALIDATE_CODES = ("IR101", "IR102", "IR103", "IR104", "IR105")
 
 
 def validate(graph: Graph) -> None:
     """Check the structural invariants of section 3.2; raises ValueError.
 
-    * acyclic;
-    * bipartite: edges only connect operation and data nodes;
-    * every non-input data node has exactly one producing operation;
-    * every operation node has exactly one output data node;
-    * operation arity: at least one input, and for fixed-arity ops the
-      declared number of operands.
+    Deprecated shim over :func:`repro.analysis.lint_graph`: the linter
+    reports *all* violations as structured diagnostics; this wrapper
+    raises :class:`GraphValidationError` (a :class:`ValueError`) on the
+    first section-3.2 invariant — acyclicity, bipartiteness, single
+    producer, output multiplicity, non-empty inputs — with the full
+    report attached as ``.report``.
     """
-    graph.topological_order()  # raises on cycles
-    for u, v in graph.edges():
-        if u.is_op == v.is_op:
-            raise ValueError(
-                f"edge {u.name} -> {v.name} violates bipartiteness"
-            )
-    for d in graph.data_nodes():
-        n_prod = graph.in_degree(d)
-        if n_prod > 1:
-            raise ValueError(f"data node {d.name} has {n_prod} producers")
-    for o in graph.op_nodes():
-        n_out = graph.out_degree(o)
-        # Matrix-valued operations appear with one output data node per
-        # row vector (matrix *data* does not exist in the IR, §3.2.1).
-        max_out = 4 if o.category is OpCategory.MATRIX_OP else 1
-        if not 1 <= n_out <= max_out:
-            raise ValueError(
-                f"operation node {o.name} has {n_out} outputs, "
-                f"expected 1..{max_out}"
-            )
-        if graph.in_degree(o) == 0:
-            raise ValueError(f"operation node {o.name} has no inputs")
+    from repro.analysis import lint_graph
+
+    report = lint_graph(graph)
+    for d in report.errors:
+        if d.code in _VALIDATE_CODES:
+            raise GraphValidationError(d.message, report)
 
 
 @dataclass(frozen=True)

@@ -14,7 +14,10 @@ at when judging a schedule:
   propagation counts per constraint class, per-phase time, incumbent
   timeline) collected by :class:`repro.cp.stats.SolverStats`;
 * :func:`cache_stats` — the content-addressed schedule cache's
-  hit/miss/eviction counters and the CP nodes spent on misses.
+  hit/miss/eviction counters and the CP nodes spent on misses;
+* :func:`diagnostics` — the static analyser's findings
+  (:class:`repro.analysis.DiagnosticReport`), grouped per pass with a
+  per-code tally.
 
 Everything is pure string formatting over the result objects; nothing
 here affects scheduling.
@@ -212,9 +215,37 @@ def cache_stats(cache: "ScheduleCache") -> str:
     st = cache.stats
     lookups = st.hits + st.misses
     rate = f"{st.hit_rate:.0%}" if lookups else "n/a"
-    return (
+    out = (
         f"schedule cache: {st.hits} hits ({st.disk_hits} from disk) / "
         f"{st.misses} misses ({rate} hit rate), {st.stores} stores, "
         f"{st.evictions} evictions, {len(cache)} entries resident; "
         f"{st.solver_nodes} CP nodes spent on misses"
     )
+    if st.audit_rejections:
+        out += f"; {st.audit_rejections} entries rejected by audit"
+    return out
+
+
+def diagnostics(*reports: "DiagnosticReport") -> str:
+    """Render one or more static-analysis reports as one text block.
+
+    Each report keeps its own header (pass, subject, error/warning
+    counts, findings); a trailing summary line tallies distinct codes
+    across all reports — the quick answer to "what kinds of violations
+    are these".
+    """
+    if not reports:
+        return "(no analysis reports)"
+    blocks = [r.render() for r in reports]
+    by_code: Dict[str, int] = {}
+    for r in reports:
+        for d in r:
+            by_code[d.code] = by_code.get(d.code, 0) + 1
+    if by_code:
+        tally = ", ".join(
+            f"{code} x{n}" for code, n in sorted(by_code.items())
+        )
+        blocks.append(f"codes: {tally}")
+    else:
+        blocks.append("all passes clean")
+    return "\n".join(blocks)

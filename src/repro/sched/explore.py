@@ -114,6 +114,7 @@ def explore_detailed(
     include_reconfigs: bool = False,
     jobs: int = 1,
     cache: Optional["ScheduleCache"] = None,
+    audit: bool = False,
 ) -> ExploreOutcome:
     """Evaluate every kernel on every profile; full telemetry.
 
@@ -126,14 +127,41 @@ def explore_detailed(
     (builders themselves never cross the process boundary).  A dying
     worker degrades its cell to the greedy fallback.  ``cache``
     short-circuits previously solved cells by content address.
+
+    With ``audit=True`` every payload the sweep trusts is re-checked by
+    the independent analyser (:mod:`repro.analysis`): a *cached* entry
+    that fails its audit is invalidated (counted in
+    ``cache.stats.audit_rejections``) and re-solved as a miss — a
+    corrupt or stale cache can never leak an invalid schedule into the
+    results — while a *freshly solved* payload that fails raises
+    :class:`repro.analysis.AuditError` (that is a solver bug, not a
+    cache artifact).
     """
     from repro.cache import (
         cache_key,
         modulo_from_payload,
+        schedule_from_payload,
         schedule_payload,
         modulo_payload as to_modulo_payload,
     )
     from repro.sched.parallel import SolveRequest, solve_many
+
+    def _payload_report(req_id: str, payload: Mapping):
+        """Audit one payload; returns the failing report or None."""
+        from repro.analysis import audit_modulo, audit_schedule
+
+        kname = req_id.split("/", 1)[0]
+        graph, cfg = graphs[kname], profiles[req_id.split("/")[1]]
+        if payload.get("kind") == "schedule":
+            if not payload.get("starts"):
+                return None  # infeasible cells carry nothing to check
+            rep = audit_schedule(schedule_from_payload(payload, graph, cfg))
+        else:
+            result = modulo_from_payload(payload)
+            if not result.found:
+                return None
+            rep = audit_modulo(result, graph, cfg)
+        return None if rep.ok else rep
 
     t0 = time.monotonic()
     profiles = profiles or STANDARD_PROFILES
@@ -176,8 +204,13 @@ def explore_detailed(
                 keys[req_id] = key
                 hit = cache.get(key)
                 if hit is not None:
-                    payloads[req_id] = hit
-                    continue
+                    if audit and _payload_report(req_id, hit) is not None:
+                        # Corrupt/stale entry: drop it and re-solve the
+                        # cell as a miss instead of trusting the payload.
+                        cache.invalidate(key)
+                    else:
+                        payloads[req_id] = hit
+                        continue
             requests.append(
                 SolveRequest(
                     req_id=req_id,
@@ -190,6 +223,12 @@ def explore_detailed(
 
     results = solve_many(requests, jobs=jobs)
     for req_id, res in results.items():
+        if audit and not res.degraded:
+            failing = _payload_report(req_id, res.payload)
+            if failing is not None:
+                from repro.analysis import AuditError
+
+                raise AuditError(failing)  # fresh solve: a solver bug
         payloads[req_id] = res.payload
         if res.stats is not None:
             outcome.solver.merge(res.stats)
@@ -224,6 +263,7 @@ def explore(
     include_reconfigs: bool = False,
     jobs: int = 1,
     cache: Optional["ScheduleCache"] = None,
+    audit: bool = False,
 ) -> List[DesignPoint]:
     """Evaluate every kernel on every profile (see :func:`explore_detailed`)."""
     return explore_detailed(
@@ -234,6 +274,7 @@ def explore(
         include_reconfigs=include_reconfigs,
         jobs=jobs,
         cache=cache,
+        audit=audit,
     ).points
 
 

@@ -393,6 +393,7 @@ def modulo_schedule(
     max_ii: Optional[int] = None,
     per_ii_timeout_ms: Optional[float] = None,
     jobs: int = 1,
+    audit: bool = False,
 ) -> ModuloResult:
     """Find the minimum-II modulo schedule for a kernel.
 
@@ -401,7 +402,10 @@ def modulo_schedule(
     With ``jobs > 1`` a window of candidate IIs is raced in parallel
     (see :func:`repro.sched.parallel.modulo_schedule_parallel`); the
     result is still the *minimal* feasible II, identical to the
-    sequential search.
+    sequential search.  With ``audit=True`` any found window (including
+    a greedy-degraded one from the parallel racer) is re-checked by the
+    independent analyser (:func:`repro.analysis.audit_modulo`), raising
+    :class:`repro.analysis.AuditError` on violations.
     """
     if jobs > 1:
         from repro.sched.parallel import modulo_schedule_parallel
@@ -414,6 +418,7 @@ def modulo_schedule(
             max_ii=max_ii,
             per_ii_timeout_ms=per_ii_timeout_ms,
             jobs=jobs,
+            audit=audit,
         )
 
     t0 = time.monotonic()
@@ -450,16 +455,21 @@ def modulo_schedule(
             if status is not SolveStatus.INFEASIBLE:
                 proven_all_below = False
             continue
-        return result_from_solution(
+        return audited_modulo(
+            result_from_solution(
+                graph,
+                cfg,
+                include_reconfigs,
+                window,
+                solution,
+                proven_all_below,
+                (time.monotonic() - t0) * 1000.0,
+                tried,
+                search_stats=merged,
+            ),
             graph,
             cfg,
-            include_reconfigs,
-            window,
-            solution,
-            proven_all_below,
-            (time.monotonic() - t0) * 1000.0,
-            tried,
-            search_stats=merged,
+            audit,
         )
 
     return ModuloResult(
@@ -475,61 +485,31 @@ def modulo_schedule(
     )
 
 
+def audited_modulo(
+    result: ModuloResult, graph: Graph, cfg: EITConfig, audit: bool
+) -> ModuloResult:
+    """Post-check a found modulo result with the independent analyser."""
+    if audit and result.found:
+        from repro.analysis import AuditError, audit_modulo
+
+        report = audit_modulo(result, graph, cfg)
+        if not report.ok:
+            raise AuditError(report)
+    return result
+
+
 def verify_modulo(
     result: ModuloResult, graph: Graph, cfg: EITConfig = DEFAULT_CONFIG
 ) -> List[str]:
-    """Independent re-check of a modulo schedule; returns violations."""
-    if not result.found:
-        return ["no solution to verify"]
-    W = result.ii
-    errors: List[str] = []
-    start = {
-        nid: result.stages[nid] * W + result.offsets[nid]
-        for nid in result.offsets
-    }
-    for prod, cons, lat in _op_precedences(graph, cfg):
-        if start[prod.nid] + lat > start[cons.nid]:
-            errors.append(
-                f"precedence {prod.name}->{cons.name}: "
-                f"{start[prod.nid]}+{lat} > {start[cons.nid]}"
-            )
-    # steady-state resource usage per offset
-    lanes: Dict[int, int] = {}
-    configs: Dict[int, set] = {}
-    unit: Dict[ResourceKind, Dict[int, int]] = {
-        ResourceKind.SCALAR_UNIT: {},
-        ResourceKind.INDEX_MERGE: {},
-    }
-    for op in graph.op_nodes():
-        o = result.offsets[op.nid]
-        res = op.op.resource
-        if res is ResourceKind.VECTOR_CORE:
-            lanes[o] = lanes.get(o, 0) + op.op.lanes(cfg)
-            configs.setdefault(o, set()).add(op.config_class)
-        else:
-            for t in range(o, o + op.op.duration(cfg)):
-                unit[res][t % W] = unit[res].get(t % W, 0) + 1
-    for o, n in lanes.items():
-        if n > cfg.n_lanes:
-            errors.append(f"offset {o}: {n} lanes > {cfg.n_lanes}")
-    for o, cs in configs.items():
-        if len(cs) > 1:
-            errors.append(f"offset {o}: mixed configs {sorted(cs)}")
-    for res, busy in unit.items():
-        for o, n in busy.items():
-            if n > 1:
-                errors.append(f"offset {o}: {res.value} x{n}")
-    if result.include_reconfigs:
-        from repro.cp.constraints.cyclic import cyclic_distance
+    """Independent re-check of a modulo schedule; returns violations.
 
-        occupied = sorted(
-            (o, next(iter(cs))) for o, cs in configs.items()
-        )
-        for i, (oa, ca) in enumerate(occupied):
-            for ob, cb in occupied[i + 1 :]:
-                if ca != cb and cyclic_distance(oa, ob, W) < 1 + cfg.reconfig_cost:
-                    errors.append(
-                        f"offsets {oa}/{ob}: configs {ca}/{cb} too close "
-                        f"for reconfiguration"
-                    )
-    return errors
+    Deprecated shim over :func:`repro.analysis.audit_modulo`, which
+    re-derives the per-offset resource, configuration and wraparound
+    checks from scratch.  Returns a
+    :class:`~repro.sched.result.VerificationErrors` — a ``List[str]``
+    whose ``.report`` carries the structured diagnostics.
+    """
+    from repro.analysis import audit_modulo
+    from repro.sched.result import VerificationErrors
+
+    return VerificationErrors(audit_modulo(result, graph, cfg))

@@ -45,6 +45,7 @@ from repro.ir.graph import Graph
 from repro.sched.list_sched import greedy_schedule
 from repro.sched.modulo import (
     ModuloResult,
+    audited_modulo,
     greedy_modulo_fallback,
     ii_search_range,
     modulo_schedule,
@@ -357,6 +358,7 @@ def modulo_schedule_parallel(
     max_ii: Optional[int] = None,
     per_ii_timeout_ms: Optional[float] = None,
     jobs: int = 2,
+    audit: bool = False,
 ) -> ModuloResult:
     """Race a window of candidate IIs across workers.
 
@@ -391,16 +393,21 @@ def modulo_schedule_parallel(
                 statuses[w] is SolveStatus.INFEASIBLE
                 for w in range(lb, window)
             )
-            return result_from_solution(
+            return audited_modulo(
+                result_from_solution(
+                    graph,
+                    cfg,
+                    include_reconfigs,
+                    window,
+                    solutions[window],
+                    proven,
+                    elapsed_ms,
+                    tried,
+                    search_stats=merged,
+                ),
                 graph,
                 cfg,
-                include_reconfigs,
-                window,
-                solutions[window],
-                proven,
-                elapsed_ms,
-                tried,
-                search_stats=merged,
+                audit,
             )
         # no feasible window: contiguous resolved prefix is what was tried
         tried = []
@@ -434,6 +441,7 @@ def modulo_schedule_parallel(
             max_ii=max_ii,
             per_ii_timeout_ms=per_ii_timeout_ms,
             jobs=1,
+            audit=audit,
         )
 
     with WorkerPool(jobs) as pool:

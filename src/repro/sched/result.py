@@ -13,13 +13,14 @@ have to agree.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.arch.eit import DEFAULT_CONFIG, EITConfig, ResourceKind
-from repro.arch.isa import OpCategory
-from repro.arch.memory import MemoryLayout
 from repro.cp.search import SearchStats, SolveStatus
 from repro.ir.graph import DataNode, Graph, Node, OpNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.diagnostics import DiagnosticReport
 
 
 @dataclass
@@ -108,124 +109,28 @@ class Schedule:
         )
 
 
+class VerificationErrors(List[str]):
+    """Backward-compatible ``List[str]`` with the structured report attached.
+
+    One rendered line per ERROR-severity diagnostic, so legacy callers
+    (``assert verify_schedule(s) == []``, substring greps) keep working;
+    new code reads ``.report`` for codes, locations and hints.
+    """
+
+    def __init__(self, report: "DiagnosticReport"):
+        super().__init__(d.render() for d in report.errors)
+        self.report = report
+
+
 def verify_schedule(sched: Schedule, check_memory: bool = True) -> List[str]:
     """Independently re-check a schedule; returns a list of violations.
 
-    Checks performed (empty list = valid):
-
-    * precedence along every edge (eq. 1) and data-start equality (eq. 4);
-    * vector-lane capacity and single-configuration-per-cycle (eqs. 2-3);
-    * scalar-unit and index/merge occupancy (their Cumulatives);
-    * when slots are present: slot range, per-cycle read and write groups
-      obey the bank/page/line rules (eqs. 7-9 via the memory model), and
-      no two overlapping lifetimes share a slot (eqs. 10-11).
+    Deprecated shim over :func:`repro.analysis.audit_schedule`, which
+    re-derives eqs. 1-5 (and 6-11 when slots are present) without any
+    of the CP model code.  Returns a :class:`VerificationErrors` — a
+    ``List[str]`` whose ``.report`` carries the structured
+    :class:`~repro.analysis.diagnostics.DiagnosticReport`.
     """
-    g, cfg = sched.graph, sched.cfg
-    errors: List[str] = []
+    from repro.analysis import audit_schedule
 
-    # precedence / data starts
-    for u, v in g.edges():
-        su, sv = sched.starts[u.nid], sched.starts[v.nid]
-        lat = sched.latency(u)
-        if su + lat > sv:
-            errors.append(
-                f"precedence violated: {u.name}@{su}+{lat} > {v.name}@{sv}"
-            )
-        if isinstance(u, OpNode) and isinstance(v, DataNode) and su + lat != sv:
-            errors.append(
-                f"data start mismatch: {v.name}@{sv} != {u.name}@{su}+{lat}"
-            )
-
-    # resource occupancy per cycle
-    lane_load: Dict[int, int] = {}
-    cycle_configs: Dict[int, set] = {}
-    unit_busy: Dict[ResourceKind, Dict[int, int]] = {
-        ResourceKind.SCALAR_UNIT: {},
-        ResourceKind.INDEX_MERGE: {},
-    }
-    for op in g.op_nodes():
-        s = sched.starts[op.nid]
-        res = op.op.resource
-        if res is ResourceKind.VECTOR_CORE:
-            lane_load[s] = lane_load.get(s, 0) + op.op.lanes(cfg)
-            cycle_configs.setdefault(s, set()).add(op.config_class)
-        else:
-            for t in range(s, s + op.op.duration(cfg)):
-                unit_busy[res][t] = unit_busy[res].get(t, 0) + 1
-    for t, load in lane_load.items():
-        if load > cfg.n_lanes:
-            errors.append(f"cycle {t}: {load} lanes > {cfg.n_lanes}")
-    for t, configs in cycle_configs.items():
-        if len(configs) > 1:
-            errors.append(f"cycle {t}: mixed configurations {sorted(configs)}")
-    for res, busy in unit_busy.items():
-        for t, n in busy.items():
-            if n > 1:
-                errors.append(f"cycle {t}: {res.value} runs {n} ops")
-
-    # makespan consistency
-    worst = max(
-        (sched.completion(n) for n in g.nodes()), default=0
-    )
-    if worst > sched.makespan:
-        errors.append(f"makespan {sched.makespan} < latest completion {worst}")
-
-    if not check_memory or not sched.slots:
-        return errors
-
-    layout = MemoryLayout(cfg)
-    vdata = g.nodes_of(OpCategory.VECTOR_DATA)
-    for d in vdata:
-        if d.nid not in sched.slots:
-            errors.append(f"vector data {d.name} has no slot")
-            return errors
-        if not 0 <= sched.slots[d.nid] < cfg.n_slots:
-            errors.append(f"{d.name}: slot {sched.slots[d.nid]} out of range")
-
-    # simultaneous reads (inputs of vector-core ops issued the same cycle)
-    reads: Dict[int, List[int]] = {}
-    writes: Dict[int, List[int]] = {}
-    for op in g.op_nodes():
-        if op.op.resource is not ResourceKind.VECTOR_CORE:
-            continue
-        s = sched.starts[op.nid]
-        for p in g.preds(op):
-            if p.category is OpCategory.VECTOR_DATA:
-                reads.setdefault(s, []).append(sched.slots[p.nid])
-        for o in g.succs(op):
-            if o.category is OpCategory.VECTOR_DATA:
-                writes.setdefault(sched.starts[o.nid], []).append(
-                    sched.slots[o.nid]
-                )
-    for t, group in reads.items():
-        chk = layout.simultaneous_access(sorted(set(group)))
-        if not chk:
-            errors.append(f"cycle {t}: read group illegal — {chk.reason}")
-        if len(set(group)) > cfg.max_reads_per_cycle:
-            errors.append(f"cycle {t}: {len(set(group))} reads > port limit")
-    for t, group in writes.items():
-        chk = layout.simultaneous_access(sorted(set(group)))
-        if not chk:
-            errors.append(f"cycle {t}: write group illegal — {chk.reason}")
-        if len(set(group)) > cfg.max_writes_per_cycle:
-            errors.append(f"cycle {t}: {len(set(group))} writes > port limit")
-
-    # lifetime exclusivity per slot (eqs. 10-11)
-    by_slot: Dict[int, List[Tuple[int, int, str]]] = {}
-    for d in vdata:
-        s = sched.starts[d.nid]
-        # occupancy is [start, start + lifetime] inclusive: the slot
-        # frees only after the last read (see memmodel._post_diff2)
-        life = sched.lifetime(d)  # type: ignore[arg-type]
-        by_slot.setdefault(sched.slots[d.nid], []).append(
-            (s, s + life + 1, d.name)
-        )
-    for slot, intervals in by_slot.items():
-        intervals.sort()
-        for (a0, a1, an), (b0, b1, bn) in zip(intervals, intervals[1:]):
-            if b0 < a1:
-                errors.append(
-                    f"slot {slot}: lifetimes of {an} [{a0},{a1}) and "
-                    f"{bn} [{b0},{b1}) overlap"
-                )
-    return errors
+    return VerificationErrors(audit_schedule(sched, check_memory=check_memory))

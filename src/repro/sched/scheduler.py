@@ -27,6 +27,7 @@ def schedule(
     horizon: Optional[int] = None,
     memory_encoding: str = "implication",
     should_stop: Optional[Callable[[], bool]] = None,
+    audit: bool = False,
 ) -> Schedule:
     """Schedule a kernel with (optionally) joint memory allocation.
 
@@ -54,6 +55,13 @@ def schedule(
         optional cooperative-cancellation hook polled once per search
         node (see :class:`repro.cp.Search`); pool workers point this at
         a shared event so a sweep can be cancelled mid-solve.
+    audit:
+        run the independent static analyser
+        (:func:`repro.analysis.audit_schedule`) over the result —
+        including the greedy fallback path — and raise
+        :class:`repro.analysis.AuditError` if it reports any error.
+        Results without start times (INFEASIBLE/empty) are returned
+        unaudited: there is nothing to check.
 
     Returns a schedule with ``status``:
 
@@ -93,15 +101,18 @@ def schedule(
             # schedule (resource-feasible by construction, no memory
             # allocation) rather than handing back nothing.
             greedy = greedy_schedule(graph, cfg)
-            return Schedule(
-                graph=graph,
-                cfg=cfg,
-                starts=greedy.starts,
-                makespan=greedy.makespan,
-                status=SolveStatus.TIMEOUT,
-                solve_time_ms=result.stats.time_ms,
-                search_stats=result.stats,
-                fallback=True,
+            return _audited(
+                Schedule(
+                    graph=graph,
+                    cfg=cfg,
+                    starts=greedy.starts,
+                    makespan=greedy.makespan,
+                    status=SolveStatus.TIMEOUT,
+                    solve_time_ms=result.stats.time_ms,
+                    search_stats=result.stats,
+                    fallback=True,
+                ),
+                audit,
             )
         return Schedule(
             graph=graph,
@@ -122,13 +133,27 @@ def schedule(
             d.nid: result.value(model.memory.slot[d.nid].name)
             for d in model.memory.vdata
         }
-    return Schedule(
-        graph=graph,
-        cfg=cfg,
-        starts=starts,
-        makespan=result.objective,
-        slots=slots,
-        status=result.status,
-        solve_time_ms=result.stats.time_ms,
-        search_stats=result.stats,
+    return _audited(
+        Schedule(
+            graph=graph,
+            cfg=cfg,
+            starts=starts,
+            makespan=result.objective,
+            slots=slots,
+            status=result.status,
+            solve_time_ms=result.stats.time_ms,
+            search_stats=result.stats,
+        ),
+        audit,
     )
+
+
+def _audited(sched: Schedule, audit: bool) -> Schedule:
+    """Post-check a solve result with the independent analyser."""
+    if audit and sched.starts:
+        from repro.analysis import AuditError, audit_schedule
+
+        report = audit_schedule(sched, check_memory=bool(sched.slots))
+        if not report.ok:
+            raise AuditError(report)
+    return sched

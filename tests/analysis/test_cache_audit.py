@@ -1,0 +1,98 @@
+"""Audit-gated sweeps: corrupted cache entries are rejected and re-solved."""
+
+import pytest
+
+from repro.analysis import AuditError
+from repro.apps import build_matmul
+from repro.arch.eit import DEFAULT_CONFIG
+from repro.cache import ScheduleCache, cache_key
+from repro.ir import merge_pipeline_ops
+from repro.sched.explore import explore_detailed
+
+TIMEOUT_MS = 60_000.0
+
+
+def _sweep(cache, audit=False):
+    return explore_detailed(
+        {"matmul": build_matmul},
+        {"eit": DEFAULT_CONFIG},
+        timeout_ms=TIMEOUT_MS,
+        modulo_timeout_ms=TIMEOUT_MS,
+        cache=cache,
+        audit=audit,
+    )
+
+
+def _schedule_key():
+    g = merge_pipeline_ops(build_matmul())
+    return cache_key(
+        g, DEFAULT_CONFIG, "schedule", {"timeout_ms": TIMEOUT_MS}
+    )
+
+
+class TestCorruptedCacheEntry:
+    def test_corrupt_entry_rejected_and_resolved(self):
+        cache = ScheduleCache()
+        first = _sweep(cache)
+        good = first.points[0].makespan
+        assert good >= 0
+
+        # sabotage the cached schedule payload: shift one op's start so
+        # eq. 4 no longer holds in the stored solution
+        payload = cache.get(_schedule_key())
+        assert payload is not None and payload["starts"]
+        victim = next(iter(payload["starts"]))
+        payload["starts"][victim] += 1
+
+        warm = _sweep(cache, audit=True)
+        assert cache.stats.audit_rejections == 1
+        # the corrupt cell was re-solved from scratch, not trusted
+        assert warm.points[0].makespan == good
+        assert warm.solver.nodes > 0
+
+    def test_clean_cache_fully_warm_under_audit(self):
+        cache = ScheduleCache()
+        first = _sweep(cache)
+        warm = _sweep(cache, audit=True)
+        assert cache.stats.audit_rejections == 0
+        assert warm.solver.nodes == 0  # every cell answered from cache
+        assert [p.as_dict() for p in warm.points] == [
+            p.as_dict() for p in first.points
+        ]
+
+    def test_rejected_entry_replaced_on_disk(self, tmp_path):
+        from repro.analysis import audit_schedule
+        from repro.cache import schedule_from_payload
+
+        cache = ScheduleCache(disk_dir=str(tmp_path))
+        _sweep(cache)
+        key = _schedule_key()
+        assert (tmp_path / f"{key}.json").exists()
+        payload = cache.get(key)
+        victim = next(iter(payload["starts"]))
+        payload["starts"][victim] += 1
+        corrupt_start = payload["starts"][victim]
+
+        _sweep(cache, audit=True)
+        assert cache.stats.audit_rejections == 1
+        # the re-solve replaced the corrupt entry (memory and disk) with
+        # a payload that passes the audit
+        fresh = cache.get(key)
+        g = merge_pipeline_ops(build_matmul())
+        s = schedule_from_payload(fresh, g, DEFAULT_CONFIG)
+        assert audit_schedule(s).ok
+        assert fresh["starts"][victim] != corrupt_start
+
+
+class TestCacheInvalidate:
+    def test_invalidate_counts_and_drops(self):
+        cache = ScheduleCache()
+        cache.put("k", {"kind": "schedule", "starts": {}})
+        assert "k" in cache
+        cache.invalidate("k")
+        assert cache.stats.audit_rejections == 1
+        assert cache.get("k") is None  # clean miss
+
+    def test_stats_dict_has_audit_counter(self):
+        cache = ScheduleCache()
+        assert "audit_rejections" in cache.stats.as_dict()

@@ -1,0 +1,166 @@
+"""Codegen hazard checker: generated programs are clean, tampering trips."""
+
+import copy
+import dataclasses
+
+import pytest
+
+from repro.analysis import audit_program
+from repro.apps import build_matmul
+from repro.codegen.machine_code import MicroOp, OperandRef, generate
+from repro.ir import merge_pipeline_ops
+from repro.sched import schedule
+
+
+@pytest.fixture(scope="module")
+def prog_sched():
+    g = merge_pipeline_ops(build_matmul())
+    s = schedule(g, timeout_ms=60_000)
+    assert s.starts and s.slots
+    return generate(s), s
+
+
+def tampered(program):
+    """Deep-ish copy: instructions and micro lists are fresh objects."""
+    p = copy.copy(program)
+    p.instructions = {
+        c: dataclasses.replace(
+            ins,
+            vector_ops=list(ins.vector_ops),
+            scalar_ops=list(ins.scalar_ops),
+            index_ops=list(ins.index_ops),
+        )
+        for c, ins in program.instructions.items()
+    }
+    p.data_location = dict(program.data_location)
+    return p
+
+
+def first_vector_site(program):
+    for cycle in sorted(program.instructions):
+        ins = program.instructions[cycle]
+        if ins.vector_ops:
+            return cycle, ins
+    pytest.skip("program has no vector micro-ops")
+
+
+class TestCleanProgram:
+    def test_generated_program_audits_clean(self, prog_sched):
+        program, sched = prog_sched
+        report = audit_program(program, sched)
+        assert report.ok, report.render()
+
+
+class TestTampering:
+    def test_dropped_micro_gen401(self, prog_sched):
+        program, sched = prog_sched
+        p = tampered(program)
+        cycle, ins = first_vector_site(p)
+        ins.vector_ops.pop()
+        assert "GEN401" in audit_program(p, sched).codes()
+
+    def test_wrong_cycle_count_gen401(self, prog_sched):
+        program, sched = prog_sched
+        p = tampered(program)
+        p.n_cycles = program.n_cycles + 3
+        assert "GEN401" in audit_program(p, sched).codes()
+
+    def test_wrong_latency_gen401(self, prog_sched):
+        program, sched = prog_sched
+        p = tampered(program)
+        cycle, ins = first_vector_site(p)
+        m = ins.vector_ops[0]
+        ins.vector_ops[0] = dataclasses.replace(m, latency=m.latency + 1)
+        assert "GEN401" in audit_program(p, sched).codes()
+
+    def test_cleared_reconfigure_flag_gen403(self, prog_sched):
+        program, sched = prog_sched
+        p = tampered(program)
+        reconf_cycle = next(
+            c for c in sorted(p.instructions)
+            if p.instructions[c].reconfigure
+        )
+        p.instructions[reconf_cycle] = dataclasses.replace(
+            p.instructions[reconf_cycle], reconfigure=False
+        )
+        assert "GEN403" in audit_program(p, sched).codes()
+
+    def test_wrong_operand_slot_gen404(self, prog_sched):
+        program, sched = prog_sched
+        p = tampered(program)
+        cycle, ins = first_vector_site(p)
+        m = ins.vector_ops[0]
+        wrong = tuple(
+            OperandRef(r.space, r.index + 1 if r.space == "mem" else r.index)
+            for r in m.operands
+        )
+        if wrong == m.operands:
+            pytest.skip("no vector operand to misdirect")
+        ins.vector_ops[0] = dataclasses.replace(m, operands=wrong)
+        assert "GEN404" in audit_program(p, sched).codes()
+
+    def test_overlapping_lanes_gen405(self, prog_sched):
+        program, sched = prog_sched
+        p = tampered(program)
+        site = None
+        for cycle in sorted(p.instructions):
+            ins = p.instructions[cycle]
+            if len(ins.vector_ops) >= 2:
+                site = ins
+                break
+        if site is None:
+            pytest.skip("no cycle issues two vector ops")
+        a = site.vector_ops[0]
+        b = site.vector_ops[1]
+        site.vector_ops[1] = dataclasses.replace(b, lanes=a.lanes)
+        assert "GEN405" in audit_program(p, sched).codes()
+
+    def test_config_mismatch_gen406(self, prog_sched):
+        program, sched = prog_sched
+        p = tampered(program)
+        cycle, ins = first_vector_site(p)
+        p.instructions[cycle] = dataclasses.replace(
+            ins, vector_config="definitely_not_a_config"
+        )
+        codes = audit_program(p, sched).codes()
+        assert "GEN406" in codes
+
+    def test_register_interference_gen402(self):
+        # qrd has scalar data (norms, reciprocals); force two scalars
+        # with overlapping live ranges into one register
+        from repro.apps import build_qrd
+        from repro.arch.isa import OpCategory
+
+        g = merge_pipeline_ops(build_qrd())
+        s = schedule(g, timeout_ms=60_000)
+        assert s.starts and s.slots
+        p = tampered(generate(s))
+
+        def live_range(nid):
+            d = g.node(nid)
+            succs = g.succs(d)
+            end = max(
+                (s.starts[c.nid] for c in succs if c.nid in s.starts),
+                default=s.makespan,
+            )
+            return s.starts[nid], end
+
+        sregs = [
+            (nid, ref) for nid, ref in p.data_location.items()
+            if ref.space == "sreg" and nid in s.starts
+        ]
+        assert len(sregs) >= 2, "qrd should carry scalar data"
+        pair = None
+        for i, (n1, r1) in enumerate(sregs):
+            for n2, _ in sregs[i + 1:]:
+                a0, a1 = live_range(n1)
+                b0, b1 = live_range(n2)
+                if max(a0, b0) <= min(a1, b1):
+                    pair = (n1, r1, n2)
+                    break
+            if pair:
+                break
+        assert pair, "no two scalars with overlapping live ranges"
+        n1, r1, n2 = pair
+        p.data_location[n2] = r1  # two live scalars in one register
+        assert "GEN402" in audit_program(p, s).codes()

@@ -1,0 +1,144 @@
+"""The diagnostic code registry and report plumbing."""
+
+import re
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    AuditError,
+    Diagnostic,
+    DiagnosticReport,
+    Location,
+    Severity,
+    merge_reports,
+)
+
+_FAMILIES = {"IR1": "ir", "SCH2": "sched", "MEM3": "mem", "GEN4": "gen"}
+
+
+class TestRegistry:
+    def test_codes_follow_family_pattern(self):
+        for code in CODES:
+            assert re.fullmatch(r"(IR1|SCH2|MEM3|GEN4)\d\d", code), code
+
+    def test_every_family_present(self):
+        for prefix in _FAMILIES:
+            assert any(c.startswith(prefix) for c in CODES), prefix
+
+    def test_entries_carry_title_and_hint(self):
+        for code, info in CODES.items():
+            assert info.title, code
+            assert info.hint, code
+
+    def test_equation_families(self):
+        # the schedule and memory families re-derive paper equations;
+        # every equation 1-11 must be claimed by at least one code
+        claimed = " ".join(info.equation for info in CODES.values())
+        for eq in ("eq. 1", "eq. 2", "eq. 3", "eq. 4", "eq. 5", "eq. 6",
+                   "eq. 7", "eqs. 8-9", "eqs. 10-11"):
+            assert eq in claimed, eq
+
+    def test_unregistered_code_rejected(self):
+        with pytest.raises(ValueError, match="unregistered"):
+            Diagnostic(code="XX999", message="nope")
+
+
+class TestDiagnostic:
+    def test_render_contains_code_equation_location(self):
+        d = Diagnostic(
+            code="SCH201",
+            message="u@3+7 > v@5",
+            location=Location(node="v", cycle=5),
+        )
+        out = d.render()
+        assert "SCH201" in out
+        assert "eq. 1" in out
+        assert "v, cycle 5" in out
+
+    def test_default_hint_from_registry(self):
+        d = Diagnostic(code="MEM302", message="clash")
+        assert d.effective_hint() == CODES["MEM302"].hint
+        d2 = Diagnostic(code="MEM302", message="clash", hint="move it")
+        assert d2.effective_hint() == "move it"
+
+    def test_as_dict_shape(self):
+        d = Diagnostic(code="MEM306", message="overlap",
+                       location=Location(slot=7))
+        dd = d.as_dict()
+        assert dd["code"] == "MEM306"
+        assert dd["slot"] == 7
+        assert dd["equation"] == "eqs. 10-11"
+
+
+class TestReport:
+    def test_ok_ignores_warnings(self):
+        r = DiagnosticReport(pass_name="p", subject="s")
+        r.add("IR106", "dangling", severity=Severity.WARNING)
+        assert r.ok
+        assert len(r.warnings) == 1
+        r.add("IR101", "cycle")
+        assert not r.ok
+
+    def test_codes_sorted_unique(self):
+        r = DiagnosticReport(pass_name="p", subject="s")
+        r.add("SCH202", "a")
+        r.add("SCH201", "b")
+        r.add("SCH202", "c")
+        assert r.codes() == ["SCH201", "SCH202"]
+
+    def test_truthiness_mirrors_findings(self):
+        r = DiagnosticReport(pass_name="p", subject="s")
+        assert not r
+        r.add("IR106", "dangling", severity=Severity.WARNING)
+        assert r  # has findings even though ok
+
+    def test_merge(self):
+        a = DiagnosticReport(pass_name="a", subject="s")
+        a.add("IR101", "x")
+        b = DiagnosticReport(pass_name="b", subject="s")
+        b.add("SCH201", "y")
+        m = merge_reports("all", "s", [a, b])
+        assert m.codes() == ["IR101", "SCH201"]
+
+    def test_render_clean(self):
+        r = DiagnosticReport(pass_name="p", subject="kern")
+        assert "clean" in r.render()
+
+    def test_audit_error_carries_report(self):
+        r = DiagnosticReport(pass_name="p", subject="s")
+        r.add("SCH201", "broken")
+        err = AuditError(r)
+        assert err.report is r
+        assert "SCH201" in str(err)
+
+
+class TestReportRenderer:
+    def test_diagnostics_tally(self):
+        from repro.report import diagnostics
+
+        a = DiagnosticReport(pass_name="a", subject="s")
+        a.add("SCH201", "x")
+        a.add("SCH201", "y")
+        out = diagnostics(a)
+        assert "SCH201 x2" in out
+
+    def test_diagnostics_clean(self):
+        from repro.report import diagnostics
+
+        out = diagnostics(DiagnosticReport(pass_name="a", subject="s"))
+        assert "clean" in out
+
+
+class TestDocsCatalog:
+    def test_every_code_documented(self):
+        import os
+
+        path = os.path.join(
+            os.path.dirname(__file__), "..", "..", "docs",
+            "static-analysis.md",
+        )
+        with open(path) as f:
+            text = f.read()
+        for code in CODES:
+            assert code in text, f"{code} missing from docs/static-analysis.md"

@@ -1,0 +1,132 @@
+"""The IR linter: every IR1xx code is reachable, shipped kernels are clean."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import Severity, lint_graph
+from repro.arch.isa import OP_TABLE, OpCategory
+from repro.ir.graph import Graph
+
+
+def valid_chain(n_ops: int = 2) -> Graph:
+    g = Graph("chain")
+    prev = g.add_data(OpCategory.VECTOR_DATA, name="in")
+    fixed = g.add_data(OpCategory.VECTOR_DATA, name="in2")
+    for i in range(n_ops):
+        o = g.add_op("v_add", name=f"op{i}")
+        g.add_edge(prev, o)
+        g.add_edge(fixed, o)
+        prev = g.add_data(OpCategory.VECTOR_DATA, name=f"d{i}")
+        g.add_edge(o, prev)
+    return g
+
+
+class TestCleanGraphs:
+    def test_chain_clean(self):
+        assert lint_graph(valid_chain()).ok
+
+    @pytest.mark.parametrize("kernel", ["qrd", "arf", "matmul", "backsub"])
+    def test_shipped_kernels_clean(self, kernel):
+        from repro.apps import build_arf, build_backsub, build_matmul, build_qrd
+        from repro.ir import merge_pipeline_ops
+
+        builder = {
+            "qrd": build_qrd, "arf": build_arf,
+            "matmul": build_matmul, "backsub": build_backsub,
+        }[kernel]
+        raw = builder()
+        for g in (raw, merge_pipeline_ops(builder())):
+            report = lint_graph(g)
+            assert report.ok, report.render()
+
+
+class TestCodes:
+    def test_ir101_cycle(self):
+        g = Graph()
+        d = g.add_data(OpCategory.VECTOR_DATA)
+        o = g.add_op("v_conj")
+        g.add_edge(d, o)
+        g.add_edge(o, d)
+        assert "IR101" in lint_graph(g).codes()
+
+    def test_ir102_bipartiteness(self):
+        g = Graph()
+        a = g.add_data(OpCategory.VECTOR_DATA)
+        b = g.add_data(OpCategory.VECTOR_DATA)
+        g.add_edge(a, b)
+        assert "IR102" in lint_graph(g).codes()
+
+    def test_ir103_multiple_producers(self):
+        g = valid_chain(1)
+        by_name = {n.name: n for n in g.nodes()}
+        extra = g.add_op("v_conj", name="second_producer")
+        g.add_edge(by_name["in"], extra)
+        g.add_edge(extra, by_name["d0"])
+        assert "IR103" in lint_graph(g).codes()
+
+    def test_ir104_output_count(self):
+        g = Graph()
+        a = g.add_data(OpCategory.VECTOR_DATA)
+        o = g.add_op("v_conj")
+        g.add_edge(a, o)  # no outputs at all
+        assert "IR104" in lint_graph(g).codes()
+
+    def test_ir105_no_inputs(self):
+        g = Graph()
+        o = g.add_op("v_conj")
+        g.add_edge(o, g.add_data(OpCategory.VECTOR_DATA))
+        assert "IR105" in lint_graph(g).codes()
+
+    def test_ir106_dangling_is_warning(self):
+        g = valid_chain(1)
+        g.add_data(OpCategory.VECTOR_DATA, name="dead")
+        report = lint_graph(g)
+        assert "IR106" in report.codes()
+        assert report.ok  # warning only: the graph is still valid
+
+    def test_ir107_malformed_merged_node(self):
+        g = Graph()
+        a = g.add_data(OpCategory.VECTOR_DATA)
+        o = g.add_op("v_add", merged_from=("v_mul", "v_add"))
+        b = g.add_data(OpCategory.VECTOR_DATA)
+        g.add_edge(a, o)
+        g.add_edge(a, o)
+        g.add_edge(o, b)
+        assert "IR107" in lint_graph(g).codes()
+
+    def test_ir108_arity_mismatch(self):
+        g = Graph()
+        a = g.add_data(OpCategory.VECTOR_DATA)
+        o = g.add_op("v_add")  # arity 2, gets 1 operand
+        g.add_edge(a, o)
+        g.add_edge(o, g.add_data(OpCategory.VECTOR_DATA))
+        assert "IR108" in lint_graph(g).codes()
+
+    def test_ir109_result_category(self):
+        g = Graph()
+        a = g.add_data(OpCategory.VECTOR_DATA)
+        b = g.add_data(OpCategory.VECTOR_DATA)
+        o = g.add_op("v_dotP")  # scalar-producing
+        g.add_edge(a, o)
+        g.add_edge(b, o)
+        g.add_edge(o, g.add_data(OpCategory.VECTOR_DATA))  # wrong category
+        assert "IR109" in lint_graph(g).codes()
+
+    def test_ir110_unknown_op(self):
+        bogus = dataclasses.replace(OP_TABLE["v_conj"], name="v_bogus")
+        g = Graph()
+        a = g.add_data(OpCategory.VECTOR_DATA)
+        o = g.add_op(bogus)
+        g.add_edge(a, o)
+        g.add_edge(o, g.add_data(OpCategory.VECTOR_DATA))
+        assert "IR110" in lint_graph(g).codes()
+
+    def test_multiple_findings_accumulate(self):
+        g = Graph()
+        a = g.add_data(OpCategory.VECTOR_DATA)
+        b = g.add_data(OpCategory.VECTOR_DATA)
+        g.add_edge(a, b)  # IR102
+        o = g.add_op("v_conj")  # IR105 + IR104
+        codes = lint_graph(g).codes()
+        assert {"IR102", "IR104", "IR105"} <= set(codes)

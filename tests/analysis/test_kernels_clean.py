@@ -1,0 +1,73 @@
+"""Acceptance bar: every shipped kernel audits with ZERO diagnostics.
+
+The CP schedules for qrd / backsub / matmul / arf must pass the full
+independent re-derivation of eqs. 1-11, under flat, overlapped-window
+(codegen) and modulo execution — errors *and* warnings both count.
+"""
+
+import pytest
+
+from repro.analysis import (
+    audit_modulo,
+    audit_program,
+    audit_schedule,
+    lint_graph,
+)
+from repro.apps import build_arf, build_backsub, build_matmul, build_qrd
+from repro.codegen.machine_code import generate
+from repro.ir import merge_pipeline_ops
+from repro.sched import schedule
+from repro.sched.modulo import modulo_schedule
+
+BUILDERS = {
+    "qrd": build_qrd,
+    "arf": build_arf,
+    "matmul": build_matmul,
+    "backsub": build_backsub,
+}
+
+
+@pytest.fixture(scope="module", params=sorted(BUILDERS))
+def kernel(request):
+    name = request.param
+    g = merge_pipeline_ops(BUILDERS[name]())
+    s = schedule(g, timeout_ms=120_000)
+    return name, g, s
+
+
+class TestShippedKernelsClean:
+    def test_lint_zero_diagnostics(self, kernel):
+        name, g, _ = kernel
+        report = lint_graph(g)
+        assert len(report) == 0, report.render()
+
+    def test_schedule_audit_zero_diagnostics(self, kernel):
+        name, g, s = kernel
+        assert s.starts, f"{name}: no schedule found"
+        report = audit_schedule(s)
+        assert len(report) == 0, report.render()
+
+    def test_codegen_audit_zero_diagnostics(self, kernel):
+        name, g, s = kernel
+        assert s.slots, f"{name}: no memory allocation"
+        report = audit_program(generate(s), s)
+        assert len(report) == 0, report.render()
+
+    def test_modulo_audit_zero_diagnostics(self, kernel):
+        name, g, _ = kernel
+        m = modulo_schedule(g, timeout_ms=120_000)
+        assert m.found, f"{name}: no modulo schedule found"
+        report = audit_modulo(m, g)
+        assert len(report) == 0, report.render()
+
+
+class TestAuditedSolvePaths:
+    def test_schedule_audit_flag(self):
+        g = merge_pipeline_ops(build_matmul())
+        s = schedule(g, timeout_ms=60_000, audit=True)
+        assert s.starts  # a failing audit would have raised AuditError
+
+    def test_modulo_audit_flag(self):
+        g = merge_pipeline_ops(build_matmul())
+        m = modulo_schedule(g, timeout_ms=60_000, audit=True)
+        assert m.found

@@ -1,0 +1,426 @@
+"""Mutation testing of the auditor: every equation family must trip.
+
+A known-good CP schedule is perturbed in a targeted way (shift an op,
+overload a cycle, collide two slots, break the page coupling, wrap a
+modulo lifetime) and the auditor must report the *exact* diagnostic
+code the mutation violates — re-deriving eqs. 1-11 independently of
+the CP model that produced the schedule.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import (
+    audit_modulo,
+    audit_modulo_memory,
+    audit_schedule,
+)
+from repro.apps import build_matmul
+from repro.apps.synth import SynthSpec, random_kernel
+from repro.arch.eit import DEFAULT_CONFIG, ResourceKind
+from repro.arch.isa import OpCategory
+from repro.cp import SolveStatus
+from repro.ir import merge_pipeline_ops
+from repro.ir.graph import Graph
+from repro.sched import greedy_schedule, schedule
+from repro.sched.modulo import ModuloResult, modulo_schedule
+
+
+@pytest.fixture(scope="module")
+def base():
+    """A verified-optimal matmul schedule with memory allocation."""
+    g = merge_pipeline_ops(build_matmul())
+    s = schedule(g, timeout_ms=60_000)
+    assert s.status is SolveStatus.OPTIMAL
+    assert audit_schedule(s).ok
+    return s
+
+
+@pytest.fixture(scope="module")
+def base_modulo():
+    g = merge_pipeline_ops(build_matmul())
+    m = modulo_schedule(g, timeout_ms=60_000)
+    assert m.found
+    assert audit_modulo(m, g).ok
+    return g, m
+
+
+def mutated(s, **changes):
+    """Copy a schedule with some fields replaced (dicts are copied)."""
+    fields = {"starts": dict(s.starts), "slots": dict(s.slots)}
+    fields.update(changes)
+    return dataclasses.replace(s, **fields)
+
+
+def vector_ops(s):
+    return [
+        o for o in s.graph.op_nodes()
+        if o.op.resource is ResourceKind.VECTOR_CORE
+    ]
+
+
+class TestScheduleMutations:
+    def test_shift_op_breaks_eq1_eq4(self, base):
+        op = vector_ops(base)[0]
+        starts = dict(base.starts)
+        starts[op.nid] += 1  # outputs no longer at start + latency
+        codes = audit_schedule(mutated(base, starts=starts)).codes()
+        assert "SCH204" in codes
+
+    def test_pull_data_before_producer_breaks_eq1(self, base):
+        # a produced datum moved to cycle 0 starts before its producer
+        # finishes
+        d = next(
+            d for d in base.graph.data_nodes()
+            if base.graph.in_degree(d) > 0 and base.starts[d.nid] > 0
+        )
+        starts = dict(base.starts)
+        starts[d.nid] = 0
+        codes = audit_schedule(mutated(base, starts=starts)).codes()
+        assert "SCH201" in codes
+
+    def test_pile_up_breaks_eq2(self, base):
+        t = min(base.starts[o.nid] for o in vector_ops(base))
+        starts = dict(base.starts)
+        for o in vector_ops(base):
+            starts[o.nid] = t
+        codes = audit_schedule(mutated(base, starts=starts)).codes()
+        assert "SCH202" in codes
+
+    def test_mixed_configs_break_eq3(self):
+        # hand-built: a v_add and a v_mul issued in the same cycle need
+        # two different vector-core configurations at once
+        g = Graph("mixed")
+        cfg = DEFAULT_CONFIG
+        starts = {}
+        for opname in ("v_add", "v_mul"):
+            a = g.add_data(OpCategory.VECTOR_DATA, name=f"a_{opname}")
+            b = g.add_data(OpCategory.VECTOR_DATA, name=f"b_{opname}")
+            o = g.add_op(opname)
+            d = g.add_data(OpCategory.VECTOR_DATA, name=f"d_{opname}")
+            g.add_edge(a, o)
+            g.add_edge(b, o)
+            g.add_edge(o, d)
+            starts[a.nid] = starts[b.nid] = 0
+            starts[o.nid] = 0
+            starts[d.nid] = o.op.latency(cfg)
+        from repro.sched.result import Schedule
+
+        s = Schedule(
+            graph=g, cfg=cfg, starts=starts, makespan=max(starts.values())
+        )
+        report = audit_schedule(s, check_memory=False)
+        assert report.codes() == ["SCH203"]
+
+    def test_moved_input_breaks_eq4(self, base):
+        d = base.graph.inputs()[0]
+        starts = dict(base.starts)
+        starts[d.nid] = 3
+        codes = audit_schedule(mutated(base, starts=starts)).codes()
+        assert "SCH205" in codes
+
+    def test_short_makespan_breaks_eq5(self, base):
+        codes = audit_schedule(
+            mutated(base, makespan=base.makespan - 1)
+        ).codes()
+        assert "SCH207" in codes
+
+    def test_missing_start_reported(self, base):
+        starts = dict(base.starts)
+        del starts[vector_ops(base)[0].nid]
+        codes = audit_schedule(mutated(base, starts=starts)).codes()
+        assert "SCH208" in codes
+
+    def test_scalar_unit_overcommit_breaks_eq2(self):
+        # hand-built: two independent sqrt chains with both s_sqrt ops
+        # forced onto the single scalar unit at the same cycle
+        g = Graph("scalar_clash")
+        cfg = DEFAULT_CONFIG
+        starts = {}
+        for tag in ("x", "y"):
+            v = g.add_data(OpCategory.VECTOR_DATA, name=f"in_{tag}")
+            red = g.add_op("v_squsum", name=f"sum_{tag}")
+            sd = g.add_data(OpCategory.SCALAR_DATA, name=f"sq_{tag}")
+            rt = g.add_op("s_sqrt", name=f"sqrt_{tag}")
+            out = g.add_data(OpCategory.SCALAR_DATA, name=f"r_{tag}")
+            g.add_edge(v, red)
+            g.add_edge(red, sd)
+            g.add_edge(sd, rt)
+            g.add_edge(rt, out)
+            lat = red.op.latency(cfg)
+            starts[v.nid] = 0
+            starts[red.nid] = 0
+            starts[sd.nid] = lat
+            starts[rt.nid] = lat  # both chains: same scalar-unit cycle
+            starts[out.nid] = lat + rt.op.latency(cfg)
+        from repro.sched.result import Schedule
+
+        s = Schedule(
+            graph=g, cfg=cfg, starts=starts,
+            makespan=max(starts.values()),
+        )
+        report = audit_schedule(s, check_memory=False)
+        assert report.codes() == ["SCH206"]
+
+
+class TestMemoryMutations:
+    def _binary_op(self, base):
+        """A vector op with two distinct vector operands."""
+        for o in vector_ops(base):
+            vds = [
+                p for p in base.graph.preds(o)
+                if p.category is OpCategory.VECTOR_DATA
+            ]
+            if len({d.nid for d in vds}) >= 2:
+                return o, vds[0], vds[1]
+        pytest.skip("kernel has no binary vector op")
+
+    def test_same_bank_operands_break_eq6(self, base):
+        _, d1, d2 = self._binary_op(base)
+        slots = dict(base.slots)
+        slots[d1.nid], slots[d2.nid] = 0, 16  # both bank 0
+        codes = audit_schedule(mutated(base, slots=slots)).codes()
+        assert "MEM302" in codes
+
+    def test_page_line_decoupling_breaks_eq7(self, base):
+        _, d1, d2 = self._binary_op(base)
+        slots = dict(base.slots)
+        # banks 0 and 1 share page 0; lines 0 vs 1 differ
+        slots[d1.nid], slots[d2.nid] = 0, 17
+        codes = audit_schedule(mutated(base, slots=slots)).codes()
+        assert "MEM303" in codes
+
+    def test_cross_op_page_coupling_breaks_eq8_9(self, base):
+        # two vector ops forced to the same cycle, each reading one of a
+        # page-coupled slot pair (distinct banks, same page, lines 0/1)
+        pair = None
+        for a in vector_ops(base):
+            for b in vector_ops(base):
+                if a.nid >= b.nid or a.config_class != b.config_class:
+                    continue
+                da = [p for p in base.graph.preds(a)
+                      if p.category is OpCategory.VECTOR_DATA]
+                db = [p for p in base.graph.preds(b)
+                      if p.category is OpCategory.VECTOR_DATA]
+                picks = [
+                    (x, y) for x in da for y in db if x.nid != y.nid
+                ]
+                if picks:
+                    pair = (a, b, *picks[0])
+                    break
+            if pair:
+                break
+        assert pair, "kernel has no two vector ops with distinct operands"
+        a, b, da, db = pair
+        starts = dict(base.starts)
+        starts[b.nid] = starts[a.nid]
+        slots = dict(base.slots)
+        slots[da.nid], slots[db.nid] = 0, 17
+        codes = audit_schedule(
+            mutated(base, starts=starts, slots=slots)
+        ).codes()
+        assert "MEM304" in codes or "MEM303" in codes
+
+    def test_write_port_overflow(self, base):
+        cfg = base.cfg
+        produced = [
+            d for d in base.graph.nodes_of(OpCategory.VECTOR_DATA)
+            if base.graph.in_degree(d) > 0
+        ]
+        need = cfg.max_writes_per_cycle + 1
+        if len(produced) < need:
+            pytest.skip("not enough produced vectors")
+        starts = dict(base.starts)
+        slots = dict(base.slots)
+        t = max(base.starts.values()) + 10
+        # distinct banks, all on line 0 -> no bank/page conflicts, only
+        # the port limit trips (plus eq. 4 noise from moving the data)
+        for i, d in enumerate(produced[:need]):
+            starts[d.nid] = t
+            slots[d.nid] = i
+        codes = audit_schedule(
+            mutated(base, starts=starts, slots=slots,
+                    makespan=t + 1)
+        ).codes()
+        assert "MEM305" in codes
+
+    def test_slot_collision_breaks_eq10_11(self, base):
+        vins = [
+            d for d in base.graph.inputs()
+            if d.category is OpCategory.VECTOR_DATA
+        ]
+        d1, d2 = vins[0], vins[1]  # both live from cycle 0: overlap
+        slots = dict(base.slots)
+        slots[d2.nid] = slots[d1.nid]  # both live from cycle 0
+        report = audit_schedule(mutated(base, slots=slots))
+        assert report.codes() == ["MEM306"]
+
+
+class TestModuloMutations:
+    def test_offset_out_of_range(self, base_modulo):
+        g, m = base_modulo
+        offsets = dict(m.offsets)
+        nid = next(iter(offsets))
+        offsets[nid] = m.ii + 1
+        bad = dataclasses.replace(m, offsets=offsets)
+        assert "SCH210" in audit_modulo(bad, g).codes()
+
+    def test_pile_up_overloads_offset(self, base_modulo):
+        g, m = base_modulo
+        vops = [
+            o for o in g.op_nodes()
+            if o.op.resource is ResourceKind.VECTOR_CORE
+        ]
+        offsets = dict(m.offsets)
+        for o in vops:
+            offsets[o.nid] = 0
+        bad = dataclasses.replace(m, offsets=offsets)
+        report = audit_modulo(bad, g)
+        assert not report.ok
+        assert {"SCH201", "SCH202", "SCH203"} & set(report.codes())
+
+    def test_shift_breaks_precedence(self, base_modulo):
+        g, m = base_modulo
+        # push a consumer's stage below its producer's
+        stages = dict(m.stages)
+        op = max(
+            g.op_nodes(),
+            key=lambda o: stages[o.nid] * m.ii + m.offsets[o.nid],
+        )
+        stages[op.nid] = 0
+        offsets = dict(m.offsets)
+        offsets[op.nid] = 0
+        bad = dataclasses.replace(m, stages=stages, offsets=offsets)
+        if audit_modulo(bad, g).ok:
+            pytest.skip("last op has no produced operand at offset 0")
+        assert "SCH201" in audit_modulo(bad, g).codes()
+
+    def test_reconfig_gap_violation(self):
+        # hand-built include_reconfigs window: two configurations one
+        # offset apart, closer than 1 + reconfig_cost
+        g = Graph("reconf")
+        cfg = DEFAULT_CONFIG
+        offsets, stages = {}, {}
+        for i, opname in enumerate(("v_add", "v_mul")):
+            a = g.add_data(OpCategory.VECTOR_DATA, name=f"a{i}")
+            b = g.add_data(OpCategory.VECTOR_DATA, name=f"b{i}")
+            o = g.add_op(opname)
+            d = g.add_data(OpCategory.VECTOR_DATA, name=f"d{i}")
+            g.add_edge(a, o)
+            g.add_edge(b, o)
+            g.add_edge(o, d)
+            offsets[o.nid] = i  # cyclic distance 1 < 1 + reconfig_cost
+            stages[o.nid] = 0
+        m = ModuloResult(
+            graph_name=g.name,
+            include_reconfigs=True,
+            ii=6,
+            n_reconfigurations=2,
+            actual_ii=6,
+            status=SolveStatus.FEASIBLE,
+            opt_time_ms=0.0,
+            offsets=offsets,
+            stages=stages,
+            tried=[],
+            fallback=False,
+        )
+        assert cfg.reconfig_cost >= 1
+        assert "SCH209" in audit_modulo(m, g, cfg).codes()
+
+
+class TestModuloMemory:
+    def _chain(self):
+        g = Graph("mchain")
+        a = g.add_data(OpCategory.VECTOR_DATA, name="a")
+        b = g.add_data(OpCategory.VECTOR_DATA, name="b")
+        o1 = g.add_op("v_add", name="o1")
+        d = g.add_data(OpCategory.VECTOR_DATA, name="d")
+        o2 = g.add_op("v_conj", name="o2")
+        out = g.add_data(OpCategory.VECTOR_DATA, name="out")
+        g.add_edge(a, o1)
+        g.add_edge(b, o1)
+        g.add_edge(o1, d)
+        g.add_edge(d, o2)
+        g.add_edge(o2, out)
+        return g, o1, o2
+
+    def test_occupancy_exceeding_ii_wraps_onto_itself(self):
+        g, o1, o2 = self._chain()
+        cfg = DEFAULT_CONFIG
+        ii = 4
+        lat = next(iter(g.op_nodes())).op.latency(cfg)
+        # d lives from o1+lat to o2's start, far in a later stage:
+        # occupancy 9 > II=4 -> the next iterations overwrite it
+        offsets = {o1.nid: 0, o2.nid: 0}
+        stages = {o1.nid: 0, o2.nid: (lat + 8) // ii + 1}
+        slots = {
+            d.nid: i
+            for i, d in enumerate(g.nodes_of(OpCategory.VECTOR_DATA))
+        }
+        report = audit_modulo_memory(g, cfg, offsets, stages, slots, ii)
+        assert "MEM307" in report.codes()
+
+    def test_wrapped_intervals_collide(self):
+        g, o1, o2 = self._chain()
+        cfg = DEFAULT_CONFIG
+        lat = next(iter(g.op_nodes())).op.latency(cfg)
+        ii = 4 * lat  # window large enough that nothing self-wraps
+        offsets = {o1.nid: 0, o2.nid: lat}
+        stages = {o1.nid: 0, o2.nid: 0}
+        vdata = {d.name: d for d in g.nodes_of(OpCategory.VECTOR_DATA)}
+        slots = {d.nid: i for i, d in enumerate(vdata.values())}
+        clean = audit_modulo_memory(g, cfg, offsets, stages, slots, ii)
+        assert clean.ok, clean.render()
+        # now collide: inputs a and b both live [0, ...] in one slot
+        slots[vdata["b"].nid] = slots[vdata["a"].nid]
+        report = audit_modulo_memory(g, cfg, offsets, stages, slots, ii)
+        assert report.codes() == ["MEM307"]
+
+
+class TestHypothesisMutations:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(0, 300), pick=st.integers(0, 10_000),
+           delta=st.integers(1, 9))
+    def test_any_shifted_op_is_caught(self, seed, pick, delta):
+        g = merge_pipeline_ops(
+            random_kernel(SynthSpec(n_ops=6, n_inputs=3, seed=seed))
+        )
+        s = greedy_schedule(g)
+        assert audit_schedule(s, check_memory=False).ok
+        ops = sorted(g.op_nodes(), key=lambda o: o.nid)
+        op = ops[pick % len(ops)]
+        starts = dict(s.starts)
+        starts[op.nid] += delta  # outputs decouple from eq. 4
+        codes = audit_schedule(
+            dataclasses.replace(s, starts=starts), check_memory=False
+        ).codes()
+        assert "SCH204" in codes
+
+    @settings(max_examples=20, deadline=None)
+    @given(i=st.integers(0, 10_000), j=st.integers(0, 10_000))
+    def test_any_colliding_slot_pair_is_caught(self, base, i, j):
+        vdata = sorted(
+            (
+                d for d in base.graph.nodes_of(OpCategory.VECTOR_DATA)
+                if d.nid in base.slots
+            ),
+            key=lambda d: d.nid,
+        )
+        d1 = vdata[i % len(vdata)]
+        d2 = vdata[j % len(vdata)]
+        a0 = base.starts[d1.nid]
+        a1 = a0 + base.lifetime(d1) + 1
+        b0 = base.starts[d2.nid]
+        b1 = b0 + base.lifetime(d2) + 1
+        if d1.nid == d2.nid or max(a0, b0) >= min(a1, b1):
+            return  # same node or disjoint lifetimes: not a collision
+        slots = dict(base.slots)
+        slots[d2.nid] = slots[d1.nid]
+        codes = audit_schedule(mutated(base, slots=slots)).codes()
+        assert "MEM306" in codes

@@ -59,6 +59,21 @@ class TestDifferential:
         g, _, greedy = kernel_pair
         assert verify_schedule(greedy, check_memory=False) == []
 
+    def test_cp_schedule_audits_clean(self, kernel_pair):
+        # the structured oracle: zero diagnostics of any severity from
+        # the full eq. 1-11 re-derivation, memory included
+        from repro.analysis import audit_schedule
+
+        _, cp, _ = kernel_pair
+        report = audit_schedule(cp)
+        assert len(report) == 0, report.render()
+
+    def test_greedy_schedule_audits_clean(self, kernel_pair):
+        from repro.analysis import assert_schedule_clean
+
+        _, _, greedy = kernel_pair
+        assert_schedule_clean(greedy, check_memory=False)
+
     def test_cp_never_worse_than_greedy(self, kernel_pair):
         g, cp, greedy = kernel_pair
         assert cp.makespan <= greedy.makespan, (

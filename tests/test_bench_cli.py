@@ -67,6 +67,24 @@ class TestCli:
         assert payload["cache"]["misses"] == 12  # 6 cells x 2 solves
         assert payload["solver"]["nodes"] > 0
 
+    def test_audit_matmul(self, tmp_path, capsys):
+        out_file = tmp_path / "AUDIT.json"
+        assert main([
+            "audit", "--kernels", "matmul", "--timeout", "60",
+            "--out", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "AUDIT CLEAN" in out
+        import json
+
+        payload = json.loads(out_file.read_text())
+        assert payload["ok"] is True
+        assert payload["results"][0]["kernel"] == "matmul"
+        assert payload["results"][0]["n_errors"] == 0
+        passes = {r["pass"] for r in payload["results"][0]["reports"]}
+        assert {"ir-lint", "schedule-audit", "codegen-audit",
+                "modulo-audit"} <= passes
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["tableX"])

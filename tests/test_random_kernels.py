@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.analysis import audit_program, audit_schedule, lint_graph
 from repro.apps.synth import SynthSpec, random_kernel
 from repro.codegen import generate
 from repro.cp import SolveStatus
@@ -58,10 +59,18 @@ def test_random_kernel_full_flow(spec):
                 np.asarray(recomputed[d.nid]), np.asarray(d.value), atol=1e-9
             )
 
-    # schedule + allocate; verify independently
+    # schedule + allocate; verify independently, then hold the full
+    # static-analysis oracle to zero diagnostics (lint + eqs. 1-11 +
+    # codegen hazards)
     s = schedule(g, timeout_ms=20_000)
     assert s.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
     assert verify_schedule(s) == []
+    lint = lint_graph(g)
+    assert lint.ok, lint.render()
+    audit = audit_schedule(s)
+    assert len(audit) == 0, audit.render()
+    genrep = audit_program(generate(s), s)
+    assert genrep.ok, genrep.render()
 
     # bounds
     assert s.makespan >= critical_path(g)[0]
