@@ -102,6 +102,11 @@ def test_bench_qrd_schedule_solve(benchmark):
 # full Diff2 rescans): the reference this engine is measured against.
 SEED_QRD_NODES_PER_SEC = 239.0
 
+# Nodes the engine searched for the full QRD solve (optimality proof
+# included) before the pre-solve bounds engine existed: the probe at
+# the static lower bound must strictly beat this.
+PR3_QRD_NODES = 111
+
 
 def test_bench_qrd_node_throughput(benchmark):
     """Node throughput (nodes/sec) of the full QRD solve.
@@ -135,4 +140,8 @@ def test_bench_qrd_node_throughput(benchmark):
     assert nps >= 2.0 * SEED_QRD_NODES_PER_SEC, (
         f"node throughput {nps:.0f}/s below 2x seed "
         f"({SEED_QRD_NODES_PER_SEC}/s)"
+    )
+    assert st.nodes < PR3_QRD_NODES, (
+        f"QRD searched {st.nodes} nodes; the bounds-engine probe should "
+        f"need strictly fewer than the PR 3 baseline of {PR3_QRD_NODES}"
     )

@@ -10,7 +10,13 @@ Four pass families, all returning structured
 * :func:`audit_modulo` — the steady-state modulo window, including
   wraparound occupancy and reconfiguration gaps;
 * :func:`audit_program` — codegen hazards over generated machine code
-  (``GEN4xx``).
+  (``GEN4xx``);
+* :mod:`repro.analysis.bounds` / :mod:`repro.analysis.certify` — the
+  pre-solve side (``BND5xx``): ASAP/ALAP interval analysis, energetic
+  makespan bounds, search-free infeasibility prechecks, and
+  machine-checkable :class:`Certificate` records re-verified by
+  :func:`verify_certificate` / :func:`audit_bounds` without sharing
+  any code with the emitters.
 
 None of these import the CP constraint-posting code
 (:mod:`repro.sched.model` / :mod:`repro.sched.memmodel`): the model
@@ -21,6 +27,22 @@ equations, so they can catch each other's bugs.
 oracles the differential and random-kernel suites call.
 """
 
+from typing import TYPE_CHECKING, Optional
+
+from repro.analysis.bounds import (
+    BoundSet,
+    asap_starts,
+    horizon_precheck,
+    makespan_lower_bound,
+    memory_precheck,
+    min_live_vectors,
+    start_windows,
+)
+from repro.analysis.certify import (
+    Certificate,
+    audit_bounds,
+    verify_certificate,
+)
 from repro.analysis.codegen_audit import audit_program
 from repro.analysis.diagnostics import (
     CODES,
@@ -36,33 +58,55 @@ from repro.analysis.ir_lint import lint_graph
 from repro.analysis.memory_audit import audit_memory, audit_modulo_memory
 from repro.analysis.schedule_audit import audit_modulo, audit_schedule
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.arch.eit import EITConfig
+    from repro.ir.graph import Graph
+    from repro.sched.modulo import ModuloResult
+    from repro.sched.result import Schedule
+
 __all__ = [
     "AuditError",
+    "BoundSet",
     "CODES",
+    "Certificate",
     "CodeInfo",
     "Diagnostic",
     "DiagnosticReport",
     "Location",
     "Severity",
+    "asap_starts",
     "assert_modulo_clean",
     "assert_schedule_clean",
+    "audit_bounds",
     "audit_memory",
     "audit_modulo",
     "audit_modulo_memory",
     "audit_program",
     "audit_schedule",
+    "horizon_precheck",
     "lint_graph",
+    "makespan_lower_bound",
+    "memory_precheck",
     "merge_reports",
+    "min_live_vectors",
+    "start_windows",
+    "verify_certificate",
 ]
 
 
-def assert_schedule_clean(sched, check_memory: bool = True) -> None:
+def assert_schedule_clean(
+    sched: "Schedule", check_memory: bool = True
+) -> None:
     """Pytest oracle: fail with the rendered report on any ERROR."""
     report = audit_schedule(sched, check_memory=check_memory)
     assert report.ok, report.render()
 
 
-def assert_modulo_clean(result, graph, cfg=None) -> None:
+def assert_modulo_clean(
+    result: "ModuloResult",
+    graph: "Graph",
+    cfg: "Optional[EITConfig]" = None,
+) -> None:
     """Pytest oracle for modulo results; fails with the rendered report."""
     from repro.arch.eit import DEFAULT_CONFIG
 

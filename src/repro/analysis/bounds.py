@@ -1,0 +1,285 @@
+"""Pre-solve bounds: interval analysis and energetic makespan bounds.
+
+Everything here reasons about the CSP *before* any search happens,
+straight off the merged IR and the architecture config:
+
+* :func:`asap_starts` / :func:`start_windows` — forward/backward
+  longest-path interval analysis under eqs. 1 and 4, producing the
+  per-node ``[ASAP, ALAP]`` start windows that
+  :class:`repro.sched.model.ScheduleModel` uses as initial ``IntVar``
+  domains (instead of the full ``[0, horizon]``).
+* :func:`makespan_lower_bound` — a :class:`BoundSet` of four sound
+  lower-bound families on the flat makespan: the critical path plus
+  three *energetic* bounds (per-configuration-class lane demand on the
+  vector core, busy-time sums on the scalar and index/merge units).
+  The max replaces the critical-path-only ``lower_bound`` and seeds
+  branch-and-bound.
+* :func:`memory_precheck` / :func:`horizon_precheck` — UNSAT proofs
+  that need no search: the memory pigeonhole (minimum concurrent live
+  vectors vs ``n_slots``) and a caller-imposed horizon below the static
+  lower bound.  Both return a ready-made
+  :class:`~repro.analysis.certify.Certificate`.
+
+The verifying side lives in :mod:`repro.analysis.certify`, which
+re-derives all of this arithmetic independently — this module and that
+one deliberately share no bound code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.eit import DEFAULT_CONFIG, EITConfig, ResourceKind
+from repro.arch.isa import OpCategory
+from repro.ir.graph import DataNode, Graph, Node, OpNode
+
+from repro.analysis.certify import Certificate
+
+#: deterministic family precedence for :attr:`BoundSet.family` ties
+_FAMILY_ORDER: Tuple[str, ...] = (
+    "critical-path",
+    "vector-energy",
+    "scalar-energy",
+    "index-energy",
+)
+
+
+def _latency(node: Node, cfg: EITConfig) -> int:
+    return node.op.latency(cfg) if isinstance(node, OpNode) else 0
+
+
+# ----------------------------------------------------------------------
+# Interval analysis
+# ----------------------------------------------------------------------
+def asap_starts(graph: Graph, cfg: EITConfig = DEFAULT_CONFIG) -> Dict[int, int]:
+    """Earliest feasible start per node under eqs. 1 and 4.
+
+    Application inputs are pinned at cycle 0 (eq. 4 footnote); a
+    produced datum starts exactly at producer start + latency (eq. 4);
+    an operation starts no earlier than its latest operand (eq. 1,
+    data latency is zero).
+    """
+    asap: Dict[int, int] = {}
+    for node in graph.topological_order():
+        if isinstance(node, DataNode):
+            prod = graph.producer(node)
+            asap[node.nid] = (
+                asap[prod.nid] + _latency(prod, cfg) if prod is not None else 0
+            )
+        else:
+            asap[node.nid] = max(
+                (asap[p.nid] for p in graph.preds(node)), default=0
+            )
+    return asap
+
+
+def start_windows(
+    graph: Graph, cfg: EITConfig = DEFAULT_CONFIG, horizon: int = 0
+) -> Dict[int, Tuple[int, int]]:
+    """``node id -> (ASAP, ALAP)`` start windows for a given horizon.
+
+    The backward pass mirrors the forward one from ``horizon``; one
+    extra forward sweep then restores eq. 4's *equality* for
+    multi-output (matrix) operations — a result pinned early by one
+    consumer pins its sibling results through the shared producer.
+    A window with ``ALAP < ASAP`` means no schedule fits the horizon.
+    """
+    asap = asap_starts(graph, cfg)
+    order = graph.topological_order()
+    alap: Dict[int, int] = {}
+    for node in reversed(order):
+        if isinstance(node, DataNode):
+            alap[node.nid] = min(
+                (alap[c.nid] for c in graph.succs(node)), default=horizon
+            )
+        else:
+            lat = _latency(node, cfg)
+            alap[node.nid] = min(
+                (alap[d.nid] - lat for d in graph.succs(node)),
+                default=horizon - lat,
+            )
+    for node in order:  # eq. 4 equality sweep (fixpoint after one pass)
+        if isinstance(node, DataNode):
+            prod = graph.producer(node)
+            if prod is not None:
+                alap[node.nid] = min(
+                    alap[node.nid], alap[prod.nid] + _latency(prod, cfg)
+                )
+    windows: Dict[int, Tuple[int, int]] = {}
+    for node in order:
+        if isinstance(node, DataNode) and graph.in_degree(node) == 0:
+            windows[node.nid] = (0, 0)
+        else:
+            windows[node.nid] = (asap[node.nid], alap[node.nid])
+    return windows
+
+
+# ----------------------------------------------------------------------
+# Energetic makespan bounds
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BoundSet:
+    """The four lower-bound families on the flat makespan.
+
+    Each field is individually sound (no feasible schedule beats it);
+    :attr:`value` — their max — is what seeds branch-and-bound and
+    witnesses optimality certificates.
+    """
+
+    critical_path: int
+    vector_energy: int
+    scalar_energy: int
+    index_energy: int
+
+    @property
+    def per_family(self) -> Dict[str, int]:
+        return {
+            "critical-path": self.critical_path,
+            "vector-energy": self.vector_energy,
+            "scalar-energy": self.scalar_energy,
+            "index-energy": self.index_energy,
+        }
+
+    @property
+    def value(self) -> int:
+        return max(self.per_family.values())
+
+    @property
+    def family(self) -> str:
+        """The witnessing family: the (first) argmax in fixed order."""
+        best = self.value
+        per = self.per_family
+        for fam in _FAMILY_ORDER:
+            if per[fam] == best:
+                return fam
+        raise AssertionError("unreachable: per_family covers _FAMILY_ORDER")
+
+    def as_dict(self) -> Dict[str, object]:
+        d: Dict[str, object] = dict(self.per_family)
+        d["value"] = self.value
+        d["family"] = self.family
+        return d
+
+    def explain(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.per_family.items())
+        return f"max({parts}) = {self.value} via {self.family}"
+
+
+def makespan_lower_bound(
+    graph: Graph, cfg: EITConfig = DEFAULT_CONFIG
+) -> BoundSet:
+    """Static lower bounds on the single-iteration makespan.
+
+    * ``critical-path`` — the latency-weighted longest path, i.e. the
+      max ASAP over data nodes (data starts *are* completion times).
+    * ``vector-energy`` — configuration exclusivity (eq. 3) partitions
+      vector-core cycles by class, each class needs
+      ``ceil(lane_demand / n_lanes)`` issue cycles (eq. 2), so the last
+      vector op issues no earlier than ``issue_cycles - 1`` and its
+      result lands a full latency later.  No reconfiguration cycles are
+      charged: the flat model (eqs. 1-5) charges none either, and an
+      unsound bound would certify wrong optima.
+    * ``scalar-energy`` / ``index-energy`` — each unit is capacity-1
+      (eq. 2), so its ops occupy ``sum(duration)`` distinct cycles and
+      the last completion trails by at least ``min(latency - duration)``.
+    """
+    asap = asap_starts(graph, cfg)
+    cp = max((asap[d.nid] for d in graph.data_nodes()), default=0)
+
+    by_config: Dict[str, int] = {}
+    vec_latencies: List[int] = []
+    scalar_ops: List[OpNode] = []
+    index_ops: List[OpNode] = []
+    for op in graph.op_nodes():
+        res = op.op.resource
+        if res is ResourceKind.VECTOR_CORE:
+            by_config[op.config_class] = (
+                by_config.get(op.config_class, 0) + op.op.lanes(cfg)
+            )
+            vec_latencies.append(op.op.latency(cfg))
+        elif res is ResourceKind.SCALAR_UNIT:
+            scalar_ops.append(op)
+        else:
+            index_ops.append(op)
+
+    if vec_latencies:
+        issue_cycles = sum(-(-d // cfg.n_lanes) for d in by_config.values())
+        vector_energy = issue_cycles - 1 + min(vec_latencies)
+    else:
+        vector_energy = 0
+
+    def unit_energy(ops: List[OpNode]) -> int:
+        if not ops:
+            return 0
+        total = sum(op.op.duration(cfg) for op in ops)
+        slack = min(op.op.latency(cfg) - op.op.duration(cfg) for op in ops)
+        return total + slack
+
+    return BoundSet(
+        critical_path=cp,
+        vector_energy=vector_energy,
+        scalar_energy=unit_energy(scalar_ops),
+        index_energy=unit_energy(index_ops),
+    )
+
+
+# ----------------------------------------------------------------------
+# Search-free infeasibility proofs
+# ----------------------------------------------------------------------
+def min_live_vectors(graph: Graph) -> Tuple[int, str]:
+    """``(count, witness)`` — vector values that must coexist in memory.
+
+    Schedule-independent pigeonhole: all application inputs are
+    preloaded and live together at cycle 0 (eq. 4 footnote), all
+    consumer-less outputs are live together at the final cycle
+    (eq. 10's lifetime runs to the end of the schedule).
+    """
+    n_in = sum(
+        1 for d in graph.inputs() if d.category is OpCategory.VECTOR_DATA
+    )
+    n_out = sum(
+        1 for d in graph.outputs() if d.category is OpCategory.VECTOR_DATA
+    )
+    if n_in >= n_out:
+        return n_in, f"{n_in} vector inputs all live at cycle 0"
+    return n_out, f"{n_out} vector outputs all live at the final cycle"
+
+
+def memory_precheck(
+    graph: Graph, cfg: EITConfig = DEFAULT_CONFIG
+) -> Optional[Certificate]:
+    """An infeasibility certificate when the memory cannot fit, else None.
+
+    When the minimum concurrent live-vector count exceeds ``n_slots``,
+    no joint schedule+allocation exists — provable before building a
+    single constraint (the Table 1 too-small-memory rows).
+    """
+    min_live, witness = min_live_vectors(graph)
+    if min_live > cfg.n_slots:
+        return Certificate(
+            kind="infeasible",
+            subject="schedule",
+            family="memory-pigeonhole",
+            bound=min_live,
+            achieved=cfg.n_slots,
+            detail=f"{witness}, but n_slots={cfg.n_slots}",
+        )
+    return None
+
+
+def horizon_precheck(
+    graph: Graph, cfg: EITConfig, horizon: int
+) -> Optional[Certificate]:
+    """An infeasibility certificate when ``horizon`` beats every bound."""
+    bounds = makespan_lower_bound(graph, cfg)
+    if bounds.value > horizon:
+        return Certificate(
+            kind="infeasible",
+            subject="schedule",
+            family="horizon",
+            bound=bounds.value,
+            achieved=horizon,
+            detail=bounds.explain(),
+        )
+    return None

@@ -1,0 +1,495 @@
+"""Certificates of optimality / infeasibility and their independent audit.
+
+A :class:`Certificate` is a tiny machine-checkable record a solve path
+attaches to its result: *this makespan is optimal because it equals the
+static lower bound of family F*, or *this cell is infeasible because
+bound family F exceeds the budget B*.  The witnessing arithmetic is
+carried along (``bound``, ``achieved``, a human-readable ``detail``),
+so the claim can be re-derived from the graph and the architecture
+config alone — no trust in the solver, the cache or the wire format.
+
+:func:`verify_certificate` is that re-derivation.  Like the rest of
+:mod:`repro.analysis` it is deliberately **independent** of the code
+that emits certificates: it does not import
+:mod:`repro.analysis.bounds`, :mod:`repro.sched.model` or
+:mod:`repro.sched.modulo` — every bound family (longest path, energetic
+lane/unit sums, the memory pigeonhole, the resource minimum II) is
+recomputed inline from first principles.  The emitter and the verifier
+are two implementations of the same arithmetic; a bug in one cannot
+certify itself through the other.
+
+:func:`audit_bounds` extends the per-schedule audit with the interval
+analysis: every start must lie inside its static ASAP/ALAP window
+(``BND501``) and the makespan must not beat the static lower bound
+(``BND502``) — a schedule violating either is wrong even if it passes
+the eq. 1-11 re-checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.arch.eit import DEFAULT_CONFIG, EITConfig, ResourceKind
+from repro.arch.isa import OpCategory
+from repro.ir.graph import DataNode, Graph, Node, OpNode
+
+from repro.analysis.diagnostics import DiagnosticReport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sched.result import Schedule
+
+#: the closed vocabulary of certificate records; anything else is BND504
+KINDS: Tuple[str, ...] = ("optimal", "infeasible")
+SUBJECTS: Tuple[str, ...] = ("schedule", "modulo")
+FAMILIES: Dict[str, Dict[str, Tuple[str, ...]]] = {
+    "schedule": {
+        "optimal": (
+            "critical-path",
+            "vector-energy",
+            "scalar-energy",
+            "index-energy",
+        ),
+        "infeasible": ("memory-pigeonhole", "horizon"),
+    },
+    "modulo": {
+        "optimal": ("resource-mii",),
+        "infeasible": ("ii-window",),
+    },
+}
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A machine-checkable optimality / infeasibility claim.
+
+    ``kind``
+        ``"optimal"`` — the attached result's objective equals a static
+        lower bound, so no better solution exists; or ``"infeasible"``
+        — a static bound already exceeds the available budget, so no
+        solution exists at all.
+    ``subject``
+        ``"schedule"`` (flat makespan) or ``"modulo"`` (initiation
+        interval).
+    ``family``
+        which bound witnesses the claim (see :data:`FAMILIES`).
+    ``bound`` / ``achieved``
+        the witnessing arithmetic.  For ``optimal``: the static lower
+        bound and the objective actually achieved (equal by
+        definition).  For ``infeasible``: the bound that cannot be met
+        and the budget it exceeds (``bound > achieved``), e.g. minimum
+        live vectors vs ``n_slots``, static LB vs an explicit horizon,
+        resource minimum II vs ``max_ii``.
+    """
+
+    kind: str
+    subject: str
+    family: str
+    bound: int
+    achieved: int
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "subject": self.subject,
+            "family": self.family,
+            "bound": self.bound,
+            "achieved": self.achieved,
+            "detail": self.detail,
+        }
+
+    @staticmethod
+    def from_dict(payload: Optional[Mapping[str, Any]]) -> Optional["Certificate"]:
+        """Rehydrate from a payload dict; total — never raises.
+
+        Corrupt cached payloads must surface as ``BND504`` findings at
+        verification time, not as exceptions during rehydration, so
+        every field falls back to an obviously-malformed default.
+        """
+        if payload is None:
+            return None
+
+        def _int(value: Any) -> int:
+            try:
+                return int(value)
+            except (TypeError, ValueError):
+                return -1
+
+        return Certificate(
+            kind=str(payload.get("kind", "")),
+            subject=str(payload.get("subject", "")),
+            family=str(payload.get("family", "")),
+            bound=_int(payload.get("bound")),
+            achieved=_int(payload.get("achieved")),
+            detail=str(payload.get("detail", "")),
+        )
+
+    def render(self) -> str:
+        rel = "==" if self.kind == "optimal" else ">"
+        tail = f" ({self.detail})" if self.detail else ""
+        return (
+            f"{self.kind} [{self.family}]: bound {self.bound} {rel} "
+            f"{self.achieved}{tail}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Inline re-derivations (independent of repro.analysis.bounds)
+# ----------------------------------------------------------------------
+def _lat(node: Node, cfg: EITConfig) -> int:
+    return node.op.latency(cfg) if isinstance(node, OpNode) else 0
+
+
+def _rederive_asap(graph: Graph, cfg: EITConfig) -> Dict[int, int]:
+    asap: Dict[int, int] = {}
+    for node in graph.topological_order():
+        preds = graph.preds(node)
+        if isinstance(node, DataNode):
+            prod = graph.producer(node)
+            asap[node.nid] = (
+                asap[prod.nid] + _lat(prod, cfg) if prod is not None else 0
+            )
+        else:
+            asap[node.nid] = max((asap[p.nid] for p in preds), default=0)
+    return asap
+
+
+def _rederive_windows(
+    graph: Graph, cfg: EITConfig, horizon: int
+) -> Dict[int, Tuple[int, int]]:
+    """ASAP/ALAP start windows, re-derived from eqs. 1 and 4 only."""
+    asap = _rederive_asap(graph, cfg)
+    order = graph.topological_order()
+    alap: Dict[int, int] = {}
+    for node in reversed(order):
+        if isinstance(node, DataNode):
+            consumers = graph.succs(node)
+            alap[node.nid] = min(
+                (alap[c.nid] for c in consumers), default=horizon
+            )
+            alap[node.nid] = min(alap[node.nid], horizon)
+        else:
+            outs = graph.succs(node)
+            lat = _lat(node, cfg)
+            alap[node.nid] = min(
+                (alap[d.nid] - lat for d in outs), default=horizon - lat
+            )
+    # eq. 4 is an equality: a multi-output operation pinned early by one
+    # result pins its *other* results too.  One forward sweep reaches
+    # the fixpoint because data ALAPs have no further backward effect on
+    # their consumers.
+    for node in order:
+        if isinstance(node, DataNode):
+            prod = graph.producer(node)
+            if prod is not None:
+                alap[node.nid] = min(
+                    alap[node.nid], alap[prod.nid] + _lat(prod, cfg)
+                )
+    windows: Dict[int, Tuple[int, int]] = {}
+    for node in order:
+        if isinstance(node, DataNode) and graph.in_degree(node) == 0:
+            windows[node.nid] = (0, 0)  # eq. 4 footnote: inputs at cycle 0
+        else:
+            windows[node.nid] = (asap[node.nid], alap[node.nid])
+    return windows
+
+
+def _rederive_family(graph: Graph, cfg: EITConfig, family: str) -> int:
+    """One schedule lower-bound family, recomputed from scratch."""
+    if family == "critical-path":
+        asap = _rederive_asap(graph, cfg)
+        return max(
+            (asap[d.nid] for d in graph.data_nodes()), default=0
+        )
+    ops = graph.op_nodes()
+    if family == "vector-energy":
+        by_config: Dict[str, int] = {}
+        latencies: List[int] = []
+        for op in ops:
+            if op.op.resource is ResourceKind.VECTOR_CORE:
+                by_config[op.config_class] = (
+                    by_config.get(op.config_class, 0) + op.op.lanes(cfg)
+                )
+                latencies.append(op.op.latency(cfg))
+        if not latencies:
+            return 0
+        issue_cycles = sum(-(-d // cfg.n_lanes) for d in by_config.values())
+        return issue_cycles - 1 + min(latencies)
+    if family in ("scalar-energy", "index-energy"):
+        res = (
+            ResourceKind.SCALAR_UNIT
+            if family == "scalar-energy"
+            else ResourceKind.INDEX_MERGE
+        )
+        group = [op for op in ops if op.op.resource is res]
+        if not group:
+            return 0
+        total = sum(op.op.duration(cfg) for op in group)
+        slack = min(op.op.latency(cfg) - op.op.duration(cfg) for op in group)
+        return total + slack
+    raise ValueError(f"unknown schedule bound family {family!r}")
+
+
+def _rederive_schedule_lb(graph: Graph, cfg: EITConfig) -> int:
+    return max(
+        _rederive_family(graph, cfg, fam)
+        for fam in FAMILIES["schedule"]["optimal"]
+    )
+
+
+def _rederive_min_live(graph: Graph) -> int:
+    """The memory pigeonhole: vector values that must coexist.
+
+    All application inputs are live together at cycle 0 (eq. 4
+    footnote), all consumer-less outputs are live together at the final
+    cycle (eq. 10), so no allocation in fewer slots than either count
+    exists — independent of the schedule.
+    """
+    n_in = sum(
+        1
+        for d in graph.inputs()
+        if d.category is OpCategory.VECTOR_DATA
+    )
+    n_out = sum(
+        1
+        for d in graph.outputs()
+        if d.category is OpCategory.VECTOR_DATA
+    )
+    return max(n_in, n_out)
+
+
+def _rederive_mii(
+    graph: Graph, cfg: EITConfig, include_reconfigs: bool
+) -> int:
+    """The resource minimum II (the kernels are DAGs: no recurrences)."""
+    by_config: Dict[str, int] = {}
+    scalar_cycles = 0
+    index_cycles = 0
+    for op in graph.op_nodes():
+        res = op.op.resource
+        if res is ResourceKind.VECTOR_CORE:
+            by_config[op.config_class] = (
+                by_config.get(op.config_class, 0) + op.op.lanes(cfg)
+            )
+        elif res is ResourceKind.SCALAR_UNIT:
+            scalar_cycles += op.op.duration(cfg)
+        else:
+            index_cycles += op.op.duration(cfg)
+    vec_cycles = sum(-(-d // cfg.n_lanes) for d in by_config.values())
+    if include_reconfigs and len(by_config) > 1:
+        vec_cycles += len(by_config) * cfg.reconfig_cost
+    return max(vec_cycles, scalar_cycles, index_cycles, 1)
+
+
+# ----------------------------------------------------------------------
+# The verifier
+# ----------------------------------------------------------------------
+def verify_certificate(
+    cert: Certificate,
+    graph: Graph,
+    cfg: EITConfig = DEFAULT_CONFIG,
+    *,
+    result_value: Optional[int] = None,
+    include_reconfigs: bool = False,
+) -> DiagnosticReport:
+    """Independently re-derive a certificate's claim.
+
+    ``result_value`` is the objective of the result the certificate is
+    attached to — the makespan for ``subject="schedule"``, the found II
+    for ``subject="modulo"`` — or ``None`` when the result found
+    nothing.  An *optimal* certificate demands a matching found result;
+    an *infeasible* certificate forbids one (``BND505``).  The
+    witnessing arithmetic must re-derive exactly (``BND503``); the
+    record itself must be well-formed (``BND504``); a modulo result
+    below the re-derived resource minimum is reported as ``BND506``; an
+    ``ii-window`` claim over a window that is not actually empty is
+    ``BND507``.
+    """
+    report = DiagnosticReport(pass_name="certify", subject=graph.name)
+
+    if cert.kind not in KINDS:
+        report.add("BND504", f"unknown certificate kind {cert.kind!r}")
+        return report
+    if cert.subject not in SUBJECTS:
+        report.add("BND504", f"unknown certificate subject {cert.subject!r}")
+        return report
+    if cert.family not in FAMILIES[cert.subject][cert.kind]:
+        report.add(
+            "BND504",
+            f"family {cert.family!r} cannot witness a {cert.kind} "
+            f"{cert.subject} claim",
+        )
+        return report
+    if cert.bound < 0 or cert.achieved < 0:
+        report.add(
+            "BND504",
+            f"negative certificate arithmetic: bound={cert.bound}, "
+            f"achieved={cert.achieved}",
+        )
+        return report
+
+    if cert.kind == "optimal":
+        _verify_optimal(
+            report, cert, graph, cfg, result_value, include_reconfigs
+        )
+    else:
+        _verify_infeasible(
+            report, cert, graph, cfg, result_value, include_reconfigs
+        )
+    return report
+
+
+def _verify_optimal(
+    report: DiagnosticReport,
+    cert: Certificate,
+    graph: Graph,
+    cfg: EITConfig,
+    result_value: Optional[int],
+    include_reconfigs: bool,
+) -> None:
+    if result_value is None:
+        report.add(
+            "BND505",
+            f"optimality certificate ({cert.family}) attached to a result "
+            "that found nothing",
+        )
+        return
+    if result_value != cert.achieved:
+        report.add(
+            "BND505",
+            f"certificate claims achieved={cert.achieved} but the result's "
+            f"objective is {result_value}",
+        )
+    if cert.bound != cert.achieved:
+        report.add(
+            "BND503",
+            f"an optimality certificate needs bound == achieved, got "
+            f"{cert.bound} != {cert.achieved}",
+        )
+    if cert.subject == "schedule":
+        derived = _rederive_family(graph, cfg, cert.family)
+        if derived != cert.bound:
+            report.add(
+                "BND503",
+                f"{cert.family} bound re-derives to {derived}, certificate "
+                f"says {cert.bound}",
+            )
+    else:  # modulo / resource-mii
+        mii = _rederive_mii(graph, cfg, include_reconfigs)
+        if mii != cert.bound:
+            report.add(
+                "BND503",
+                f"resource minimum II re-derives to {mii}, certificate "
+                f"says {cert.bound}",
+            )
+        if result_value < mii:
+            report.add(
+                "BND506",
+                f"result II {result_value} is below the resource minimum "
+                f"II {mii}",
+            )
+
+
+def _verify_infeasible(
+    report: DiagnosticReport,
+    cert: Certificate,
+    graph: Graph,
+    cfg: EITConfig,
+    result_value: Optional[int],
+    include_reconfigs: bool,
+) -> None:
+    if result_value is not None:
+        report.add(
+            "BND505",
+            f"infeasibility certificate ({cert.family}) attached to a "
+            f"result with objective {result_value}",
+        )
+    if cert.family == "memory-pigeonhole":
+        min_live = _rederive_min_live(graph)
+        if min_live != cert.bound:
+            report.add(
+                "BND503",
+                f"minimum live vectors re-derive to {min_live}, certificate "
+                f"says {cert.bound}",
+            )
+        if cert.achieved != cfg.n_slots:
+            report.add(
+                "BND503",
+                f"certificate compares against {cert.achieved} slots, the "
+                f"architecture has n_slots={cfg.n_slots}",
+            )
+        if cert.bound <= cert.achieved:
+            report.add(
+                "BND503",
+                f"{cert.bound} live vectors fit in {cert.achieved} slots: "
+                "the pigeonhole proves nothing",
+            )
+    elif cert.family == "horizon":
+        lb = _rederive_schedule_lb(graph, cfg)
+        if lb != cert.bound:
+            report.add(
+                "BND503",
+                f"static lower bound re-derives to {lb}, certificate says "
+                f"{cert.bound}",
+            )
+        if cert.achieved >= cert.bound:
+            report.add(
+                "BND503",
+                f"horizon {cert.achieved} admits the lower bound "
+                f"{cert.bound}: nothing is proven infeasible",
+            )
+    else:  # ii-window
+        mii = _rederive_mii(graph, cfg, include_reconfigs)
+        if mii != cert.bound:
+            report.add(
+                "BND503",
+                f"resource minimum II re-derives to {mii}, certificate "
+                f"says {cert.bound}",
+            )
+        if cert.achieved >= cert.bound:
+            report.add(
+                "BND507",
+                f"the candidate window [1, {cert.achieved}] contains the "
+                f"resource lower bound {cert.bound}: it is not empty",
+            )
+
+
+# ----------------------------------------------------------------------
+# Schedule-level bounds audit
+# ----------------------------------------------------------------------
+def audit_bounds(sched: "Schedule") -> DiagnosticReport:
+    """Re-check a schedule against the static interval analysis.
+
+    Every start must lie inside the ASAP/ALAP window derived at
+    ``horizon = makespan`` (``BND501``) — both passes re-derived here,
+    independently of :mod:`repro.analysis.bounds` — and the makespan
+    must be at least the static lower bound (``BND502``): a schedule
+    beating a sound bound means one of the two is broken.
+    """
+    report = DiagnosticReport(
+        pass_name="bounds-audit", subject=sched.graph.name
+    )
+    if not sched.starts:
+        return report  # nothing scheduled, nothing to bound
+    windows = _rederive_windows(sched.graph, sched.cfg, sched.makespan)
+    for node in sched.graph.nodes():
+        start = sched.starts.get(node.nid)
+        if start is None:
+            continue  # SCH208's business, not ours
+        lo, hi = windows[node.nid]
+        if not lo <= start <= hi:
+            report.add(
+                "BND501",
+                f"{node.name} starts at {start}, outside its static "
+                f"window [{lo}, {hi}]",
+                node=node.name,
+                cycle=start,
+            )
+    lb = _rederive_schedule_lb(sched.graph, sched.cfg)
+    if sched.makespan < lb:
+        report.add(
+            "BND502",
+            f"makespan {sched.makespan} beats the static lower bound {lb}",
+        )
+    return report

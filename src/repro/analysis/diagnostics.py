@@ -115,6 +115,28 @@ CODES: Dict[str, CodeInfo] = {
     "MEM307": CodeInfo("modulo wraparound lifetime conflict", "eqs. 10-11",
                        "in a modulo schedule occupancy wraps mod II; "
                        "wrapped intervals in one slot must not intersect"),
+    # -- pre-solve bounds / certificates ---------------------------------
+    "BND501": CodeInfo("start outside static ASAP/ALAP window", "eqs. 1, 4",
+                       "every start must lie inside the interval-analysis "
+                       "window derived from the precedence structure"),
+    "BND502": CodeInfo("makespan below static lower bound", "eqs. 1-5",
+                       "no schedule beats the critical-path/energetic "
+                       "bounds; one of schedule or bound is broken"),
+    "BND503": CodeInfo("certificate arithmetic does not re-derive", "",
+                       "the certificate's bound/achieved values must match "
+                       "the auditor's independent recomputation"),
+    "BND504": CodeInfo("malformed certificate", "",
+                       "kind, subject, family and values must form a known, "
+                       "well-typed certificate record"),
+    "BND505": CodeInfo("certificate contradicts attached result", "",
+                       "an optimality certificate needs a matching found "
+                       "result; an infeasibility certificate forbids one"),
+    "BND506": CodeInfo("II below resource minimum", "eq. 2",
+                       "no steady-state window can beat the per-class lane "
+                       "demand bound"),
+    "BND507": CodeInfo("ii-window infeasibility not justified", "",
+                       "the certified-empty candidate window actually "
+                       "contains the resource lower bound"),
     # -- codegen hazard checker -----------------------------------------
     "GEN401": CodeInfo("instruction/schedule cycle disagreement", "",
                        "every scheduled op must appear in the wide "

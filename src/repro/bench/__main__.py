@@ -11,12 +11,20 @@ Usage::
                                   [--out BENCH_explore.json]
     python -m repro.bench audit [--kernels qrd,arf,matmul,backsub] \
                                 [--synth 2] [--json] [--out AUDIT.json]
+    python -m repro.bench bounds [--kernels qrd,arf,matmul,backsub] \
+                                 [--json] [--out BOUNDS.json]
     python -m repro.bench all
 
 ``audit`` runs every static-analysis pass (IR lint, schedule/memory
 audit, codegen hazard check, modulo audit) over the shipped kernels and
 exits nonzero if any error-severity diagnostic is reported — the CI
 gate that the solver's output verifies against the paper's equations.
+
+``bounds`` exercises the pre-solve bounds engine: it derives the
+energetic lower-bound set for every shipped kernel, solves flat and
+modulo schedules, reports bound-vs-achieved gaps, and re-verifies every
+emitted optimality/infeasibility certificate through the independent
+checker — exiting nonzero if any certificate fails to re-derive.
 """
 
 from __future__ import annotations
@@ -27,12 +35,14 @@ import sys
 
 from repro.bench.harness import (
     audit_kernels,
+    bounds_report,
     explore_bench,
     fig3_ir,
     fig45_expansion,
     fig6_merging,
     fig8_memory,
     print_audit,
+    print_bounds,
     print_explore,
     print_table1,
     print_table2,
@@ -48,7 +58,7 @@ def main(argv=None) -> int:
     p = argparse.ArgumentParser(prog="python -m repro.bench")
     p.add_argument("experiment", choices=[
         "table1", "table2", "table3", "fig3", "fig45", "fig6", "fig8",
-        "profile", "explore", "audit", "all",
+        "profile", "explore", "audit", "bounds", "all",
     ])
     p.add_argument("--sizes", default="64,32,16,10",
                    help="memory sizes for table1 (comma-separated)")
@@ -144,6 +154,26 @@ def main(argv=None) -> int:
                 print(json.dumps(payload, indent=2))
             else:
                 print(print_audit(payload))
+            if args.out:
+                with open(args.out, "w") as f:
+                    f.write(json.dumps(payload, indent=2) + "\n")
+                print(f"wrote {args.out}")
+            if not payload["ok"]:
+                rc = 1
+        elif exp == "bounds":
+            kernels = args.kernels.split(",")
+            if "backsub" not in kernels and args.kernels == "qrd,arf,matmul":
+                kernels.append("backsub")  # default set covers all four
+            payload = bounds_report(
+                kernels=kernels,
+                timeout_ms=args.timeout * 1000,
+                modulo_timeout_ms=args.timeout * 1000,
+                include_reconfigs=args.include_reconfigs,
+            )
+            if args.json:
+                print(json.dumps(payload, indent=2))
+            else:
+                print(print_bounds(payload))
             if args.out:
                 with open(args.out, "w") as f:
                     f.write(json.dumps(payload, indent=2) + "\n")

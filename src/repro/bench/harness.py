@@ -317,16 +317,10 @@ def explore_bench(
         jobs=jobs,
         cache=cache,
     )
-    return {
-        "kernels": list(kernels),
-        "profiles": profile_names,
-        "jobs": outcome.jobs,
-        "n_cells": outcome.n_cells,
-        "wall_ms": round(outcome.wall_ms, 3),
-        "solver": outcome.solver.as_dict(),
-        "cache": outcome.cache_stats,
-        "points": [p.as_dict() for p in outcome.points],
-    }
+    payload = outcome.as_dict()
+    payload["kernels"] = list(kernels)
+    payload["profiles"] = profile_names
+    return payload
 
 
 def print_explore(payload: Dict[str, object]) -> str:
@@ -340,6 +334,13 @@ def print_explore(payload: Dict[str, object]) -> str:
     if payload["cache"]:
         c = payload["cache"]
         header += f"; cache {c['hits']} hits / {c['misses']} misses"
+    certified = (
+        payload.get("certified_optimal", 0),
+        payload.get("certified_infeasible", 0),
+    )
+    if any(certified):
+        header += (f"; certified: {certified[0]} optimal, "
+                   f"{certified[1]} infeasible")
     body = format_table(
         ["kernel", "profile", "makespan", "slots", "status", "actual II",
          "thr. (iter/cc)"],
@@ -465,6 +466,138 @@ def print_audit(payload: Dict[str, object]) -> str:
         rows,
     )
     verdict = "AUDIT CLEAN" if payload["ok"] else "AUDIT FAILED"
+    body = table + "\n" + verdict
+    if findings:
+        body += "\n" + "\n".join(findings)
+    return body
+
+
+# ----------------------------------------------------------------------
+# Static bounds + certificate verification over the shipped kernels
+# ----------------------------------------------------------------------
+def bounds_report(
+    kernels: Sequence[str] = ("qrd", "arf", "matmul", "backsub"),
+    timeout_ms: float = 60_000.0,
+    modulo_timeout_ms: float = 60_000.0,
+    include_reconfigs: bool = False,
+    cfg: EITConfig = DEFAULT_CONFIG,
+) -> Dict[str, object]:
+    """Exercise the pre-solve bounds engine on every shipped kernel.
+
+    For each kernel this derives the energetic lower-bound set and the
+    memory pigeonhole, CP-schedules and modulo-schedules the kernel,
+    reports the gap between the static bounds and the achieved
+    makespan/II, and re-verifies every emitted certificate through the
+    *independent* :mod:`repro.analysis.certify` arithmetic.  The
+    payload's ``ok`` is True iff every certificate re-verifies clean —
+    the acceptance bar for the CI ``bounds`` job.
+    """
+    from repro.analysis import verify_certificate
+    from repro.analysis.bounds import makespan_lower_bound, memory_precheck
+    from repro.sched.modulo import resource_lower_bound
+
+    results: List[Dict[str, object]] = []
+    all_ok = True
+    for name in kernels:
+        g = prepared(name)
+        bounds = makespan_lower_bound(g, cfg)
+        mem_cert = memory_precheck(g, cfg)
+        mii = resource_lower_bound(g, cfg, include_reconfigs)
+
+        s = schedule(g, cfg=cfg, timeout_ms=timeout_ms)
+        m = modulo_schedule(
+            g,
+            cfg,
+            include_reconfigs=include_reconfigs,
+            timeout_ms=modulo_timeout_ms,
+        )
+
+        reports = []
+        for cert, value, reconfigs in (
+            (mem_cert, None, False),
+            (s.certificate, s.makespan if s.starts else None, False),
+            (m.certificate, m.ii if m.found else None, include_reconfigs),
+        ):
+            if cert is not None:
+                reports.append(
+                    verify_certificate(
+                        cert,
+                        g,
+                        cfg,
+                        result_value=value,
+                        include_reconfigs=reconfigs,
+                    )
+                )
+        kernel_ok = all(r.ok for r in reports)
+        all_ok = all_ok and kernel_ok
+        results.append({
+            "kernel": name,
+            "ok": kernel_ok,
+            "bounds": bounds.as_dict(),
+            "memory_precheck": (
+                mem_cert.as_dict() if mem_cert is not None else None
+            ),
+            "schedule_status": s.status.value,
+            "makespan": s.makespan,
+            "lb": bounds.value,
+            "gap": (s.makespan - bounds.value) if s.starts else None,
+            "schedule_certificate": (
+                s.certificate.as_dict() if s.certificate is not None else None
+            ),
+            "nodes": s.search_stats.nodes if s.search_stats else 0,
+            "modulo_status": m.status.value,
+            "modulo_ii": m.ii if m.found else -1,
+            "mii": mii,
+            "ii_gap": (m.ii - mii) if m.found else None,
+            "modulo_certificate": (
+                m.certificate.as_dict() if m.certificate is not None else None
+            ),
+            "n_certificates": len(reports),
+            "reports": [r.as_dict() for r in reports],
+        })
+
+    return {
+        "kernels": list(kernels),
+        "include_reconfigs": include_reconfigs,
+        "ok": all_ok,
+        "results": results,
+    }
+
+
+def print_bounds(payload: Dict[str, object]) -> str:
+    """Human rendering of a :func:`bounds_report` payload."""
+    rows = []
+    findings: List[str] = []
+    for r in payload["results"]:  # type: ignore[index]
+        fam = r["bounds"]["family"]
+        rows.append([
+            r["kernel"],
+            "ok" if r["ok"] else "FAIL",
+            f"{r['lb']} ({fam})",
+            r["makespan"],
+            "-" if r["gap"] is None else r["gap"],
+            "yes" if r["schedule_certificate"] else "no",
+            r["mii"],
+            r["modulo_ii"],
+            "-" if r["ii_gap"] is None else r["ii_gap"],
+            "yes" if r["modulo_certificate"] else "no",
+        ])
+        for rep in r["reports"]:
+            for d in rep["diagnostics"]:
+                findings.append(
+                    f"  {r['kernel']}/{rep['pass']}: {d['code']} "
+                    f"{d['severity']}: {d['message']}"
+                )
+    table = format_table(
+        ["kernel", "verify", "static LB", "makespan", "gap", "cert",
+         "MII", "II", "II gap", "cert"],
+        rows,
+    )
+    verdict = (
+        "ALL CERTIFICATES VERIFIED"
+        if payload["ok"]
+        else "CERTIFICATE VERIFICATION FAILED"
+    )
     body = table + "\n" + verdict
     if findings:
         body += "\n" + "\n".join(findings)

@@ -137,12 +137,17 @@ def schedule_payload(s: Schedule) -> Dict[str, Any]:
         "status": s.status.value,
         "solve_time_ms": s.solve_time_ms,
         "fallback": s.fallback,
+        "certificate": (
+            s.certificate.as_dict() if s.certificate is not None else None
+        ),
     }
 
 
 def schedule_from_payload(
     payload: Mapping[str, Any], graph: Graph, cfg: EITConfig
 ) -> Schedule:
+    from repro.analysis.certify import Certificate
+
     return Schedule(
         graph=graph,
         cfg=cfg,
@@ -152,6 +157,7 @@ def schedule_from_payload(
         status=SolveStatus(payload["status"]),
         solve_time_ms=payload["solve_time_ms"],
         fallback=payload["fallback"],
+        certificate=Certificate.from_dict(payload.get("certificate")),
     )
 
 
@@ -170,10 +176,15 @@ def modulo_payload(m: ModuloResult) -> Dict[str, Any]:
         "stages": {str(k): v for k, v in m.stages.items()},
         "tried": [list(t) for t in m.tried],
         "fallback": m.fallback,
+        "certificate": (
+            m.certificate.as_dict() if m.certificate is not None else None
+        ),
     }
 
 
 def modulo_from_payload(payload: Mapping[str, Any]) -> ModuloResult:
+    from repro.analysis.certify import Certificate
+
     return ModuloResult(
         graph_name=payload["graph_name"],
         include_reconfigs=payload["include_reconfigs"],
@@ -186,6 +197,7 @@ def modulo_from_payload(payload: Mapping[str, Any]) -> ModuloResult:
         stages={int(k): v for k, v in payload["stages"].items()},
         tried=[(w, s) for w, s in payload["tried"]],
         fallback=payload["fallback"],
+        certificate=Certificate.from_dict(payload.get("certificate")),
     )
 
 
@@ -211,6 +223,9 @@ class CacheStats:
     #: cached payloads the static analyser rejected (corrupt entries
     #: caught by an ``audit=True`` sweep and invalidated)
     audit_rejections: int = 0
+    #: sweep cells resolved by a static-bounds certificate with zero CP
+    #: search *and* zero cache traffic (they never reach get/put)
+    bound_pruned: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -221,6 +236,7 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "solver_nodes": self.solver_nodes,
             "audit_rejections": self.audit_rejections,
+            "bound_pruned": self.bound_pruned,
         }
 
     @property

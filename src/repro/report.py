@@ -10,6 +10,9 @@ at when judging a schedule:
 * :func:`modulo_window` — the steady-state II window of a modulo
   schedule with per-offset configuration and resource usage;
 * :func:`schedule_summary` — the one-paragraph numbers;
+* :func:`certificate` — a one-line rendering of a static-bounds
+  optimality/infeasibility certificate
+  (:class:`repro.analysis.certify.Certificate`);
 * :func:`solver_stats` — the search telemetry (nodes, failures,
   propagation counts per constraint class, per-phase time, incumbent
   timeline) collected by :class:`repro.cp.stats.SolverStats`;
@@ -25,13 +28,18 @@ here affects scheduling.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.arch.eit import ResourceKind
 from repro.arch.isa import OpCategory
 from repro.ir.graph import Graph, OpNode
 from repro.sched.modulo import ModuloResult, window_config_stream
 from repro.sched.result import Schedule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.certify import Certificate
+    from repro.analysis.diagnostics import DiagnosticReport
+    from repro.cache import ScheduleCache
 
 _MAX_WIDTH = 120
 
@@ -128,7 +136,10 @@ def memory_map(sched: Schedule, max_cycles: Optional[int] = None) -> str:
 def modulo_window(result: ModuloResult, graph: Graph) -> str:
     """The steady-state window: per-offset configuration and load."""
     if not result.found:
-        return f"(no modulo schedule: {result.status.value})"
+        out = f"(no modulo schedule: {result.status.value})"
+        if result.certificate is not None:
+            out += "\n" + certificate(result.certificate)
+        return out
     W = result.ii
     stream = window_config_stream(graph, result.offsets, W)
     by_offset: Dict[int, List[OpNode]] = {o: [] for o in range(W)}
@@ -150,6 +161,17 @@ def modulo_window(result: ModuloResult, graph: Graph) -> str:
     return "\n".join(rows)
 
 
+def certificate(cert: Optional["Certificate"]) -> str:
+    """One line for an optimality/infeasibility certificate.
+
+    ``(no certificate)`` when ``cert`` is None, so callers can pass
+    ``result.certificate`` straight through.
+    """
+    if cert is None:
+        return "(no certificate)"
+    return f"certificate: {cert.render()}"
+
+
 def schedule_summary(sched: Schedule) -> str:
     parts = [
         f"kernel {sched.graph.name}: {sched.makespan} cycles "
@@ -163,6 +185,8 @@ def schedule_summary(sched: Schedule) -> str:
                      f"of {sched.cfg.n_slots}")
     if sched.fallback:
         parts.append("greedy fallback (CP budget expired with no incumbent)")
+    if sched.certificate is not None:
+        parts.append(certificate(sched.certificate))
     return "; ".join(parts)
 
 
@@ -223,6 +247,9 @@ def cache_stats(cache: "ScheduleCache") -> str:
     )
     if st.audit_rejections:
         out += f"; {st.audit_rejections} entries rejected by audit"
+    if st.bound_pruned:
+        out += (f"; {st.bound_pruned} cells certified by static bounds "
+                "(no lookup, no search)")
     return out
 
 

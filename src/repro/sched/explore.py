@@ -37,6 +37,10 @@ STANDARD_PROFILES: Dict[str, EITConfig] = {
     "shallow5": EITConfig(pipeline_depth=5),
     "deep9": EITConfig(pipeline_depth=9),
     "smallmem": EITConfig(n_slots=16),
+    # provably too small for kernels with >3 live vectors: exercised by
+    # the certificate pre-check, which resolves such cells with zero CP
+    # search (see repro.analysis.bounds.memory_precheck)
+    "tinymem": EITConfig(n_slots=3),
 }
 
 
@@ -83,6 +87,25 @@ class ExploreOutcome:
     n_cells: int = 0
     solver: SolverStats = field(default_factory=SolverStats)
     cache_stats: Optional[Dict[str, int]] = None
+    #: solves whose payload carries an *optimal* certificate (the
+    #: objective provably meets a static lower bound)
+    certified_optimal: int = 0
+    #: solves resolved *infeasible* by a static certificate — the
+    #: memory-pigeonhole cells among them never ran any CP search
+    certified_infeasible: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON payload (bench harness, CI warm-sweep assertions)."""
+        return {
+            "jobs": self.jobs,
+            "n_cells": self.n_cells,
+            "wall_ms": round(self.wall_ms, 3),
+            "solver": self.solver.as_dict(),
+            "cache": self.cache_stats,
+            "certified_optimal": self.certified_optimal,
+            "certified_infeasible": self.certified_infeasible,
+            "points": [p.as_dict() for p in self.points],
+        }
 
 
 def _point_from_payloads(
@@ -137,6 +160,7 @@ def explore_detailed(
     :class:`repro.analysis.AuditError` (that is a solver bug, not a
     cache artifact).
     """
+    from repro.analysis.bounds import memory_precheck
     from repro.cache import (
         cache_key,
         modulo_from_payload,
@@ -184,6 +208,41 @@ def explore_detailed(
 
     for kname, pname in cells:
         graph, cfg = graphs[kname], profiles[pname]
+        cert = memory_precheck(graph, cfg)
+        if cert is not None:
+            # The whole cell is provably infeasible before any search:
+            # synthesize both payloads, touch neither the cache nor the
+            # pool.  Zero CP nodes, zero cache traffic.
+            payloads[f"{kname}/{pname}/schedule"] = {
+                "kind": "schedule",
+                "makespan": -1,
+                "starts": {},
+                "slots": {},
+                "status": "infeasible",
+                "solve_time_ms": 0.0,
+                "fallback": False,
+                "certificate": cert.as_dict(),
+            }
+            # a memory-dead cell reports no steady-state throughput
+            # either: the modulo model assumes the flat allocation exists
+            payloads[f"{kname}/{pname}/modulo"] = {
+                "kind": "modulo",
+                "graph_name": graph.name,
+                "include_reconfigs": include_reconfigs,
+                "ii": -1,
+                "n_reconfigurations": 0,
+                "actual_ii": -1,
+                "status": "infeasible",
+                "opt_time_ms": 0.0,
+                "offsets": {},
+                "stages": {},
+                "tried": [],
+                "fallback": False,
+                "certificate": None,
+            }
+            if cache is not None:
+                cache.stats.bound_pruned += 1
+            continue
         per_ii = derive_per_ii_timeout(
             modulo_timeout_ms, graph, cfg, include_reconfigs
         )
@@ -248,6 +307,14 @@ def explore_detailed(
                 payloads[f"{kname}/{pname}/modulo"],
             )
         )
+
+    for payload in payloads.values():
+        cert_dict = payload.get("certificate")
+        if cert_dict:
+            if cert_dict.get("kind") == "optimal":
+                outcome.certified_optimal += 1
+            else:
+                outcome.certified_infeasible += 1
 
     outcome.wall_ms = (time.monotonic() - t0) * 1000.0
     if cache is not None:

@@ -36,7 +36,6 @@ from repro.cp import (
     XPlusCLeqY,
 )
 from repro.cp.search import input_order, select_min_value, smallest_min
-from repro.ir.analysis import critical_path
 from repro.ir.graph import DataNode, Graph, OpNode
 from repro.sched.list_sched import greedy_schedule
 from repro.sched.memmodel import MemoryModel
@@ -58,25 +57,32 @@ class ScheduleModel:
         self.store = Store()
         self.with_memory = with_memory
 
-        cp_len, _ = critical_path(graph, cfg)
+        # Static pre-solve analysis: the energetic lower-bound set and
+        # the per-node ASAP/ALAP windows (lazy import: repro.analysis
+        # pulls in result types from repro.sched at package-init time).
+        from repro.analysis.bounds import makespan_lower_bound, start_windows
+
+        self.bounds = makespan_lower_bound(graph, cfg)
         if horizon is None:
             # Greedy schedule bounds the optimum from above; add slack so
             # memory pressure can still stretch the schedule if needed.
             greedy = greedy_schedule(graph, cfg)
             horizon = greedy.makespan + max(16, greedy.makespan // 4)
         self.horizon = horizon
-        self.lower_bound = cp_len
+        self.lower_bound = self.bounds.value
+        self.windows = start_windows(graph, cfg, horizon)
 
         self.start: Dict[int, IntVar] = {}
         self._build_start_vars()
-        if cp_len > horizon:
+        if self.lower_bound > horizon:
             from repro.cp import Inconsistency
 
             raise Inconsistency(
-                f"horizon {horizon} below the critical path {cp_len}"
+                f"horizon {horizon} below the static lower bound "
+                f"{self.lower_bound} ({self.bounds.family})"
             )
         self.makespan = IntVar(
-            self.store, cp_len, horizon, name="makespan"
+            self.store, self.lower_bound, horizon, name="makespan"
         )
         self._post_precedence()
         self._post_resources()
@@ -97,12 +103,20 @@ class ScheduleModel:
     # ------------------------------------------------------------------
     def _build_start_vars(self) -> None:
         for node in self.graph.nodes():
-            if isinstance(node, DataNode) and self.graph.in_degree(node) == 0:
-                # eq. 4 footnote: application inputs are ready from cycle 0
-                var = IntVar(self.store, 0, 0, name=f"s_{node.name}")
-            else:
-                var = IntVar(self.store, 0, self.horizon, name=f"s_{node.name}")
-            self.start[node.nid] = var
+            # Initial domain = the static ASAP/ALAP window (inputs pin to
+            # [0, 0] per the eq. 4 footnote); an empty window means no
+            # schedule fits the horizon at all.
+            lo, hi = self.windows[node.nid]
+            if hi < lo:
+                from repro.cp import Inconsistency
+
+                raise Inconsistency(
+                    f"{node.name}: empty start window [{lo}, {hi}] "
+                    f"at horizon {self.horizon}"
+                )
+            self.start[node.nid] = IntVar(
+                self.store, lo, hi, name=f"s_{node.name}"
+            )
 
     def _post_precedence(self) -> None:
         for u, v in self.graph.edges():

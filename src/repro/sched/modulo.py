@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.arch.eit import DEFAULT_CONFIG, EITConfig, ResourceKind
 from repro.arch.isa import OpCategory
@@ -61,6 +61,9 @@ from repro.cp.search import first_fail, input_order, select_min_value, smallest_
 from repro.ir.graph import Graph, OpNode
 from repro.sched.list_sched import greedy_schedule
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.certify import Certificate
+
 
 @dataclass
 class ModuloResult:
@@ -82,6 +85,9 @@ class ModuloResult:
     #: merged solver telemetry of every candidate II tried (None for
     #: fallback/cached results — no fresh search happened).
     search_stats: Optional["SolverStats"] = None
+    #: machine-checkable optimality / infeasibility witness (see
+    #: :mod:`repro.analysis.certify`), when the search could prove one.
+    certificate: Optional["Certificate"] = None
 
     @property
     def throughput(self) -> float:
@@ -148,9 +154,22 @@ def ii_search_range(
     plus one (a trivially sufficient II) unless ``max_ii`` overrides it.
     Both the sequential loop and the parallel racer iterate exactly this
     range, which is what makes their results comparable.
+
+    A caller-imposed ``max_ii`` below ``lb`` raises ``ValueError``: the
+    window is provably empty, and silently returning an inverted range
+    used to make ``range(lb, hi + 1)`` iterate zero candidates and
+    report a misleading bare INFEASIBLE.  Callers that want a result
+    object instead use :func:`empty_ii_window_result`, which both the
+    sequential loop and the parallel racer return for this case.
     """
     flat = greedy_schedule(graph, cfg)
     lb = resource_lower_bound(graph, cfg, include_reconfigs)
+    if max_ii is not None and max_ii < lb:
+        raise ValueError(
+            f"max_ii={max_ii} is below the resource lower bound {lb}: "
+            f"the candidate-II window [{lb}, {max_ii}] is empty — no II "
+            f"up to {max_ii} can fit the per-class lane demand"
+        )
     hi = max_ii if max_ii is not None else max(flat.makespan + 1, lb)
     return lb, hi, flat.makespan
 
@@ -171,7 +190,11 @@ def derive_per_ii_timeout(
     the old 3-way split), so every window in the range gets a fair share
     of the budget.
     """
-    lb, hi, _ = ii_search_range(graph, cfg, include_reconfigs, max_ii)
+    try:
+        lb, hi, _ = ii_search_range(graph, cfg, include_reconfigs, max_ii)
+    except ValueError:
+        # empty window: nothing will be tried, any split works
+        return modulo_timeout_ms / 3.0
     n_candidates = max(1, hi - lb + 1)
     return modulo_timeout_ms / max(3, n_candidates)
 
@@ -331,18 +354,85 @@ def result_from_solution(
         actual = window
     else:
         actual = window + steady_state_overhead(stream, cfg.reconfig_cost)
+    certificate: Optional["Certificate"] = None
+    mii = resource_lower_bound(graph, cfg, include_reconfigs)
+    if window == mii:
+        # the window meets the static resource minimum: optimal by
+        # arithmetic, independent of how much of the ladder was proven
+        from repro.analysis.certify import Certificate
+
+        certificate = Certificate(
+            kind="optimal",
+            subject="modulo",
+            family="resource-mii",
+            bound=mii,
+            achieved=window,
+            detail=(
+                f"per-class lane demand needs {mii} cycle(s) per "
+                f"iteration (include_reconfigs={include_reconfigs})"
+            ),
+        )
     return ModuloResult(
         graph_name=graph.name,
         include_reconfigs=include_reconfigs,
         ii=window,
         n_reconfigurations=n_rec,
         actual_ii=actual,
-        status=SolveStatus.OPTIMAL if proven_all_below else SolveStatus.FEASIBLE,
+        status=(
+            SolveStatus.OPTIMAL
+            if proven_all_below or certificate is not None
+            else SolveStatus.FEASIBLE
+        ),
         opt_time_ms=opt_time_ms,
         offsets=offsets,
         stages=stages,
         tried=tried,
         search_stats=search_stats,
+        certificate=certificate,
+    )
+
+
+def empty_ii_window_result(
+    graph: Graph,
+    cfg: EITConfig,
+    include_reconfigs: bool,
+    max_ii: int,
+    lb: int,
+    opt_time_ms: float = 0.0,
+) -> ModuloResult:
+    """Certified INFEASIBLE for a ``max_ii`` below the resource bound.
+
+    No CSP is ever built: the per-class lane demand already proves no
+    window up to ``max_ii`` exists.  ``tried`` reports every skipped
+    candidate so callers see the range was considered, not ignored, and
+    the attached ``ii-window`` certificate makes the claim
+    machine-checkable (:func:`repro.analysis.verify_certificate`).
+    """
+    from repro.analysis.certify import Certificate
+
+    return ModuloResult(
+        graph_name=graph.name,
+        include_reconfigs=include_reconfigs,
+        ii=-1,
+        n_reconfigurations=0,
+        actual_ii=-1,
+        status=SolveStatus.INFEASIBLE,
+        opt_time_ms=opt_time_ms,
+        tried=[
+            (w, "skipped: below resource lower bound")
+            for w in range(1, max_ii + 1)
+        ],
+        certificate=Certificate(
+            kind="infeasible",
+            subject="modulo",
+            family="ii-window",
+            bound=lb,
+            achieved=max_ii,
+            detail=(
+                f"resource lower bound {lb} exceeds max_ii={max_ii} "
+                f"(include_reconfigs={include_reconfigs})"
+            ),
+        ),
     )
 
 
@@ -407,6 +497,20 @@ def modulo_schedule(
     independent analyser (:func:`repro.analysis.audit_modulo`), raising
     :class:`repro.analysis.AuditError` on violations.
     """
+    if max_ii is not None:
+        lb = resource_lower_bound(graph, cfg, include_reconfigs)
+        if max_ii < lb:
+            # certified-empty candidate window: report the skipped range
+            # instead of silently iterating zero candidates
+            return audited_modulo(
+                empty_ii_window_result(
+                    graph, cfg, include_reconfigs, max_ii, lb
+                ),
+                graph,
+                cfg,
+                audit,
+            )
+
     if jobs > 1:
         from repro.sched.parallel import modulo_schedule_parallel
 
@@ -488,11 +592,31 @@ def modulo_schedule(
 def audited_modulo(
     result: ModuloResult, graph: Graph, cfg: EITConfig, audit: bool
 ) -> ModuloResult:
-    """Post-check a found modulo result with the independent analyser."""
-    if audit and result.found:
-        from repro.analysis import AuditError, audit_modulo
+    """Post-check a modulo result with the independent analyser.
 
-        report = audit_modulo(result, graph, cfg)
+    Found windows get the steady-state re-derivation
+    (:func:`repro.analysis.audit_modulo`); any attached certificate —
+    including the ``ii-window`` one on certified-INFEASIBLE results —
+    is re-verified by :func:`repro.analysis.verify_certificate`.
+    """
+    if not audit:
+        return result
+    from repro.analysis import AuditError, audit_modulo, verify_certificate
+
+    reports = []
+    if result.found:
+        reports.append(audit_modulo(result, graph, cfg))
+    if result.certificate is not None:
+        reports.append(
+            verify_certificate(
+                result.certificate,
+                graph,
+                cfg,
+                result_value=result.ii if result.found else None,
+                include_reconfigs=result.include_reconfigs,
+            )
+        )
+    for report in reports:
         if not report.ok:
             raise AuditError(report)
     return result

@@ -46,9 +46,11 @@ from repro.sched.list_sched import greedy_schedule
 from repro.sched.modulo import (
     ModuloResult,
     audited_modulo,
+    empty_ii_window_result,
     greedy_modulo_fallback,
     ii_search_range,
     modulo_schedule,
+    resource_lower_bound,
     result_from_solution,
     stages_for_window,
     try_candidate,
@@ -377,6 +379,19 @@ def modulo_schedule_parallel(
     candidate finish, the result is identical to ``jobs=1``.
     """
     t0 = time.monotonic()
+    if max_ii is not None:
+        lb0 = resource_lower_bound(graph, cfg, include_reconfigs)
+        if max_ii < lb0:
+            # certified-empty candidate window: same early return as the
+            # sequential path, before any pool is spun up
+            return audited_modulo(
+                empty_ii_window_result(
+                    graph, cfg, include_reconfigs, max_ii, lb0
+                ),
+                graph,
+                cfg,
+                audit,
+            )
     lb, hi, flat_makespan = ii_search_range(graph, cfg, include_reconfigs, max_ii)
     budget_each = per_ii_timeout_ms if per_ii_timeout_ms is not None else timeout_ms
     deadline = t0 + timeout_ms / 1000.0

@@ -20,6 +20,7 @@ from repro.cp.search import SearchStats, SolveStatus
 from repro.ir.graph import DataNode, Graph, Node, OpNode
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.certify import Certificate
     from repro.analysis.diagnostics import DiagnosticReport
 
 
@@ -38,6 +39,9 @@ class Schedule:
     #: True when the CP budget expired without an incumbent and the
     #: starts come from the greedy list scheduler instead (no slots).
     fallback: bool = False
+    #: machine-checkable optimality / infeasibility witness (see
+    #: :mod:`repro.analysis.certify`), when the solve could prove one.
+    certificate: Optional["Certificate"] = None
 
     # -- basic accessors -------------------------------------------------
     def start(self, node: Node) -> int:

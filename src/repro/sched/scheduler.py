@@ -3,15 +3,36 @@
 ``schedule(graph)`` builds the unified constraint model (scheduling +
 memory allocation), runs the three-phase branch-and-bound minimization
 of the makespan, and returns a verified :class:`repro.sched.result.Schedule`.
+
+The CP search is bracketed by the static bounds engine
+(:mod:`repro.analysis.bounds`):
+
+1. *Pre-checks* — the memory pigeonhole and (for explicit horizons) the
+   energetic lower-bound set can prove UNSAT before a single constraint
+   is built; such solves return a certified ``INFEASIBLE`` with **zero**
+   search nodes and a machine-checkable
+   :class:`~repro.analysis.certify.Certificate` attached.
+2. *The lower-bound probe* — a satisfaction solve at
+   ``horizon = static lower bound``.  Any solution it finds has makespan
+   exactly the bound, i.e. is optimal by arithmetic (no exhaustive
+   B&B descent needed); a *proof* of infeasibility at the bound lifts
+   the main search's makespan floor by one, pruning the unwinnable part
+   of the tree.  A probe timeout teaches nothing and simply hands the
+   remaining budget to the ordinary minimization.
+3. *Certification* — whenever the returned makespan equals the static
+   bound the result carries an ``optimal`` certificate naming the
+   witnessing bound family; ``audit=True`` re-verifies every
+   certificate (and the ASAP/ALAP window containment) through the
+   independent :mod:`repro.analysis.certify` implementation.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+import time
+from typing import Callable, Optional, Tuple
 
 from repro.arch.eit import DEFAULT_CONFIG, EITConfig
-from repro.arch.isa import OpCategory
-from repro.cp import Inconsistency, Search, SolveStatus
+from repro.cp import Inconsistency, Search, SolveStatus, SolverStats
 from repro.ir.graph import Graph
 from repro.sched.list_sched import greedy_schedule
 from repro.sched.model import ScheduleModel
@@ -44,28 +65,34 @@ def schedule(
         carries no slot assignment (the paper's "manual" schedules are
         compared against this mode).
     timeout_ms:
-        branch-and-bound budget.  On timeout the best incumbent found so
-        far is returned with ``status=FEASIBLE``; if the budget expired
-        before *any* incumbent, the greedy list schedule is returned
-        instead (``status=TIMEOUT``, ``fallback=True``, no slots) so
-        callers always get runnable start times.  Provable infeasibility
-        (the Table 1 too-small-memory rows) is never masked by the
-        fallback: it still reports ``INFEASIBLE`` with empty ``starts``.
+        total solver budget, shared between the lower-bound probe (at
+        most half) and the main branch-and-bound.  On timeout the best
+        incumbent found so far is returned with ``status=FEASIBLE``; if
+        the budget expired before *any* incumbent, the greedy list
+        schedule is returned instead (``status=TIMEOUT``,
+        ``fallback=True``, no slots) so callers always get runnable
+        start times.  Provable infeasibility (the Table 1
+        too-small-memory rows) is never masked by the fallback: it still
+        reports ``INFEASIBLE`` with empty ``starts`` — and, when a
+        static bound proves it, with a certificate and zero search.
     should_stop:
         optional cooperative-cancellation hook polled once per search
         node (see :class:`repro.cp.Search`); pool workers point this at
         a shared event so a sweep can be cancelled mid-solve.
     audit:
-        run the independent static analyser
-        (:func:`repro.analysis.audit_schedule`) over the result —
-        including the greedy fallback path — and raise
-        :class:`repro.analysis.AuditError` if it reports any error.
-        Results without start times (INFEASIBLE/empty) are returned
-        unaudited: there is nothing to check.
+        run the independent static analyser over the result — the
+        eq. 1-11 re-checks (:func:`repro.analysis.audit_schedule`), the
+        ASAP/ALAP window containment
+        (:func:`repro.analysis.audit_bounds`) and, when a certificate is
+        attached, its arithmetic
+        (:func:`repro.analysis.verify_certificate`) — raising
+        :class:`repro.analysis.AuditError` on any error.
 
     Returns a schedule with ``status``:
 
-    * ``OPTIMAL`` — search exhausted, the makespan is minimal;
+    * ``OPTIMAL`` — the makespan is provably minimal (search exhausted,
+      or the incumbent meets the static lower bound — then
+      ``certificate`` is set);
     * ``FEASIBLE`` — a schedule was found but optimality is unproven;
     * ``INFEASIBLE``/``TIMEOUT`` — no schedule exists (e.g. too few
       memory slots, the paper's 8-slot row of Table 1) or none was found
@@ -73,6 +100,101 @@ def schedule(
     """
     if n_slots is not None:
         cfg = cfg.with_slots(n_slots)
+
+    from repro.analysis.bounds import (
+        horizon_precheck,
+        makespan_lower_bound,
+        memory_precheck,
+    )
+
+    t0 = time.monotonic()
+
+    # -- search-free infeasibility proofs ------------------------------
+    if with_memory:
+        cert = memory_precheck(graph, cfg)
+        if cert is not None:
+            return _audited(
+                Schedule(
+                    graph=graph,
+                    cfg=cfg,
+                    starts={},
+                    makespan=-1,
+                    status=SolveStatus.INFEASIBLE,
+                    certificate=cert,
+                ),
+                audit,
+            )
+    if horizon is not None:
+        cert = horizon_precheck(graph, cfg, horizon)
+        if cert is not None:
+            return _audited(
+                Schedule(
+                    graph=graph,
+                    cfg=cfg,
+                    starts={},
+                    makespan=-1,
+                    status=SolveStatus.INFEASIBLE,
+                    certificate=cert,
+                ),
+                audit,
+            )
+
+    bounds = makespan_lower_bound(graph, cfg)
+    merged = SolverStats()
+
+    # -- the destructive lower-bound probe -----------------------------
+    # Only when the caller imposed no horizon: with an explicit horizon
+    # the exact legacy search semantics are preserved.
+    floor_proven_above = False
+    if horizon is None:
+        probe_budget = timeout_ms / 2.0 if timeout_ms is not None else None
+        # The node cap bounds the damage of a *hopeless* probe: when the
+        # bound is not tight, refuting it can cost as much as the full
+        # optimality proof, and spending half the budget learning nothing
+        # would push borderline solves into timeout.  A capped probe
+        # either decides quickly (solution => optimal; refutation =>
+        # floor+1) or aborts after a small, graph-proportional effort and
+        # hands essentially the whole budget to the main search.
+        probe_nodes = max(512, 8 * sum(1 for _ in graph.nodes()))
+        probe, refuted, probe_stats = _probe_at_bound(
+            graph,
+            cfg,
+            bounds.value,
+            with_memory,
+            memory_encoding,
+            probe_budget,
+            probe_nodes,
+            should_stop,
+        )
+        merged.merge(probe_stats)
+        if probe is not None:
+            starts, slots = probe
+            from repro.analysis.certify import Certificate
+
+            return _audited(
+                Schedule(
+                    graph=graph,
+                    cfg=cfg,
+                    starts=starts,
+                    makespan=bounds.value,
+                    slots=slots,
+                    status=SolveStatus.OPTIMAL,
+                    solve_time_ms=(time.monotonic() - t0) * 1000.0,
+                    search_stats=merged,
+                    certificate=Certificate(
+                        kind="optimal",
+                        subject="schedule",
+                        family=bounds.family,
+                        bound=bounds.value,
+                        achieved=bounds.value,
+                        detail=bounds.explain(),
+                    ),
+                ),
+                audit,
+            )
+        floor_proven_above = refuted
+
+    # -- the main minimization -----------------------------------------
     try:
         model = ScheduleModel(
             graph,
@@ -81,6 +203,9 @@ def schedule(
             with_memory=with_memory,
             memory_encoding=memory_encoding,
         )
+        if floor_proven_above:
+            # the probe *proved* nothing fits at the bound itself
+            model.store.set_min(model.makespan, bounds.value + 1)
     except Inconsistency:
         # Root propagation already wiped out a domain: provably infeasible.
         return Schedule(
@@ -89,10 +214,36 @@ def schedule(
             starts={},
             makespan=-1,
             status=SolveStatus.INFEASIBLE,
+            solve_time_ms=(time.monotonic() - t0) * 1000.0,
+            search_stats=merged if merged.nodes else None,
         )
 
-    search = Search(model.store, timeout_ms=timeout_ms, should_stop=should_stop)
+    remaining = timeout_ms
+    if timeout_ms is not None:
+        remaining = timeout_ms - (time.monotonic() - t0) * 1000.0
+        if remaining <= 0.0:
+            merged.timed_out = True
+            greedy = greedy_schedule(graph, cfg)
+            return _audited(
+                Schedule(
+                    graph=graph,
+                    cfg=cfg,
+                    starts=greedy.starts,
+                    makespan=greedy.makespan,
+                    status=SolveStatus.TIMEOUT,
+                    solve_time_ms=(time.monotonic() - t0) * 1000.0,
+                    search_stats=merged,
+                    fallback=True,
+                ),
+                audit,
+            )
+
+    search = Search(model.store, timeout_ms=remaining, should_stop=should_stop)
     result = search.minimize(model.makespan, model.phases())
+    merged.merge(result.stats)
+    merged.time_to_best_ms = result.stats.time_to_best_ms
+    merged.objective_timeline = result.stats.objective_timeline
+    elapsed_ms = (time.monotonic() - t0) * 1000.0
 
     if not result.found:
         if result.status is SolveStatus.TIMEOUT:
@@ -108,8 +259,8 @@ def schedule(
                     starts=greedy.starts,
                     makespan=greedy.makespan,
                     status=SolveStatus.TIMEOUT,
-                    solve_time_ms=result.stats.time_ms,
-                    search_stats=result.stats,
+                    solve_time_ms=elapsed_ms,
+                    search_stats=merged,
                     fallback=True,
                 ),
                 audit,
@@ -120,8 +271,8 @@ def schedule(
             starts={},
             makespan=-1,
             status=result.status,
-            solve_time_ms=result.stats.time_ms,
-            search_stats=result.stats,
+            solve_time_ms=elapsed_ms,
+            search_stats=merged,
         )
 
     starts = {
@@ -133,6 +284,22 @@ def schedule(
             d.nid: result.value(model.memory.slot[d.nid].name)
             for d in model.memory.vdata
         }
+    status = result.status
+    certificate = None
+    if result.objective == bounds.value:
+        # the incumbent meets a static lower bound: optimal by
+        # arithmetic even if the search itself was cut short
+        from repro.analysis.certify import Certificate
+
+        status = SolveStatus.OPTIMAL
+        certificate = Certificate(
+            kind="optimal",
+            subject="schedule",
+            family=bounds.family,
+            bound=bounds.value,
+            achieved=result.objective,
+            detail=bounds.explain(),
+        )
     return _audited(
         Schedule(
             graph=graph,
@@ -140,20 +307,93 @@ def schedule(
             starts=starts,
             makespan=result.objective,
             slots=slots,
-            status=result.status,
-            solve_time_ms=result.stats.time_ms,
-            search_stats=result.stats,
+            status=status,
+            solve_time_ms=elapsed_ms,
+            search_stats=merged,
+            certificate=certificate,
         ),
         audit,
     )
 
 
+def _probe_at_bound(
+    graph: Graph,
+    cfg: EITConfig,
+    floor: int,
+    with_memory: bool,
+    memory_encoding: str,
+    timeout_ms: Optional[float],
+    node_limit: int,
+    should_stop: Optional[Callable[[], bool]],
+) -> Tuple[Optional[Tuple[dict, dict]], bool, SolverStats]:
+    """One satisfaction solve at ``horizon = static lower bound``.
+
+    Returns ``((starts, slots), refuted, stats)``.  A found solution has
+    makespan exactly ``floor`` — optimal by construction.  ``refuted``
+    is True only on a *complete* infeasibility proof (including a root
+    propagation wipe-out while building the model), which licenses
+    raising the main search's floor; a timeout or node-cap expiry proves
+    nothing.  The stats never carry ``timed_out``: the probe's internal
+    caps are not a budget expiry of the solve the caller returns.
+    """
+    try:
+        model = ScheduleModel(
+            graph,
+            cfg,
+            horizon=floor,
+            with_memory=with_memory,
+            memory_encoding=memory_encoding,
+        )
+    except Inconsistency:
+        return None, True, SolverStats()
+    search = Search(
+        model.store,
+        timeout_ms=timeout_ms,
+        node_limit=node_limit,
+        should_stop=should_stop,
+    )
+    result = search.minimize(model.makespan, model.phases())
+    result.stats.timed_out = False
+    if result.found:
+        starts = {
+            n.nid: result.value(model.start[n.nid].name)
+            for n in graph.nodes()
+        }
+        slots = {}
+        if model.memory is not None:
+            slots = {
+                d.nid: result.value(model.memory.slot[d.nid].name)
+                for d in model.memory.vdata
+            }
+        return (starts, slots), False, result.stats
+    return None, result.status is SolveStatus.INFEASIBLE, result.stats
+
+
 def _audited(sched: Schedule, audit: bool) -> Schedule:
     """Post-check a solve result with the independent analyser."""
-    if audit and sched.starts:
-        from repro.analysis import AuditError, audit_schedule
+    if not audit:
+        return sched
+    from repro.analysis import (
+        AuditError,
+        audit_bounds,
+        audit_schedule,
+        verify_certificate,
+    )
 
-        report = audit_schedule(sched, check_memory=bool(sched.slots))
+    reports = []
+    if sched.starts:
+        reports.append(audit_schedule(sched, check_memory=bool(sched.slots)))
+        reports.append(audit_bounds(sched))
+    if sched.certificate is not None:
+        reports.append(
+            verify_certificate(
+                sched.certificate,
+                sched.graph,
+                sched.cfg,
+                result_value=sched.makespan if sched.starts else None,
+            )
+        )
+    for report in reports:
         if not report.ok:
             raise AuditError(report)
     return sched

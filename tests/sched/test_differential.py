@@ -91,3 +91,39 @@ class TestDifferential:
         assert st.nodes > 0
         assert st.propagations > 0
         assert st.solutions >= 1
+
+    def test_starts_within_static_windows(self, kernel_pair):
+        # interval-analysis soundness: every start of *both* independent
+        # schedulers lies inside its ASAP/ALAP window at the schedule's
+        # own makespan
+        from repro.analysis import start_windows
+
+        g, cp, greedy = kernel_pair
+        for sched in (cp, greedy):
+            windows = start_windows(g, sched.cfg, horizon=sched.makespan)
+            for node in g.nodes():
+                lo, hi = windows[node.nid]
+                start = sched.starts[node.nid]
+                assert lo <= start <= hi, (
+                    f"{g.name}/{node.name}: start {start} outside "
+                    f"window [{lo}, {hi}]"
+                )
+
+    def test_static_lower_bound_sound(self, kernel_pair):
+        # no feasible schedule from either implementation may beat the
+        # energetic lower-bound set
+        from repro.analysis import makespan_lower_bound
+
+        g, cp, greedy = kernel_pair
+        lb = makespan_lower_bound(g, cp.cfg)
+        assert lb.value >= critical_path(g)[0]
+        assert cp.makespan >= lb.value
+        assert greedy.makespan >= lb.value
+
+    def test_bounds_audit_clean(self, kernel_pair):
+        from repro.analysis import audit_bounds
+
+        _, cp, greedy = kernel_pair
+        for sched in (cp, greedy):
+            report = audit_bounds(sched)
+            assert report.ok, report.render()

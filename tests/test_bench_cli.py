@@ -57,14 +57,18 @@ class TestCli:
             "--timeout", "2", "--out", str(out_file),
         ]) == 0
         out = capsys.readouterr().out
-        assert "sweep: 1 kernels x 6 profiles, jobs=2" in out
+        assert "sweep: 1 kernels x 7 profiles, jobs=2" in out
         import json
 
         payload = json.loads(out_file.read_text())
         assert payload["kernels"] == ["matmul"]
         assert payload["jobs"] == 2
-        assert len(payload["points"]) == 6
-        assert payload["cache"]["misses"] == 12  # 6 cells x 2 solves
+        assert len(payload["points"]) == 7
+        # the tinymem cell is certified infeasible by the memory
+        # pigeonhole before any cache traffic: 6 cells x 2 solves remain
+        assert payload["cache"]["misses"] == 12
+        assert payload["cache"]["bound_pruned"] == 1
+        assert payload["certified_infeasible"] >= 1
         assert payload["solver"]["nodes"] > 0
 
     def test_audit_matmul(self, tmp_path, capsys):
@@ -84,6 +88,26 @@ class TestCli:
         passes = {r["pass"] for r in payload["results"][0]["reports"]}
         assert {"ir-lint", "schedule-audit", "codegen-audit",
                 "modulo-audit"} <= passes
+
+    def test_bounds_backsub(self, tmp_path, capsys):
+        out_file = tmp_path / "BOUNDS.json"
+        assert main([
+            "bounds", "--kernels", "backsub", "--timeout", "60",
+            "--out", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ALL CERTIFICATES VERIFIED" in out
+        import json
+
+        payload = json.loads(out_file.read_text())
+        assert payload["ok"] is True
+        r = payload["results"][0]
+        assert r["kernel"] == "backsub"
+        assert r["lb"] <= r["makespan"]
+        # backsub's steady state meets the resource minimum exactly, so
+        # the modulo result must carry a resource-mii certificate
+        assert r["modulo_ii"] == r["mii"]
+        assert r["modulo_certificate"] is not None
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
