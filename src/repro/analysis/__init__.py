@@ -16,7 +16,15 @@ Four pass families, all returning structured
   makespan bounds, search-free infeasibility prechecks, and
   machine-checkable :class:`Certificate` records re-verified by
   :func:`verify_certificate` / :func:`audit_bounds` without sharing
-  any code with the emitters.
+  any code with the emitters;
+* :mod:`repro.analysis.dataflow` / :mod:`repro.analysis.equivalence` —
+  the dataflow framework (liveness, reaching definitions, constants,
+  value ranges, register pressure) with its ``DFA6xx`` lints, and the
+  verification side of the certified optimization pipeline:
+  :class:`PassCertificate` records re-derived by
+  :func:`verify_pass_certificate` / :func:`verify_pipeline` and proven
+  semantically by differential evaluation, without importing
+  :mod:`repro.ir.passes`.
 
 None of these import the CP constraint-posting code
 (:mod:`repro.sched.model` / :mod:`repro.sched.memmodel`): the model
@@ -44,6 +52,17 @@ from repro.analysis.certify import (
     verify_certificate,
 )
 from repro.analysis.codegen_audit import audit_program
+from repro.analysis.dataflow import (
+    constant_values,
+    lint_dataflow,
+    lint_trace,
+    liveness,
+    magnitude_bounds,
+    max_live_vectors,
+    merge_legality,
+    reaching_definitions,
+    use_counts,
+)
 from repro.analysis.diagnostics import (
     CODES,
     AuditError,
@@ -53,6 +72,13 @@ from repro.analysis.diagnostics import (
     Location,
     Severity,
     merge_reports,
+)
+from repro.analysis.equivalence import (
+    PassCertificate,
+    check_equivalence,
+    seeded_inputs,
+    verify_pass_certificate,
+    verify_pipeline,
 )
 from repro.analysis.ir_lint import lint_graph
 from repro.analysis.memory_audit import audit_memory, audit_modulo_memory
@@ -73,6 +99,7 @@ __all__ = [
     "Diagnostic",
     "DiagnosticReport",
     "Location",
+    "PassCertificate",
     "Severity",
     "asap_starts",
     "assert_modulo_clean",
@@ -83,14 +110,27 @@ __all__ = [
     "audit_modulo_memory",
     "audit_program",
     "audit_schedule",
+    "check_equivalence",
+    "constant_values",
     "horizon_precheck",
+    "lint_dataflow",
     "lint_graph",
+    "lint_trace",
+    "liveness",
+    "magnitude_bounds",
     "makespan_lower_bound",
+    "max_live_vectors",
     "memory_precheck",
+    "merge_legality",
     "merge_reports",
     "min_live_vectors",
+    "reaching_definitions",
+    "seeded_inputs",
     "start_windows",
+    "use_counts",
     "verify_certificate",
+    "verify_pass_certificate",
+    "verify_pipeline",
 ]
 
 

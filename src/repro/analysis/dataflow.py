@@ -1,0 +1,484 @@
+"""Generic dataflow analysis over the bipartite IR DAG.
+
+The IR is acyclic, so every monotone analysis converges in a single
+pass over a topological order (forward) or its reverse (backward) —
+:func:`solve` is that engine, and the concrete analyses below are thin
+transfer functions on top of it:
+
+* :func:`liveness` — which nodes can reach a kernel output (backward);
+* :func:`reaching_definitions` — which value definitions flow into
+  each node (forward);
+* :func:`use_counts` — consumer counts per data node;
+* :func:`constant_values` — the constant lattice: every node whose
+  value is fully determined by ``const``-marked inputs, folded with
+  the reference DSL semantics (forward);
+* :func:`magnitude_bounds` — the value-range lattice: an upper bound
+  on the magnitude of every traced value (forward);
+* :func:`max_live_vectors` — peak vector-register pressure along an
+  execution order.
+
+Two lint entry points surface findings through the shared
+:class:`~repro.analysis.diagnostics.DiagnosticReport` machinery as the
+``DFA6xx`` family: :func:`lint_dataflow` for IR graphs (dead values,
+foldable ops, use-before-def, merged-node legality) and
+:func:`lint_trace` for DSL traces (use-before-def, dead
+``EITVector``/``EITMatrix`` results) — the pre-scheduling gate.
+
+Like the rest of :mod:`repro.analysis`, nothing here imports the pass
+code (:mod:`repro.ir.passes`): the passes *consume* these analyses,
+and the verification side (:mod:`repro.analysis.equivalence`) re-checks
+their output without trusting either.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
+
+from repro.arch.isa import OpCategory, PipelineRole
+from repro.dsl.semantics import apply_op, eval_expr
+from repro.ir.graph import DataNode, Graph, Node, OpNode
+
+from repro.analysis.diagnostics import DiagnosticReport, Severity
+
+#: lattice top for the constant analysis: "not a compile-time constant"
+TOP = object()
+
+TransferFn = Callable[[Graph, Node, List[Any]], Any]
+
+
+@dataclass(frozen=True)
+class Analysis:
+    """One dataflow analysis: a direction and a transfer function.
+
+    ``transfer(graph, node, dep_values)`` receives the already-computed
+    values of the node's dependencies — predecessors in operand order
+    for a ``"forward"`` analysis, successors for a ``"backward"`` one —
+    and returns the node's own value.
+    """
+
+    name: str
+    direction: str  # "forward" | "backward"
+    transfer: TransferFn
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("forward", "backward"):
+            raise ValueError(f"unknown direction {self.direction!r}")
+
+
+def solve(graph: Graph, analysis: Analysis) -> Dict[int, Any]:
+    """Run one analysis to fixpoint; returns ``{nid: value}``.
+
+    On a DAG a single sweep in (reverse) topological order *is* the
+    fixpoint, so this is linear in nodes + edges.  Raises ``ValueError``
+    on cyclic graphs (lint with :func:`repro.analysis.lint_graph`
+    first — IR101).
+    """
+    order = graph.topological_order()
+    if analysis.direction == "backward":
+        order = list(reversed(order))
+        deps = graph.succs
+    else:
+        deps = graph.preds
+    values: Dict[int, Any] = {}
+    for node in order:
+        dep_values = [values[d.nid] for d in deps(node)]
+        values[node.nid] = analysis.transfer(graph, node, dep_values)
+    return values
+
+
+# ----------------------------------------------------------------------
+# Roots / outputs
+# ----------------------------------------------------------------------
+def declared_outputs(graph: Graph) -> List[DataNode]:
+    """Data nodes explicitly marked as kernel outputs.
+
+    The DSL marks them via ``TraceContext.output()``; hand-built graphs
+    set ``attrs["output"] = True`` directly.  Kernels that never
+    declare outputs fall back to the structural notion (consumer-less
+    data), which keeps every analysis conservative for them.
+    """
+    return [d for d in graph.data_nodes() if d.attrs.get("output")]
+
+
+def _default_roots(graph: Graph) -> List[DataNode]:
+    declared = declared_outputs(graph)
+    if declared:
+        return declared
+    # structural outputs that were actually computed; a datum with
+    # neither producer nor consumer is dangling (IR106), not a root
+    computed = [d for d in graph.outputs() if graph.in_degree(d) > 0]
+    return computed or graph.outputs()
+
+
+# ----------------------------------------------------------------------
+# Concrete analyses
+# ----------------------------------------------------------------------
+def liveness(
+    graph: Graph, roots: Optional[Iterable[DataNode]] = None
+) -> Set[int]:
+    """Node ids that (transitively) feed a kernel output.
+
+    ``roots`` defaults to the declared outputs when any exist, else to
+    the structural outputs.  Every output of a live multi-output matrix
+    operation is kept live even when only one row is consumed — the
+    evaluator assigns result rows positionally, so dropping a sibling
+    row would silently shift the others.
+    """
+    root_ids = {d.nid for d in (roots if roots is not None else _default_roots(graph))}
+
+    def transfer(g: Graph, node: Node, succ_values: List[Any]) -> bool:
+        return node.nid in root_ids or any(succ_values)
+
+    values = solve(graph, Analysis("liveness", "backward", transfer))
+    live = {nid for nid, v in values.items() if v}
+    for op in graph.op_nodes():
+        if op.nid in live:
+            for out in graph.succs(op):
+                live.add(out.nid)
+    return live
+
+
+def reaching_definitions(graph: Graph) -> Dict[int, FrozenSet[int]]:
+    """For every node, the set of data definitions that can reach it.
+
+    Each data node is its own (single-assignment) definition site; the
+    value at a node is the union over all paths into it, itself
+    included for data nodes.
+    """
+
+    def transfer(
+        g: Graph, node: Node, pred_values: List[Any]
+    ) -> FrozenSet[int]:
+        reached: Set[int] = set()
+        for pv in pred_values:
+            reached |= pv
+        if isinstance(node, DataNode):
+            reached.add(node.nid)
+        return frozenset(reached)
+
+    return solve(graph, Analysis("reaching-definitions", "forward", transfer))
+
+
+def use_counts(graph: Graph) -> Dict[int, int]:
+    """Consumer count per data node (0 = structural output or dead)."""
+    return {d.nid: graph.out_degree(d) for d in graph.data_nodes()}
+
+
+def constant_values(graph: Graph) -> Dict[int, Any]:
+    """The constant lattice: ``{nid: folded value}`` for every node
+    whose value is fully determined by ``const``-marked inputs.
+
+    Only inputs carrying ``attrs["const"]`` seed the lattice — traced
+    input *values* are operand samples, not constants, so folding on
+    them would evaluate the whole kernel away.  Operations fold through
+    the reference semantics (:func:`repro.dsl.semantics.apply_op`, or
+    the ``expr`` tree for merged nodes); multi-output operations are
+    conservatively left at top.
+    """
+
+    def transfer(g: Graph, node: Node, dep_values: List[Any]) -> Any:
+        if isinstance(node, DataNode):
+            if g.in_degree(node) == 0:
+                if node.attrs.get("const") and node.value is not None:
+                    return node.value
+                return TOP
+            return dep_values[0]  # the single producer's folded value
+        assert isinstance(node, OpNode)
+        if any(v is TOP for v in dep_values):
+            return TOP
+        if g.out_degree(node) != 1:
+            return TOP
+        try:
+            expr = node.attrs.get("expr")
+            if expr is not None:
+                return eval_expr(expr, list(dep_values))
+            return apply_op(node.op.name, list(dep_values), node.attrs)
+        except Exception:
+            return TOP
+
+    values = solve(graph, Analysis("constants", "forward", transfer))
+    return {nid: v for nid, v in values.items() if v is not TOP}
+
+
+def _value_magnitude(value: Any) -> float:
+    if value is None:
+        return math.inf
+    if isinstance(value, complex):
+        return abs(value)
+    try:
+        return max((_value_magnitude(v) for v in value), default=0.0)
+    except TypeError:
+        return abs(complex(value))
+
+
+def _op_magnitude(name: str, b: List[float]) -> float:
+    """Upper bound on an operation's result magnitude from operand bounds."""
+    if name in ("v_add", "v_sub", "s_add", "s_sub", "m_add", "m_sub"):
+        return b[0] + b[1]
+    if name in ("v_mul", "s_mul", "m_mul", "v_scale", "m_scale"):
+        return b[0] * b[1]
+    if name in ("v_dotP", "v_cdotP"):
+        return 4.0 * b[0] * b[1]
+    if name in ("v_squsum", "m_squsum"):
+        return 4.0 * b[0] * b[0]
+    if name in ("v_axpy", "v_axmy"):
+        return b[0] * b[1] + b[2]
+    if name == "s_sqrt":
+        return math.sqrt(b[0]) if b[0] >= 0 else math.inf
+    if name in (
+        "v_conj", "v_hermit", "v_sort", "v_shift", "v_neg", "v_mask",
+        "m_hermitian", "index", "merge", "col_access",
+        "s_cordic_rot", "s_cordic_vec",
+    ):
+        return max(b) if b else 0.0
+    # divisions / reciprocals: no sound bound without a lower bound
+    return math.inf
+
+
+def _expr_magnitude(expr: Any, b: List[float]) -> float:
+    if isinstance(expr, int):
+        return b[expr]
+    name, children = expr
+    return _op_magnitude(name, [_expr_magnitude(c, b) for c in children])
+
+
+def magnitude_bounds(graph: Graph) -> Dict[int, float]:
+    """The value-range lattice: an upper bound on ``max |element|``.
+
+    Input bounds come from the traced operand values (this is a bound
+    for the *traced* run, used for pressure/overflow diagnostics — not
+    a sound bound over arbitrary re-seeded inputs); ``math.inf`` means
+    unbounded (e.g. downstream of a reciprocal).
+    """
+
+    def transfer(g: Graph, node: Node, dep_values: List[Any]) -> float:
+        if isinstance(node, DataNode):
+            if g.in_degree(node) == 0:
+                return _value_magnitude(node.value)
+            return float(dep_values[0])
+        assert isinstance(node, OpNode)
+        bounds = [float(v) for v in dep_values]
+        try:
+            expr = node.attrs.get("expr")
+            if expr is not None:
+                return _expr_magnitude(expr, bounds)
+            return _op_magnitude(node.op.name, bounds)
+        except Exception:
+            return math.inf
+
+    return solve(graph, Analysis("magnitude", "forward", transfer))
+
+
+def max_live_vectors(
+    graph: Graph, order: Optional[Sequence[Node]] = None
+) -> int:
+    """Peak number of simultaneously live vector values along ``order``.
+
+    A vector is live from its producing step (step 0 for inputs) until
+    the last step that consumes it; dataflow pressure = the minimum
+    vector-memory footprint any schedule respecting ``order`` needs.
+    """
+    seq = list(order) if order is not None else graph.topological_order()
+    pos = {n.nid: i for i, n in enumerate(seq)}
+    events: Dict[int, int] = {}
+    for d in graph.data_nodes():
+        if d.category is not OpCategory.VECTOR_DATA or d.nid not in pos:
+            continue
+        birth = pos[d.nid]
+        consumers = [pos[c.nid] for c in graph.succs(d) if c.nid in pos]
+        death = max(consumers, default=birth)
+        events[birth] = events.get(birth, 0) + 1
+        events[death + 1] = events.get(death + 1, 0) - 1
+    live = peak = 0
+    for step in sorted(events):
+        live += events[step]
+        peak = max(peak, live)
+    return peak
+
+
+# ----------------------------------------------------------------------
+# Lints (DFA6xx)
+# ----------------------------------------------------------------------
+_LEGAL_ROLES = {
+    PipelineRole.PRE.value,
+    PipelineRole.CORE.value,
+    PipelineRole.POST.value,
+    PipelineRole.WHOLE.value,
+}
+
+
+def _expr_leaves(expr: Any) -> List[int]:
+    if isinstance(expr, int):
+        return [expr]
+    _, children = expr
+    out: List[int] = []
+    for c in children:
+        out.extend(_expr_leaves(c))
+    return out
+
+
+def merge_legality(graph: Graph) -> DiagnosticReport:
+    """The pipeline-merge legality pre-check (``DFA605``).
+
+    Re-validates every node fused by ``merge_pipeline_ops`` against the
+    figure-6 rules: a merged node must retain a core/whole stage, carry
+    only known pipeline roles, and its ``expr`` tree's integer leaves
+    must reference exactly its operands.  Missing ``expr``/``roles``
+    attributes are IR107's job (:func:`repro.analysis.lint_graph`).
+    """
+    report = DiagnosticReport(pass_name="merge-precheck", subject=graph.name)
+    for op in graph.op_nodes():
+        if not op.merged_from:
+            continue
+        if len(op.merged_from) < 2:
+            report.add(
+                "DFA605",
+                f"merged node {op.name} fuses only "
+                f"{len(op.merged_from)} operation(s)",
+                node=op.name,
+            )
+        roles = op.attrs.get("roles")
+        expr = op.attrs.get("expr")
+        if roles is not None:
+            unknown = set(roles) - _LEGAL_ROLES
+            if unknown:
+                report.add(
+                    "DFA605",
+                    f"merged node {op.name} carries unknown role(s) "
+                    f"{sorted(unknown)}",
+                    node=op.name,
+                )
+            elif not ({"core", "whole"} & set(roles)):
+                report.add(
+                    "DFA605",
+                    f"merged node {op.name} has no core/whole stage "
+                    f"(roles {tuple(roles)})",
+                    node=op.name,
+                )
+        if expr is not None:
+            leaves = _expr_leaves(expr)
+            arity = graph.in_degree(op)
+            if set(leaves) != set(range(arity)):
+                report.add(
+                    "DFA605",
+                    f"merged node {op.name}: expr leaves "
+                    f"{sorted(set(leaves))} do not cover operands "
+                    f"0..{arity - 1}",
+                    node=op.name,
+                )
+    return report
+
+
+def lint_dataflow(
+    graph: Graph, outputs: Optional[Iterable[DataNode]] = None
+) -> DiagnosticReport:
+    """Dataflow findings over one IR graph (``DFA601/603/604/605``).
+
+    * ``DFA601`` — dead value: the node cannot reach any kernel output
+      (pure dangling data is IR106's finding and skipped here);
+    * ``DFA603`` — constant-foldable operation (INFO);
+    * ``DFA604`` — an input datum is consumed but carries no value, so
+      any functional evaluation would fail (use-before-def);
+    * ``DFA605`` — illegal pipeline merge (see :func:`merge_legality`).
+    """
+    report = DiagnosticReport(pass_name="dataflow-lint", subject=graph.name)
+    try:
+        graph.topological_order()
+    except ValueError:
+        report.add("IR101", "graph contains a cycle")
+        return report
+
+    live = liveness(graph, roots=outputs)
+    for node in graph.nodes():
+        if node.nid in live:
+            continue
+        if (
+            isinstance(node, DataNode)
+            and graph.in_degree(node) == 0
+            and graph.out_degree(node) == 0
+        ):
+            continue  # dangling: IR106
+        report.add(
+            "DFA601",
+            f"{node.name} feeds no kernel output (dead value)",
+            severity=Severity.WARNING,
+            node=node.name,
+        )
+
+    for d in graph.data_nodes():
+        if graph.in_degree(d) == 0 and graph.out_degree(d) > 0 and d.value is None:
+            report.add(
+                "DFA604",
+                f"input {d.name} is consumed but has no defined value",
+                node=d.name,
+            )
+
+    consts = constant_values(graph)
+    for op in graph.op_nodes():
+        if op.nid in consts:
+            report.add(
+                "DFA603",
+                f"{op.name} computes a compile-time constant",
+                severity=Severity.INFO,
+                node=op.name,
+            )
+
+    report.extend(merge_legality(graph))
+    return report
+
+
+def lint_trace(trace_or_graph: Any) -> DiagnosticReport:
+    """DSL-level lint: findings on the *trace*, before scheduling.
+
+    Accepts a :class:`~repro.dsl.trace.TraceContext` (or anything with
+    a ``.graph``) or a plain :class:`~repro.ir.graph.Graph`.
+
+    * ``DFA604`` — use-before-def: an operand without a traced value;
+    * ``DFA602`` — a traced ``EITVector``/``EITMatrix``/``EITScalar``
+      result that is neither consumed nor declared as an output via
+      ``TraceContext.output()``.  Without declared outputs every
+      consumer-less result *is* an output, so DFA602 stays silent.
+    """
+    graph: Graph = getattr(trace_or_graph, "graph", trace_or_graph)
+    report = DiagnosticReport(pass_name="dsl-lint", subject=graph.name)
+    try:
+        graph.topological_order()
+    except ValueError:
+        report.add("IR101", "graph contains a cycle")
+        return report
+
+    for d in graph.data_nodes():
+        if graph.in_degree(d) == 0 and graph.out_degree(d) > 0 and d.value is None:
+            report.add(
+                "DFA604",
+                f"operand {d.name} is used before any value was traced",
+                node=d.name,
+            )
+
+    if declared_outputs(graph):
+        for d in graph.outputs():
+            if graph.in_degree(d) > 0 and not d.attrs.get("output"):
+                kind = (
+                    "vector" if d.category is OpCategory.VECTOR_DATA
+                    else "scalar"
+                )
+                report.add(
+                    "DFA602",
+                    f"{kind} result {d.name} is computed but never used "
+                    f"and not a declared output",
+                    severity=Severity.WARNING,
+                    node=d.name,
+                )
+    return report

@@ -137,6 +137,35 @@ CODES: Dict[str, CodeInfo] = {
     "BND507": CodeInfo("ii-window infeasibility not justified", "",
                        "the certified-empty candidate window actually "
                        "contains the resource lower bound"),
+    # -- dataflow framework / certified IR passes -----------------------
+    "DFA601": CodeInfo("dead value", "",
+                       "the value reaches no kernel output; remove the "
+                       "producing chain or mark the result as an output"),
+    "DFA602": CodeInfo("trace result computed but never used", "",
+                       "a DSL vector/matrix result has no consumers and "
+                       "is not a declared output; drop the computation or "
+                       "declare it with TraceContext.output()"),
+    "DFA603": CodeInfo("operation is constant-foldable", "",
+                       "every operand is a compile-time constant; run the "
+                       "constant-folding pass before scheduling"),
+    "DFA604": CodeInfo("operand used before definition", "",
+                       "an input data node is consumed but carries no "
+                       "value; trace it through the DSL or give it one"),
+    "DFA605": CodeInfo("illegal pipeline merge", "",
+                       "a merged node must keep a core/whole role, and "
+                       "its expr leaves must cover exactly its operands"),
+    "DFA606": CodeInfo("pass certificate does not re-derive", "",
+                       "the certificate's fingerprints/deltas must match "
+                       "the independent recomputation over the graphs"),
+    "DFA607": CodeInfo("pass broke semantic equivalence", "",
+                       "the optimized graph must evaluate bit-for-bit "
+                       "equal to the original on seeded operands"),
+    "DFA608": CodeInfo("malformed pass certificate", "",
+                       "pass name, fingerprints and node/edge counts "
+                       "must form a well-typed certificate record"),
+    "DFA609": CodeInfo("pass changed the kernel output set", "",
+                       "every output of the original graph must survive "
+                       "optimization under the same name"),
     # -- codegen hazard checker -----------------------------------------
     "GEN401": CodeInfo("instruction/schedule cycle disagreement", "",
                        "every scheduled op must appear in the wide "

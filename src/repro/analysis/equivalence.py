@@ -1,0 +1,418 @@
+"""Pass certificates and differential equivalence checking.
+
+Every rewrite pass in :mod:`repro.ir.passes` emits a frozen
+:class:`PassCertificate` — *I turned the graph with fingerprint X into
+the graph with fingerprint Y, removing N nodes*.  This module is the
+**verification side** of that contract, and it deliberately imports
+nothing from the pass code: the certificate is re-derived from the
+graphs alone (:func:`verify_pass_certificate`), structure is re-checked
+with the independent IR linter, and semantics are proven by
+*differential evaluation* — both graphs are run through
+:func:`repro.ir.evaluate.evaluate` on freshly seeded operands and every
+kernel output must come back exactly equal (:func:`check_equivalence`).
+A bug in a pass cannot certify itself through this checker, because the
+checker never runs the pass.
+
+Findings use the ``DFA6xx`` family:
+
+* ``DFA606`` — the certificate does not re-derive (fingerprint or node
+  arithmetic mismatch, broken chain);
+* ``DFA607`` — the rewrite changed an output value (or made evaluation
+  fail);
+* ``DFA608`` — the certificate record itself is malformed (the
+  rehydration path is total, so corrupt cached payloads land here
+  instead of raising — the BND504 contract);
+* ``DFA609`` — the rewrite dropped a kernel output altogether.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.arch.isa import OpCategory
+from repro.ir.evaluate import evaluate
+from repro.ir.fingerprint import graph_fingerprint
+from repro.ir.graph import DataNode, Graph
+
+from repro.analysis.dataflow import declared_outputs
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.ir_lint import lint_graph
+
+
+@dataclass(frozen=True)
+class PassCertificate:
+    """A machine-checkable record of one graph rewrite.
+
+    ``input_fingerprint`` / ``output_fingerprint`` are the canonical
+    structural hashes (:func:`repro.ir.fingerprint.graph_fingerprint`)
+    of the graph before and after the pass; the node/edge counts carry
+    the claimed delta.  Certificates chain: pass *k*'s output
+    fingerprint must equal pass *k+1*'s input fingerprint, and the
+    chain endpoints must match the actual original/optimized graphs —
+    :func:`verify_pipeline` re-checks all of it.
+    """
+
+    pass_name: str
+    input_fingerprint: str
+    output_fingerprint: str
+    nodes_before: int
+    nodes_after: int
+    edges_before: int
+    edges_after: int
+    detail: str = ""
+
+    @property
+    def node_delta(self) -> int:
+        """Nodes removed by the pass (negative if it ever grew)."""
+        return self.nodes_before - self.nodes_after
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "pass_name": self.pass_name,
+            "input_fingerprint": self.input_fingerprint,
+            "output_fingerprint": self.output_fingerprint,
+            "nodes_before": self.nodes_before,
+            "nodes_after": self.nodes_after,
+            "edges_before": self.edges_before,
+            "edges_after": self.edges_after,
+            "detail": self.detail,
+        }
+
+    @staticmethod
+    def from_dict(
+        payload: Optional[Mapping[str, Any]],
+    ) -> Optional["PassCertificate"]:
+        """Rehydrate from a payload dict; total — never raises.
+
+        Corrupt cached payloads must surface as ``DFA608`` findings at
+        verification time, not as exceptions during rehydration, so
+        every field falls back to an obviously-malformed default.
+        """
+        if payload is None:
+            return None
+
+        def _int(value: Any) -> int:
+            try:
+                return int(value)
+            except (TypeError, ValueError):
+                return -1
+
+        return PassCertificate(
+            pass_name=str(payload.get("pass_name", "")),
+            input_fingerprint=str(payload.get("input_fingerprint", "")),
+            output_fingerprint=str(payload.get("output_fingerprint", "")),
+            nodes_before=_int(payload.get("nodes_before")),
+            nodes_after=_int(payload.get("nodes_after")),
+            edges_before=_int(payload.get("edges_before")),
+            edges_after=_int(payload.get("edges_after")),
+            detail=str(payload.get("detail", "")),
+        )
+
+    def render(self) -> str:
+        tail = f" ({self.detail})" if self.detail else ""
+        return (
+            f"{self.pass_name}: {self.nodes_before}->{self.nodes_after} "
+            f"nodes, {self.edges_before}->{self.edges_after} edges "
+            f"[{self.input_fingerprint[:8]}->{self.output_fingerprint[:8]}]"
+            f"{tail}"
+        )
+
+
+def certify_rewrite(
+    pass_name: str, before: Graph, after: Graph, detail: str = ""
+) -> PassCertificate:
+    """Build the certificate for one rewrite (used by the pass manager).
+
+    This is pure arithmetic over the two graphs — the *claims* are
+    cheap to make; :func:`verify_pass_certificate` is what makes them
+    worth anything.
+    """
+    return PassCertificate(
+        pass_name=pass_name,
+        input_fingerprint=graph_fingerprint(before),
+        output_fingerprint=graph_fingerprint(after),
+        nodes_before=before.n_nodes(),
+        nodes_after=after.n_nodes(),
+        edges_before=before.n_edges(),
+        edges_after=after.n_edges(),
+        detail=detail,
+    )
+
+
+# ----------------------------------------------------------------------
+# Differential evaluation
+# ----------------------------------------------------------------------
+def _seeded_complex(seed: int, name: str, lane: int) -> complex:
+    digest = hashlib.sha256(f"{seed}:{name}:{lane}".encode()).digest()
+    re = int.from_bytes(digest[:8], "big") / 2**63 - 1.0
+    im = int.from_bytes(digest[8:16], "big") / 2**63 - 1.0
+    return complex(re, im)
+
+
+def seeded_inputs(graph: Graph, seed: int = 0) -> Dict[str, Any]:
+    """Deterministic fresh operand values, keyed by input *name*.
+
+    Names (not node ids) key the mapping because the optimized graph
+    re-uses the original input names but not the original ids.  Inputs
+    marked ``const`` are skipped — their values are compile-time
+    constants the passes may have folded into the graph, so re-seeding
+    them would be changing the program, not the operands.
+    """
+    out: Dict[str, Any] = {}
+    for d in graph.data_nodes():
+        if graph.in_degree(d) != 0 or d.attrs.get("const"):
+            continue
+        if d.category is OpCategory.VECTOR_DATA:
+            out[d.name] = tuple(
+                _seeded_complex(seed, d.name, i) for i in range(4)
+            )
+        else:
+            out[d.name] = _seeded_complex(seed, d.name, 0)
+    return out
+
+
+def required_outputs(graph: Graph) -> List[DataNode]:
+    """The outputs a rewrite must preserve, resolved on the *original*.
+
+    Declared outputs when the kernel declared any; otherwise every
+    *computed* consumer-less datum (a dangling input is dead weight the
+    optimizer is allowed to drop, not an output).
+    """
+    declared = declared_outputs(graph)
+    if declared:
+        return declared
+    return [d for d in graph.outputs() if graph.in_degree(d) > 0]
+
+
+def _values_equal(a: Any, b: Any) -> bool:
+    if isinstance(a, tuple) or isinstance(b, tuple):
+        if not (isinstance(a, tuple) and isinstance(b, tuple)):
+            return False
+        return len(a) == len(b) and all(
+            _values_equal(x, y) for x, y in zip(a, b)
+        )
+    return bool(a == b)
+
+
+def _evaluate_named(
+    graph: Graph, named_inputs: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """Run the reference evaluator with name-keyed operand overrides."""
+    by_nid = {
+        d.nid: named_inputs[d.name]
+        for d in graph.data_nodes()
+        if graph.in_degree(d) == 0 and d.name in named_inputs
+    }
+    values = evaluate(graph, by_nid)
+    return {
+        d.name: values[d.nid]
+        for d in graph.data_nodes()
+        if d.nid in values
+    }
+
+
+def check_equivalence(
+    before: Graph,
+    after: Graph,
+    seed: int = 0,
+    trials: int = 2,
+) -> DiagnosticReport:
+    """Differential proof that ``after`` computes what ``before`` does.
+
+    Both graphs are evaluated on ``trials`` independently seeded
+    operand sets; every required output of ``before`` must exist in
+    ``after`` by name (``DFA609``) and come back exactly equal
+    (``DFA607``).  Equality is exact (``==`` on complex, recursively
+    over tuples): the admitted rewrites — folding with the reference
+    semantics, ``x+0``/``x*1`` identities, duplicate elimination, dead
+    code — are all bit-preserving in IEEE arithmetic, so there is no
+    tolerance to tune and no tolerance to hide bugs behind.
+    """
+    report = DiagnosticReport(pass_name="equivalence", subject=before.name)
+    required = required_outputs(before)
+    for t in range(max(1, trials)):
+        named = seeded_inputs(before, seed=seed + t)
+        try:
+            ref = _evaluate_named(before, named)
+        except Exception as exc:
+            report.add(
+                "DFA607",
+                f"reference evaluation failed (trial {t}): {exc}",
+            )
+            return report
+        try:
+            got = _evaluate_named(after, named)
+        except Exception as exc:
+            report.add(
+                "DFA607",
+                f"optimized evaluation failed (trial {t}): {exc}",
+            )
+            return report
+        for d in required:
+            if d.name not in got:
+                report.add(
+                    "DFA609",
+                    f"output {d.name} missing from the rewritten kernel",
+                    node=d.name,
+                )
+                continue
+            if not _values_equal(ref[d.name], got[d.name]):
+                report.add(
+                    "DFA607",
+                    f"output {d.name} differs on trial {t}: "
+                    f"{ref[d.name]!r} != {got[d.name]!r}",
+                    node=d.name,
+                )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Certificate verification (independent of repro.ir.passes)
+# ----------------------------------------------------------------------
+def _structural_findings(
+    cert: PassCertificate, report: DiagnosticReport
+) -> bool:
+    """DFA608 checks on the record itself; True when well-formed."""
+    ok = True
+    if not cert.pass_name:
+        report.add("DFA608", "certificate has no pass name")
+        ok = False
+    for label, fp in (
+        ("input", cert.input_fingerprint),
+        ("output", cert.output_fingerprint),
+    ):
+        if len(fp) != 64 or any(c not in "0123456789abcdef" for c in fp):
+            report.add(
+                "DFA608",
+                f"{label} fingerprint of {cert.pass_name or '<unnamed>'} "
+                f"is not a sha256 hex digest",
+            )
+            ok = False
+    for label, n in (
+        ("nodes_before", cert.nodes_before),
+        ("nodes_after", cert.nodes_after),
+        ("edges_before", cert.edges_before),
+        ("edges_after", cert.edges_after),
+    ):
+        if n < 0:
+            report.add(
+                "DFA608",
+                f"{label} of {cert.pass_name or '<unnamed>'} is negative",
+            )
+            ok = False
+    return ok
+
+
+def verify_pass_certificate(
+    cert: PassCertificate,
+    before: Graph,
+    after: Graph,
+    seed: int = 0,
+) -> DiagnosticReport:
+    """Re-derive one certificate from the two graphs it claims to link.
+
+    Checks, in order: the record is well-formed (``DFA608``); both
+    fingerprints and all four counts re-derive from the graphs
+    (``DFA606``); the rewritten graph passes the independent IR linter;
+    and differential evaluation proves semantic equivalence
+    (``DFA607``/``DFA609``).
+    """
+    report = DiagnosticReport(
+        pass_name="pass-certificate", subject=cert.pass_name or before.name
+    )
+    if not _structural_findings(cert, report):
+        return report
+
+    rederived = (
+        ("input fingerprint", cert.input_fingerprint, graph_fingerprint(before)),
+        ("output fingerprint", cert.output_fingerprint, graph_fingerprint(after)),
+        ("nodes_before", cert.nodes_before, before.n_nodes()),
+        ("nodes_after", cert.nodes_after, after.n_nodes()),
+        ("edges_before", cert.edges_before, before.n_edges()),
+        ("edges_after", cert.edges_after, after.n_edges()),
+    )
+    for label, claimed, actual in rederived:
+        if claimed != actual:
+            report.add(
+                "DFA606",
+                f"{cert.pass_name}: {label} does not re-derive "
+                f"(claimed {claimed!r}, actual {actual!r})",
+            )
+    if not report.ok:
+        return report
+
+    report.extend(lint_graph(after))
+    report.extend(check_equivalence(before, after, seed=seed))
+    return report
+
+
+def verify_pipeline(
+    certs: Sequence[PassCertificate],
+    original: Graph,
+    optimized: Graph,
+    seed: int = 0,
+) -> DiagnosticReport:
+    """Verify a whole certificate chain against its endpoint graphs.
+
+    Intermediate graphs are not retained (only their fingerprints
+    survive in the chain), so the chain is checked link-by-link —
+    every certificate well-formed (``DFA608``), consecutive
+    fingerprints matching (``DFA606``), endpoints anchored to the
+    actual graphs — and semantics are proven end-to-end: the optimized
+    graph must lint clean and evaluate bit-identically to the original
+    on seeded operands.  An empty chain is valid only when the two
+    fingerprints already agree.
+    """
+    report = DiagnosticReport(pass_name="pass-pipeline", subject=original.name)
+    fp_in = graph_fingerprint(original)
+    fp_out = graph_fingerprint(optimized)
+
+    well_formed = True
+    for cert in certs:
+        well_formed = _structural_findings(cert, report) and well_formed
+    if not well_formed:
+        return report
+
+    if not certs:
+        if fp_in != fp_out:
+            report.add(
+                "DFA606",
+                "graphs differ but the certificate chain is empty",
+            )
+    else:
+        if certs[0].input_fingerprint != fp_in:
+            report.add(
+                "DFA606",
+                f"chain head {certs[0].pass_name} is not anchored to the "
+                f"original graph",
+            )
+        for prev, nxt in zip(certs, certs[1:]):
+            if prev.output_fingerprint != nxt.input_fingerprint:
+                report.add(
+                    "DFA606",
+                    f"chain broken between {prev.pass_name} and "
+                    f"{nxt.pass_name}",
+                )
+        if certs[-1].output_fingerprint != fp_out:
+            report.add(
+                "DFA606",
+                f"chain tail {certs[-1].pass_name} is not anchored to the "
+                f"optimized graph",
+            )
+
+    report.extend(lint_graph(optimized))
+    report.extend(check_equivalence(original, optimized, seed=seed))
+    return report
+
+
+__all__: Tuple[str, ...] = (
+    "PassCertificate",
+    "certify_rewrite",
+    "check_equivalence",
+    "required_outputs",
+    "seeded_inputs",
+    "verify_pass_certificate",
+    "verify_pipeline",
+)

@@ -13,6 +13,8 @@ Usage::
                                 [--synth 2] [--json] [--out AUDIT.json]
     python -m repro.bench bounds [--kernels qrd,arf,matmul,backsub] \
                                  [--json] [--out BOUNDS.json]
+    python -m repro.bench passes [--kernels qrd,arf,matmul,backsub] \
+                                 [--json] [--out PASSES.json]
     python -m repro.bench all
 
 ``audit`` runs every static-analysis pass (IR lint, schedule/memory
@@ -25,6 +27,12 @@ energetic lower-bound set for every shipped kernel, solves flat and
 modulo schedules, reports bound-vs-achieved gaps, and re-verifies every
 emitted optimality/infeasibility certificate through the independent
 checker — exiting nonzero if any certificate fails to re-derive.
+
+``passes`` exercises the certified IR optimization pipeline: it
+optimizes every shipped kernel, re-verifies the full pass-certificate
+chain and the seeded semantic-equivalence check through the
+independent verifier, and reports the IR node reduction and CP
+search-node delta — exiting nonzero on any verification failure.
 """
 
 from __future__ import annotations
@@ -41,8 +49,10 @@ from repro.bench.harness import (
     fig45_expansion,
     fig6_merging,
     fig8_memory,
+    passes_report,
     print_audit,
     print_bounds,
+    print_passes,
     print_explore,
     print_table1,
     print_table2,
@@ -58,7 +68,7 @@ def main(argv=None) -> int:
     p = argparse.ArgumentParser(prog="python -m repro.bench")
     p.add_argument("experiment", choices=[
         "table1", "table2", "table3", "fig3", "fig45", "fig6", "fig8",
-        "profile", "explore", "audit", "bounds", "all",
+        "profile", "explore", "audit", "bounds", "passes", "all",
     ])
     p.add_argument("--sizes", default="64,32,16,10",
                    help="memory sizes for table1 (comma-separated)")
@@ -74,6 +84,9 @@ def main(argv=None) -> int:
                    help="write profile/explore JSON here instead of stdout")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the explore sweep")
+    p.add_argument("--optimize", action="store_true",
+                   help="run the certified IR pass pipeline before "
+                        "scheduling (explore sweep)")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the content-addressed schedule cache")
     p.add_argument("--cache-dir", default=None,
@@ -133,6 +146,7 @@ def main(argv=None) -> int:
                 cache_dir=args.cache_dir,
                 timeout_ms=args.timeout * 1000,
                 modulo_timeout_ms=args.timeout * 1000,
+                optimize=args.optimize,
             )
             print(print_explore(payload))
             if args.out:
@@ -174,6 +188,24 @@ def main(argv=None) -> int:
                 print(json.dumps(payload, indent=2))
             else:
                 print(print_bounds(payload))
+            if args.out:
+                with open(args.out, "w") as f:
+                    f.write(json.dumps(payload, indent=2) + "\n")
+                print(f"wrote {args.out}")
+            if not payload["ok"]:
+                rc = 1
+        elif exp == "passes":
+            kernels = args.kernels.split(",")
+            if "backsub" not in kernels and args.kernels == "qrd,arf,matmul":
+                kernels.append("backsub")  # default set covers all four
+            payload = passes_report(
+                kernels=kernels,
+                timeout_ms=args.timeout * 1000,
+            )
+            if args.json:
+                print(json.dumps(payload, indent=2))
+            else:
+                print(print_passes(payload))
             if args.out:
                 with open(args.out, "w") as f:
                     f.write(json.dumps(payload, indent=2) + "\n")

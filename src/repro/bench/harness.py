@@ -293,6 +293,7 @@ def explore_bench(
     cache_dir: Optional[str] = None,
     timeout_ms: float = 30_000.0,
     modulo_timeout_ms: float = 30_000.0,
+    optimize: bool = False,
 ) -> Dict[str, object]:
     """Run the kernels × profiles sweep and return the JSON payload.
 
@@ -316,6 +317,7 @@ def explore_bench(
         modulo_timeout_ms=modulo_timeout_ms,
         jobs=jobs,
         cache=cache,
+        optimize=optimize,
     )
     payload = outcome.as_dict()
     payload["kernels"] = list(kernels)
@@ -341,6 +343,11 @@ def print_explore(payload: Dict[str, object]) -> str:
     if any(certified):
         header += (f"; certified: {certified[0]} optimal, "
                    f"{certified[1]} infeasible")
+    if payload.get("pass_certificates"):
+        header += (
+            f"; IR passes: {payload['ir_nodes_removed']} node(s) removed, "
+            f"{payload['pass_certificates']} verified certificate(s)"
+        )
     body = format_table(
         ["kernel", "profile", "makespan", "slots", "status", "actual II",
          "thr. (iter/cc)"],
@@ -597,6 +604,112 @@ def print_bounds(payload: Dict[str, object]) -> str:
         "ALL CERTIFICATES VERIFIED"
         if payload["ok"]
         else "CERTIFICATE VERIFICATION FAILED"
+    )
+    body = table + "\n" + verdict
+    if findings:
+        body += "\n" + "\n".join(findings)
+    return body
+
+
+def passes_report(
+    kernels: Sequence[str] = ("qrd", "arf", "matmul", "backsub"),
+    timeout_ms: float = 60_000.0,
+    cfg: EITConfig = DEFAULT_CONFIG,
+) -> Dict[str, object]:
+    """Exercise the certified IR pass pipeline on every shipped kernel.
+
+    For each kernel this runs :func:`repro.ir.optimize_graph` through
+    the default pipeline, re-verifies the full certificate chain and
+    the semantic equivalence of the optimized graph through the
+    *independent* :mod:`repro.analysis.equivalence` checker, and
+    CP-schedules both versions to report the search-node delta the
+    optimization buys.  The payload's ``ok`` is True iff every chain
+    verifies clean (equivalence included) and no optimized schedule is
+    worse than its unoptimized twin — the acceptance bar for the CI
+    ``passes`` job.
+    """
+    from repro.analysis.equivalence import verify_pipeline
+    from repro.ir import optimize_graph
+
+    results: List[Dict[str, object]] = []
+    all_ok = True
+    for name in kernels:
+        g = prepared(name)
+        opt = optimize_graph(g)
+        report = verify_pipeline(opt.certificates, g, opt.graph)
+
+        s_base = schedule(g, cfg=cfg, timeout_ms=timeout_ms)
+        s_opt = schedule(opt.graph, cfg=cfg, timeout_ms=timeout_ms)
+        nodes_base = s_base.search_stats.nodes if s_base.search_stats else 0
+        nodes_opt = s_opt.search_stats.nodes if s_opt.search_stats else 0
+
+        makespan_ok = (
+            not s_base.starts or not s_opt.starts
+            or s_opt.makespan <= s_base.makespan
+        )
+        kernel_ok = report.ok and opt.report.ok and makespan_ok
+        all_ok = all_ok and kernel_ok
+        results.append({
+            "kernel": name,
+            "ok": kernel_ok,
+            "ir_nodes_before": g.n_nodes(),
+            "ir_nodes_after": opt.graph.n_nodes(),
+            "nodes_removed": opt.nodes_removed,
+            "passes_applied": [c.pass_name for c in opt.certificates],
+            "n_certificates": len(opt.certificates),
+            "rounds": opt.rounds,
+            "certificates": [c.as_dict() for c in opt.certificates],
+            "verify_ok": report.ok,
+            "verify_report": report.as_dict(),
+            "preflight_report": opt.report.as_dict(),
+            "makespan_base": s_base.makespan if s_base.starts else None,
+            "makespan_opt": s_opt.makespan if s_opt.starts else None,
+            "solver_nodes_base": nodes_base,
+            "solver_nodes_opt": nodes_opt,
+            "solver_nodes_delta": nodes_base - nodes_opt,
+        })
+
+    return {
+        "kernels": list(kernels),
+        "ok": all_ok,
+        "results": results,
+    }
+
+
+def print_passes(payload: Dict[str, object]) -> str:
+    """Human rendering of a :func:`passes_report` payload."""
+    rows = []
+    findings: List[str] = []
+    for r in payload["results"]:  # type: ignore[index]
+        applied = ",".join(r["passes_applied"]) or "-"
+        rows.append([
+            r["kernel"],
+            "ok" if r["ok"] else "FAIL",
+            f"{r['ir_nodes_before']}->{r['ir_nodes_after']}",
+            r["nodes_removed"],
+            applied,
+            r["n_certificates"],
+            "ok" if r["verify_ok"] else "FAIL",
+            "-" if r["makespan_base"] is None else r["makespan_base"],
+            "-" if r["makespan_opt"] is None else r["makespan_opt"],
+            r["solver_nodes_base"],
+            r["solver_nodes_opt"],
+            r["solver_nodes_delta"],
+        ])
+        for d in r["verify_report"]["diagnostics"]:
+            findings.append(
+                f"  {r['kernel']}: {d['code']} "
+                f"{d['severity']}: {d['message']}"
+            )
+    table = format_table(
+        ["kernel", "status", "|V|", "removed", "passes", "certs",
+         "verify", "mk", "mk'", "CP nodes", "CP nodes'", "delta"],
+        rows,
+    )
+    verdict = (
+        "ALL PASS CERTIFICATES VERIFIED"
+        if payload["ok"]
+        else "PASS VERIFICATION FAILED"
     )
     body = table + "\n" + verdict
     if findings:

@@ -7,11 +7,14 @@ model.  Solving is seconds-to-minutes of branch-and-bound; looking the
 answer up should be microseconds.  This module provides:
 
 * :func:`graph_fingerprint` — a *canonical*, node-order-independent
-  structural hash of an IR graph.  Two graphs that are isomorphic as
-  operand-ordered dataflow DAGs (same operations, same wiring, same
-  operand positions) hash equal no matter in which order their nodes
-  were created; any change that affects scheduling (a different op, an
-  extra edge, a different merge) changes the hash.
+  structural hash of an IR graph (re-exported from
+  :mod:`repro.ir.fingerprint`, where it lives so the analysis layer's
+  pass certificates can share the exact same identity).  Two graphs
+  that are isomorphic as operand-ordered dataflow DAGs (same
+  operations, same wiring, same operand positions) hash equal no
+  matter in which order their nodes were created; any change that
+  affects scheduling (a different op, an extra edge, a different
+  merge) changes the hash.
 * :func:`cache_key` — the full content address: graph fingerprint +
   the :class:`~repro.arch.eit.EITConfig` (which carries every latency/
   resource parameter, so a one-latency change misses) + the solve kind
@@ -34,69 +37,30 @@ import hashlib
 import json
 import os
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.arch.eit import EITConfig
 from repro.cp.search import SolveStatus
-from repro.ir.graph import DataNode, Graph, OpNode
+from repro.ir.fingerprint import graph_fingerprint
+from repro.ir.graph import Graph
 from repro.sched.modulo import ModuloResult
 from repro.sched.result import Schedule
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "ScheduleCache",
+    "cache_key",
+    "graph_fingerprint",
+    "modulo_from_payload",
+    "modulo_payload",
+    "schedule_from_payload",
+    "schedule_payload",
+]
 
 #: bump when the payload layout or the fingerprint recipe changes, so a
 #: stale disk tier can never rehydrate into the wrong shape.
 CACHE_FORMAT_VERSION = 1
-
-
-# ----------------------------------------------------------------------
-# Canonical graph fingerprint
-# ----------------------------------------------------------------------
-def _op_signature(node: OpNode) -> Tuple:
-    """The schedule-relevant identity of an operation node.
-
-    Names and node ids are deliberately excluded (they vary with build
-    order); everything the scheduler reads — category, resource, lane
-    demand, configuration class, timing source — is included.
-    """
-    return (
-        "op",
-        node.op.name,
-        node.category.value,
-        node.op.resource.value,
-        node.op.config(),
-        node.op.arity,
-        node.op.result_is_scalar,
-        node.merged_from,
-    )
-
-
-def _data_signature(node: DataNode) -> Tuple:
-    return ("data", node.category.value)
-
-
-def graph_fingerprint(graph: Graph) -> str:
-    """Node-order-independent structural hash of an IR graph.
-
-    Computed bottom-up in topological order: every node's hash combines
-    its local signature with the hashes of its predecessors *in operand
-    order* (operand position is semantically meaningful in this IR).
-    The graph hash is then the hash of the sorted multiset of all node
-    hashes — insensitive to node creation order, sensitive to any
-    structural or operational difference, and linear-time.
-    """
-    node_hash: Dict[int, str] = {}
-    for node in graph.topological_order():
-        sig = (
-            _op_signature(node)
-            if isinstance(node, OpNode)
-            else _data_signature(node)
-        )
-        preds = tuple(node_hash[p.nid] for p in graph.preds(node))
-        h = hashlib.sha256(repr((sig, preds)).encode()).hexdigest()
-        node_hash[node.nid] = h
-    digest = hashlib.sha256()
-    for h in sorted(node_hash.values()):
-        digest.update(h.encode())
-    return digest.hexdigest()
 
 
 def cache_key(
@@ -127,6 +91,29 @@ def cache_key(
 # ----------------------------------------------------------------------
 # Result payloads (JSON-able both for the disk tier and the pool wire)
 # ----------------------------------------------------------------------
+def _pass_certificate_dicts(certs) -> List[Dict[str, Any]]:
+    return [c.as_dict() for c in certs]
+
+
+def _pass_certificates_from(payload: Mapping[str, Any]):
+    """Rehydrate the pass-certificate chain from a payload (total).
+
+    Entries that are not even dict-shaped are dropped here; entries
+    that are dicts but malformed survive rehydration and surface as
+    ``DFA608`` findings at verification time (mirroring the BND504
+    contract for bounds certificates).
+    """
+    from repro.analysis.equivalence import PassCertificate
+
+    raw = payload.get("pass_certificates") or ()
+    out = []
+    for entry in raw:
+        cert = PassCertificate.from_dict(entry if isinstance(entry, Mapping) else None)
+        if cert is not None:
+            out.append(cert)
+    return tuple(out)
+
+
 def schedule_payload(s: Schedule) -> Dict[str, Any]:
     """The JSON-able essence of a :class:`Schedule` (graph not included)."""
     return {
@@ -140,6 +127,7 @@ def schedule_payload(s: Schedule) -> Dict[str, Any]:
         "certificate": (
             s.certificate.as_dict() if s.certificate is not None else None
         ),
+        "pass_certificates": _pass_certificate_dicts(s.pass_certificates),
     }
 
 
@@ -158,6 +146,7 @@ def schedule_from_payload(
         solve_time_ms=payload["solve_time_ms"],
         fallback=payload["fallback"],
         certificate=Certificate.from_dict(payload.get("certificate")),
+        pass_certificates=_pass_certificates_from(payload),
     )
 
 
@@ -179,6 +168,7 @@ def modulo_payload(m: ModuloResult) -> Dict[str, Any]:
         "certificate": (
             m.certificate.as_dict() if m.certificate is not None else None
         ),
+        "pass_certificates": _pass_certificate_dicts(m.pass_certificates),
     }
 
 
@@ -198,6 +188,7 @@ def modulo_from_payload(payload: Mapping[str, Any]) -> ModuloResult:
         tried=[(w, s) for w, s in payload["tried"]],
         fallback=payload["fallback"],
         certificate=Certificate.from_dict(payload.get("certificate")),
+        pass_certificates=_pass_certificates_from(payload),
     )
 
 

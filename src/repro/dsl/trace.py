@@ -103,6 +103,43 @@ class TraceContext:
             outs.append(out)
         return node, outs
 
+    # -- outputs & linting -------------------------------------------------
+    def output(self, *values: Any) -> None:
+        """Declare kernel outputs: the values the optimizer must keep.
+
+        Accepts DSL values (``EITScalar``/``EITVector`` — anything with
+        a ``.node``), ``EITMatrix`` (declares all four rows) or raw
+        :class:`~repro.ir.graph.DataNode` objects.  Declaring outputs
+        turns on the precise dead-result analyses: liveness roots
+        shrink from "every consumer-less datum" to exactly these nodes,
+        so dead-code elimination and the ``DFA602`` trace lint can tell
+        an abandoned intermediate from a genuine result.
+        """
+        for value in values:
+            rows = getattr(value, "rows", None)
+            if rows is not None:  # EITMatrix: declare each row vector
+                self.output(*rows)
+                continue
+            node = getattr(value, "node", value)
+            if not isinstance(node, DataNode):
+                raise DSLError(
+                    f"cannot declare {value!r} as an output: expected a "
+                    f"DSL value or a data node"
+                )
+            node.attrs["output"] = True
+
+    def lint(self) -> Any:
+        """DSL-level lint of the trace so far (``DFA6xx`` findings).
+
+        Returns the :class:`~repro.analysis.diagnostics.DiagnosticReport`
+        of :func:`repro.analysis.lint_trace`: use-before-def operands
+        (``DFA604``) and — once outputs are declared — results that are
+        computed but never used (``DFA602``).
+        """
+        from repro.analysis.dataflow import lint_trace
+
+        return lint_trace(self.graph)
+
 
 def trace(name: str = "kernel") -> TraceContext:
     """Create a trace context: ``with trace("qrd") as t: ... t.graph``."""

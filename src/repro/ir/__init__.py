@@ -16,6 +16,10 @@ Submodules:
 * :mod:`repro.ir.analysis` — validation, statistics, critical path;
 * :mod:`repro.ir.transform` — matrix↔vector rewrites (figures 4-5) and
   the pre/core/post merging pass (figure 6);
+* :mod:`repro.ir.fingerprint` — canonical structural hashing (shared by
+  the schedule cache and the pass certificates);
+* :mod:`repro.ir.passes` — the certified optimization pipeline
+  (dce / const-fold / algebraic / cse) with per-pass certificates;
 * :mod:`repro.ir.dot` — Graphviz export in the style of figure 3.
 """
 
@@ -30,20 +34,36 @@ from repro.ir.transform import (
 )
 from repro.ir.dot import to_dot
 from repro.ir.evaluate import evaluate
+from repro.ir.fingerprint import graph_fingerprint
+
+# the pass manager lazily imports repro.analysis (which imports the
+# scheduling stack, which imports repro.ir back) — keep it last so every
+# name the rest of the package re-exports is already bound.
+from repro.ir.passes import (
+    DEFAULT_PIPELINE,
+    PassPipelineResult,
+    optimize_graph,
+    pipeline_signature,
+)
 
 __all__ = [
+    "DEFAULT_PIPELINE",
     "DataNode",
     "Graph",
     "GraphStats",
     "Node",
     "OpNode",
+    "PassPipelineResult",
     "common_subexpression_elimination",
     "critical_path",
     "evaluate",
     "from_xml",
+    "graph_fingerprint",
     "matrix_op_to_vector_ops",
     "merge_pipeline_ops",
+    "optimize_graph",
     "parse_file",
+    "pipeline_signature",
     "stats",
     "to_dot",
     "to_xml",

@@ -3,11 +3,19 @@
 Data nodes are drawn as rectangles, operation nodes as ovals, exactly as
 the paper's figures 3-6.  The output is plain DOT text; no Graphviz
 installation is required to generate it (only to render it).
+
+Two analysis-driven annotations (both on by default):
+
+* merged nodes carry their pre/core/post pipeline roles as a second
+  label line, so a figure-6 fusion is readable at a glance;
+* nodes the liveness analysis proves dead — they cannot reach any
+  kernel output — are drawn dashed, making the dead-code-elimination
+  pass's work visible *before* it runs.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import FrozenSet, Optional
 
 from repro.arch.isa import OpCategory
 from repro.ir.graph import DataNode, Graph, OpNode
@@ -25,26 +33,52 @@ def _escape(s: str) -> str:
     return s.replace('"', '\\"')
 
 
-def to_dot(graph: Graph, title: Optional[str] = None) -> str:
+def _live_nids(graph: Graph) -> Optional[FrozenSet[int]]:
+    """Live node ids per the dataflow analysis, or None when unknown.
+
+    Lazy import: :mod:`repro.analysis` pulls in the scheduling stack,
+    which imports :mod:`repro.ir` back.  A graph the analysis cannot
+    process (e.g. cyclic — the linter's finding, not ours) renders with
+    every node solid.
+    """
+    try:
+        from repro.analysis.dataflow import liveness
+
+        return frozenset(liveness(graph))
+    except Exception:
+        return None
+
+
+def to_dot(
+    graph: Graph, title: Optional[str] = None, mark_dead: bool = True
+) -> str:
+    live = _live_nids(graph) if mark_dead else None
     lines = [f'digraph "{_escape(title or graph.name)}" {{']
     lines.append("  rankdir=TB;")
     lines.append('  node [fontname="Helvetica", fontsize=10];')
     for node in graph.nodes():
+        dead = live is not None and node.nid not in live
         if isinstance(node, OpNode):
             label = node.op.name
             if node.merged_from:
                 label = "|".join(node.merged_from)
+                roles = node.attrs.get("roles")
+                if roles:
+                    label += "\\n(" + "+".join(str(r) for r in roles) + ")"
             color = _OP_COLORS.get(node.category, "white")
+            style = "filled,dashed" if dead else "filled"
             lines.append(
-                f'  n{node.nid} [shape=oval, style=filled, '
+                f'  n{node.nid} [shape=oval, style="{style}", '
                 f'fillcolor={color}, label="{_escape(label)}"];'
             )
         else:
             assert isinstance(node, DataNode)
             shape = "box"
             label = node.name
+            style = ', style="dashed"' if dead else ""
             lines.append(
-                f'  n{node.nid} [shape={shape}, label="{_escape(label)}"];'
+                f'  n{node.nid} [shape={shape}, '
+                f'label="{_escape(label)}"{style}];'
             )
     for u, v in graph.edges():
         lines.append(f"  n{u.nid} -> n{v.nid};")

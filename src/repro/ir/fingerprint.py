@@ -1,0 +1,70 @@
+"""Canonical, node-order-independent structural hashing of IR graphs.
+
+The fingerprint is the identity used by the content-addressed schedule
+cache (:mod:`repro.cache`) *and* by the pass certificates
+(:class:`repro.analysis.equivalence.PassCertificate`): two graphs that
+are isomorphic as operand-ordered dataflow DAGs (same operations, same
+wiring, same operand positions) hash equal no matter in which order
+their nodes were created; any change that affects scheduling — a
+different op, an extra edge, a different merge — changes the hash.
+
+This module lives under :mod:`repro.ir` (not :mod:`repro.cache`) so
+the analysis layer can re-derive fingerprints without importing the
+scheduling stack.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Tuple
+
+from repro.ir.graph import DataNode, Graph, OpNode
+
+
+def _op_signature(node: OpNode) -> Tuple:
+    """The schedule-relevant identity of an operation node.
+
+    Names and node ids are deliberately excluded (they vary with build
+    order); everything the scheduler reads — category, resource, lane
+    demand, configuration class, timing source — is included.
+    """
+    return (
+        "op",
+        node.op.name,
+        node.category.value,
+        node.op.resource.value,
+        node.op.config(),
+        node.op.arity,
+        node.op.result_is_scalar,
+        node.merged_from,
+    )
+
+
+def _data_signature(node: DataNode) -> Tuple:
+    return ("data", node.category.value)
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Node-order-independent structural hash of an IR graph.
+
+    Computed bottom-up in topological order: every node's hash combines
+    its local signature with the hashes of its predecessors *in operand
+    order* (operand position is semantically meaningful in this IR).
+    The graph hash is then the hash of the sorted multiset of all node
+    hashes — insensitive to node creation order, sensitive to any
+    structural or operational difference, and linear-time.
+    """
+    node_hash: Dict[int, str] = {}
+    for node in graph.topological_order():
+        sig = (
+            _op_signature(node)
+            if isinstance(node, OpNode)
+            else _data_signature(node)
+        )
+        preds = tuple(node_hash[p.nid] for p in graph.preds(node))
+        h = hashlib.sha256(repr((sig, preds)).encode()).hexdigest()
+        node_hash[node.nid] = h
+    digest = hashlib.sha256()
+    for h in sorted(node_hash.values()):
+        digest.update(h.encode())
+    return digest.hexdigest()

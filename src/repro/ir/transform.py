@@ -29,7 +29,7 @@ the matrix variant.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple, Union
+from typing import Any, Collection, Dict, List, Optional, Tuple, Union
 
 from repro.arch.isa import (
     OP_TABLE,
@@ -349,25 +349,41 @@ def vector_ops_to_matrix_op(graph: Graph, inplace: bool = False) -> Graph:
 _COMMUTATIVE = {"v_add", "v_mul", "v_dotP", "s_add", "s_mul", "m_add", "m_mul"}
 
 
-def common_subexpression_elimination(graph: Graph, inplace: bool = False) -> Graph:
-    """Merge operation nodes that compute the same value.
+def common_subexpression_elimination(
+    graph: Graph,
+    inplace: bool = False,
+    protect: Optional[Collection[str]] = None,
+) -> Graph:
+    """Merge operation nodes that compute the same value, to a fixpoint.
 
     Two single-output operations are equivalent when they run the same
     opcode with the same attributes on the same operand data nodes
     (order-insensitively for commutative operations).  The duplicate's
-    consumers are redirected to the surviving result; the pass iterates
-    in topological order so chains of duplicates collapse in one sweep.
+    consumers are redirected to the surviving result.  One sweep in
+    topological order collapses whole duplicated chains — a merge only
+    ever changes the operand lists of *downstream* consumers, which the
+    sweep has not reached yet — and the outer loop re-sweeps until no
+    merge fires, so merges that expose new identical pairs (e.g. via a
+    commutative operand reordering) are caught rather than left behind.
+
+    ``protect`` names data nodes that must survive (the pass manager
+    passes the kernel's required outputs): a duplicate whose result is
+    protected is left in place, so optimization can never silently drop
+    a declared output.
 
     A DSL program like listing 1 computes both ``dotP(A_i, A_j)`` and
     ``dotP(A_j, A_i)`` — CSE halves those sixteen dot products to ten.
-    Not applied by default anywhere (it changes the graph census the
-    paper reports); offered as an expert/architect-level optimization.
+    Routed through the pass manager (:func:`repro.ir.passes.optimize_graph`)
+    it ships an equivalence-checked certificate; direct calls remain an
+    expert/architect-level optimization (it changes the graph census the
+    paper reports).
     """
     g = graph if inplace else graph.copy()
+    protected = set(protect or ())
     changed = True
     while changed:
         changed = False
-        seen: dict = {}
+        seen: Dict[tuple, OpNode] = {}
         for node in g.topological_order():
             if not isinstance(node, OpNode):
                 continue
@@ -390,11 +406,12 @@ def common_subexpression_elimination(graph: Graph, inplace: bool = False) -> Gra
                 continue
             # merge: consumers of node's result use keeper's result
             dup_out = g.result(node)
+            if dup_out.name in protected:
+                continue
             kept_out = g.result(keeper)
             for consumer in list(g.succs(dup_out)):
                 g.redirect_source(dup_out, consumer, kept_out)
             g.remove_node(dup_out)
             g.remove_node(node)
             changed = True
-            break
     return g

@@ -13,6 +13,9 @@ at when judging a schedule:
 * :func:`certificate` — a one-line rendering of a static-bounds
   optimality/infeasibility certificate
   (:class:`repro.analysis.certify.Certificate`);
+* :func:`pass_summary` — a one-line rendering of a pass-certificate
+  chain (:class:`repro.analysis.equivalence.PassCertificate`): which
+  rewrite passes fired and the node reduction they certify;
 * :func:`solver_stats` — the search telemetry (nodes, failures,
   propagation counts per constraint class, per-phase time, incumbent
   timeline) collected by :class:`repro.cp.stats.SolverStats`;
@@ -28,7 +31,7 @@ here affects scheduling.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.arch.eit import ResourceKind
 from repro.arch.isa import OpCategory
@@ -39,6 +42,7 @@ from repro.sched.result import Schedule
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.certify import Certificate
     from repro.analysis.diagnostics import DiagnosticReport
+    from repro.analysis.equivalence import PassCertificate
     from repro.cache import ScheduleCache
 
 _MAX_WIDTH = 120
@@ -172,6 +176,30 @@ def certificate(cert: Optional["Certificate"]) -> str:
     return f"certificate: {cert.render()}"
 
 
+def pass_summary(certs: Sequence["PassCertificate"]) -> str:
+    """One line for a pass-certificate chain.
+
+    ``(no IR passes applied)`` when the chain is empty, so callers can
+    pass ``result.pass_certificates`` straight through.  Otherwise:
+    which passes fired (tallied, in order), the total node reduction
+    they certify, and the endpoint fingerprints of the chain.
+    """
+    if not certs:
+        return "(no IR passes applied)"
+    counts: Dict[str, int] = {}
+    for c in certs:
+        counts[c.pass_name] = counts.get(c.pass_name, 0) + 1
+    applied = ", ".join(
+        name if n == 1 else f"{name} x{n}" for name, n in counts.items()
+    )
+    removed = sum(c.node_delta for c in certs)
+    return (
+        f"IR passes: {applied}; {removed} node(s) removed "
+        f"[{certs[0].input_fingerprint[:8]}->"
+        f"{certs[-1].output_fingerprint[:8]}]"
+    )
+
+
 def schedule_summary(sched: Schedule) -> str:
     parts = [
         f"kernel {sched.graph.name}: {sched.makespan} cycles "
@@ -187,6 +215,8 @@ def schedule_summary(sched: Schedule) -> str:
         parts.append("greedy fallback (CP budget expired with no incumbent)")
     if sched.certificate is not None:
         parts.append(certificate(sched.certificate))
+    if sched.pass_certificates:
+        parts.append(pass_summary(sched.pass_certificates))
     return "; ".join(parts)
 
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.arch.eit import DEFAULT_CONFIG, EITConfig
 from repro.cp.stats import SolverStats
@@ -93,6 +93,11 @@ class ExploreOutcome:
     #: solves resolved *infeasible* by a static certificate — the
     #: memory-pigeonhole cells among them never ran any CP search
     certified_infeasible: int = 0
+    #: IR nodes removed by the certified pass pipeline (``optimize=True``)
+    #: summed over kernels; 0 when the sweep ran un-optimized
+    ir_nodes_removed: int = 0
+    #: pass certificates emitted across all kernels (``optimize=True``)
+    pass_certificates: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         """JSON payload (bench harness, CI warm-sweep assertions)."""
@@ -104,6 +109,8 @@ class ExploreOutcome:
             "cache": self.cache_stats,
             "certified_optimal": self.certified_optimal,
             "certified_infeasible": self.certified_infeasible,
+            "ir_nodes_removed": self.ir_nodes_removed,
+            "pass_certificates": self.pass_certificates,
             "points": [p.as_dict() for p in self.points],
         }
 
@@ -138,6 +145,8 @@ def explore_detailed(
     jobs: int = 1,
     cache: Optional["ScheduleCache"] = None,
     audit: bool = False,
+    optimize: bool = False,
+    passes: Optional[Sequence[str]] = None,
 ) -> ExploreOutcome:
     """Evaluate every kernel on every profile; full telemetry.
 
@@ -159,6 +168,17 @@ def explore_detailed(
     results — while a *freshly solved* payload that fails raises
     :class:`repro.analysis.AuditError` (that is a solver bug, not a
     cache artifact).
+
+    With ``optimize=True`` every kernel graph is first rewritten by the
+    certified pass pipeline (:func:`repro.ir.passes.optimize_graph`) in
+    the parent process; workers then solve the smaller graphs.  The
+    pipeline configuration is folded into every cell's cache key, so
+    optimized and un-optimized sweeps can never collide in the cache
+    even when a pipeline happens to be a no-op on some kernel, and the
+    per-kernel :class:`~repro.analysis.equivalence.PassCertificate`
+    chain rides inside each cached payload (surviving the disk tier and
+    the pool wire).  ``audit=True`` additionally re-verifies each chain
+    via :func:`repro.analysis.verify_pipeline` before any solving.
     """
     from repro.analysis.bounds import memory_precheck
     from repro.cache import (
@@ -197,6 +217,30 @@ def explore_detailed(
         kname: merge_pipeline_ops(builder()) for kname, builder in kernels.items()
     }
 
+    # Certified optimization happens in the parent too: workers receive
+    # the rewritten graphs; the certificate chains ride in the payloads.
+    cert_dicts: Dict[str, List[Dict]] = {}
+    passes_sig: Optional[str] = None
+    if optimize:
+        from repro.analysis import AuditError, verify_pipeline
+        from repro.ir.passes import optimize_graph, pipeline_signature
+
+        passes_sig = pipeline_signature(passes)
+        for kname, graph in list(graphs.items()):
+            opt = optimize_graph(graph, passes=passes)
+            if not opt.report.ok:
+                raise AuditError(opt.report)
+            if audit:
+                chain_report = verify_pipeline(
+                    opt.certificates, graph, opt.graph
+                )
+                if not chain_report.ok:
+                    raise AuditError(chain_report)
+            graphs[kname] = opt.graph
+            cert_dicts[kname] = [c.as_dict() for c in opt.certificates]
+            outcome.ir_nodes_removed += opt.nodes_removed
+            outcome.pass_certificates += len(opt.certificates)
+
     # Assemble the task graph: two solves per cell, all independent.
     cells: List[Tuple[str, str]] = [
         (kname, pname) for kname in kernels for pname in profiles
@@ -222,6 +266,7 @@ def explore_detailed(
                 "solve_time_ms": 0.0,
                 "fallback": False,
                 "certificate": cert.as_dict(),
+                "pass_certificates": cert_dicts.get(kname, []),
             }
             # a memory-dead cell reports no steady-state throughput
             # either: the modulo model assumes the flat allocation exists
@@ -239,6 +284,7 @@ def explore_detailed(
                 "tried": [],
                 "fallback": False,
                 "certificate": None,
+                "pass_certificates": cert_dicts.get(kname, []),
             }
             if cache is not None:
                 cache.stats.bound_pruned += 1
@@ -259,7 +305,12 @@ def explore_detailed(
         ):
             req_id = f"{kname}/{pname}/{kind}"
             if cache is not None:
-                key = cache_key(graph, cfg, kind, options)
+                # the pipeline signature is a *key* ingredient only —
+                # workers must never see it as a solver kwarg
+                key_opts: Dict[str, object] = dict(options)
+                if passes_sig is not None:
+                    key_opts["passes"] = passes_sig
+                key = cache_key(graph, cfg, kind, key_opts)
                 keys[req_id] = key
                 hit = cache.get(key)
                 if hit is not None:
@@ -288,7 +339,14 @@ def explore_detailed(
                 from repro.analysis import AuditError
 
                 raise AuditError(failing)  # fresh solve: a solver bug
-        payloads[req_id] = res.payload
+        payload = dict(res.payload)
+        if passes_sig is not None:
+            # fresh payloads carry their kernel's certificate chain, so
+            # it survives the cache (both tiers) and later rehydration
+            payload["pass_certificates"] = cert_dicts.get(
+                req_id.split("/", 1)[0], []
+            )
+        payloads[req_id] = payload
         if res.stats is not None:
             outcome.solver.merge(res.stats)
             if cache is not None:
@@ -296,7 +354,7 @@ def explore_detailed(
         if cache is not None and not res.degraded:
             # degraded (greedy-fallback) results are not worth caching:
             # a rerun should attempt the real solve again
-            cache.put(keys[req_id], res.payload)
+            cache.put(keys[req_id], payload)
 
     for kname, pname in cells:
         outcome.points.append(
@@ -331,6 +389,8 @@ def explore(
     jobs: int = 1,
     cache: Optional["ScheduleCache"] = None,
     audit: bool = False,
+    optimize: bool = False,
+    passes: Optional[Sequence[str]] = None,
 ) -> List[DesignPoint]:
     """Evaluate every kernel on every profile (see :func:`explore_detailed`)."""
     return explore_detailed(
@@ -342,6 +402,8 @@ def explore(
         jobs=jobs,
         cache=cache,
         audit=audit,
+        optimize=optimize,
+        passes=passes,
     ).points
 
 

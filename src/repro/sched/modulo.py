@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.eit import DEFAULT_CONFIG, EITConfig, ResourceKind
 from repro.arch.isa import OpCategory
@@ -63,6 +63,7 @@ from repro.sched.list_sched import greedy_schedule
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.certify import Certificate
+    from repro.analysis.equivalence import PassCertificate
 
 
 @dataclass
@@ -88,6 +89,9 @@ class ModuloResult:
     #: machine-checkable optimality / infeasibility witness (see
     #: :mod:`repro.analysis.certify`), when the search could prove one.
     certificate: Optional["Certificate"] = None
+    #: equivalence-checked IR rewrite chain when the graph was optimized
+    #: before scheduling (``optimize=True``); empty when it was not.
+    pass_certificates: Tuple["PassCertificate", ...] = ()
 
     @property
     def throughput(self) -> float:
@@ -484,6 +488,8 @@ def modulo_schedule(
     per_ii_timeout_ms: Optional[float] = None,
     jobs: int = 1,
     audit: bool = False,
+    optimize: bool = False,
+    passes: Optional[Sequence[str]] = None,
 ) -> ModuloResult:
     """Find the minimum-II modulo schedule for a kernel.
 
@@ -496,7 +502,40 @@ def modulo_schedule(
     a greedy-degraded one from the parallel racer) is re-checked by the
     independent analyser (:func:`repro.analysis.audit_modulo`), raising
     :class:`repro.analysis.AuditError` on violations.
+
+    ``optimize=True`` first runs the certified IR optimization pipeline
+    (:func:`repro.ir.passes.optimize_graph`) and schedules the rewritten
+    copy; the result's ``offsets``/``stages`` then refer to the
+    *optimized* graph and ``pass_certificates`` carries the rewrite
+    chain (with ``audit=True`` the chain is re-verified end to end via
+    :func:`repro.analysis.verify_pipeline` first).  ``passes`` overrides
+    the pass pipeline.
     """
+    if optimize:
+        from repro.analysis import AuditError, verify_pipeline
+        from repro.ir.passes import optimize_graph
+
+        opt = optimize_graph(graph, passes=passes)
+        if not opt.report.ok:
+            raise AuditError(opt.report)
+        if audit:
+            chain_report = verify_pipeline(opt.certificates, graph, opt.graph)
+            if not chain_report.ok:
+                raise AuditError(chain_report)
+        result = modulo_schedule(
+            opt.graph,
+            cfg=cfg,
+            include_reconfigs=include_reconfigs,
+            timeout_ms=timeout_ms,
+            max_ii=max_ii,
+            per_ii_timeout_ms=per_ii_timeout_ms,
+            jobs=jobs,
+            audit=audit,
+            optimize=False,
+        )
+        result.pass_certificates = tuple(opt.certificates)
+        return result
+
     if max_ii is not None:
         lb = resource_lower_bound(graph, cfg, include_reconfigs)
         if max_ii < lb:

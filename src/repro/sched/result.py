@@ -13,7 +13,7 @@ have to agree.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.arch.eit import DEFAULT_CONFIG, EITConfig, ResourceKind
 from repro.cp.search import SearchStats, SolveStatus
@@ -22,6 +22,7 @@ from repro.ir.graph import DataNode, Graph, Node, OpNode
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.certify import Certificate
     from repro.analysis.diagnostics import DiagnosticReport
+    from repro.analysis.equivalence import PassCertificate
 
 
 @dataclass
@@ -42,6 +43,9 @@ class Schedule:
     #: machine-checkable optimality / infeasibility witness (see
     #: :mod:`repro.analysis.certify`), when the solve could prove one.
     certificate: Optional["Certificate"] = None
+    #: equivalence-checked IR rewrite chain when the graph was optimized
+    #: before scheduling (``optimize=True``); empty when it was not.
+    pass_certificates: Tuple["PassCertificate", ...] = ()
 
     # -- basic accessors -------------------------------------------------
     def start(self, node: Node) -> int:

@@ -29,7 +29,7 @@ The CP search is bracketed by the static bounds engine
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 from repro.arch.eit import DEFAULT_CONFIG, EITConfig
 from repro.cp import Inconsistency, Search, SolveStatus, SolverStats
@@ -49,6 +49,8 @@ def schedule(
     memory_encoding: str = "implication",
     should_stop: Optional[Callable[[], bool]] = None,
     audit: bool = False,
+    optimize: bool = False,
+    passes: Optional[Sequence[str]] = None,
 ) -> Schedule:
     """Schedule a kernel with (optionally) joint memory allocation.
 
@@ -86,7 +88,23 @@ def schedule(
         (:func:`repro.analysis.audit_bounds`) and, when a certificate is
         attached, its arithmetic
         (:func:`repro.analysis.verify_certificate`) — raising
-        :class:`repro.analysis.AuditError` on any error.
+        :class:`repro.analysis.AuditError` on any error.  With
+        ``optimize=True`` additionally re-verifies the whole pass-
+        certificate chain (:func:`repro.analysis.verify_pipeline`),
+        including differential-evaluation equivalence.
+    optimize:
+        run the certified IR optimization pipeline
+        (:func:`repro.ir.passes.optimize_graph`) over the graph first
+        and schedule the rewritten copy.  The returned schedule refers
+        to the *optimized* graph and carries the
+        :class:`~repro.analysis.equivalence.PassCertificate` chain in
+        ``pass_certificates``.  A graph the pre-flight lint rejects
+        raises :class:`repro.analysis.AuditError` instead of being
+        silently scheduled un-optimized.
+    passes:
+        pass-pipeline override (names from
+        :data:`repro.ir.passes.PASS_REGISTRY`); None = the default
+        pipeline.  Only meaningful with ``optimize=True``.
 
     Returns a schedule with ``status``:
 
@@ -98,6 +116,32 @@ def schedule(
       memory slots, the paper's 8-slot row of Table 1) or none was found
       in budget; ``starts`` is empty then.
     """
+    if optimize:
+        from repro.analysis import AuditError, verify_pipeline
+        from repro.ir.passes import optimize_graph
+
+        opt = optimize_graph(graph, passes=passes)
+        if not opt.report.ok:
+            raise AuditError(opt.report)
+        if audit:
+            chain_report = verify_pipeline(opt.certificates, graph, opt.graph)
+            if not chain_report.ok:
+                raise AuditError(chain_report)
+        s = schedule(
+            opt.graph,
+            cfg=cfg,
+            n_slots=n_slots,
+            with_memory=with_memory,
+            timeout_ms=timeout_ms,
+            horizon=horizon,
+            memory_encoding=memory_encoding,
+            should_stop=should_stop,
+            audit=audit,
+            optimize=False,
+        )
+        s.pass_certificates = tuple(opt.certificates)
+        return s
+
     if n_slots is not None:
         cfg = cfg.with_slots(n_slots)
 

@@ -1,0 +1,332 @@
+"""The dataflow framework: engine, concrete analyses, DFA6xx lints."""
+
+import math
+
+import pytest
+
+from repro.analysis.dataflow import (
+    Analysis,
+    constant_values,
+    lint_dataflow,
+    lint_trace,
+    liveness,
+    magnitude_bounds,
+    max_live_vectors,
+    merge_legality,
+    reaching_definitions,
+    solve,
+    use_counts,
+)
+from repro.arch.isa import OpCategory
+from repro.dsl import EITScalar, EITVector, trace
+from repro.dsl.values import EITMatrix
+from repro.ir import merge_pipeline_ops
+from repro.ir.graph import Graph
+
+
+def n_code(report, code):
+    """Occurrences of one diagnostic code (codes() dedups)."""
+    return sum(1 for d in report if d.code == code)
+
+
+def chain_graph():
+    """a + b -> c; c * d -> e  (all values traced)."""
+    with trace("chain") as t:
+        a = EITVector(1, 2, 3, 4)
+        b = EITVector(4, 3, 2, 1)
+        d = EITVector(1, 1, 2, 2)
+        ((a + b) * d)
+    return t.graph
+
+
+def dead_branch_graph():
+    """One declared output plus a computed-but-unused branch."""
+    with trace("deadbranch") as t:
+        a = EITVector(1, 2, 3, 4)
+        b = EITVector(4, 3, 2, 1)
+        kept = a + b
+        (a * b)  # dead: never consumed, not declared
+        t.output(kept)
+    return t.graph
+
+
+class TestEngine:
+    def test_forward_sweep_reaches_fixpoint(self):
+        g = chain_graph()
+        # node depth: 0 for inputs, 1 + max(dep depths) otherwise
+        depth = solve(g, Analysis(
+            "depth", "forward",
+            lambda graph, node, deps: 1 + max(deps, default=-1),
+        ))
+        assert set(depth) == {n.nid for n in g.nodes()}
+        inputs = [d for d in g.data_nodes() if g.in_degree(d) == 0]
+        assert all(depth[d.nid] == 0 for d in inputs)
+        # the final product sits strictly below the first sum
+        adds = [o for o in g.op_nodes() if o.op.name == "v_add"]
+        muls = [o for o in g.op_nodes() if o.op.name == "v_mul"]
+        assert depth[muls[0].nid] > depth[adds[0].nid]
+
+    def test_backward_sweep_sees_successors(self):
+        g = chain_graph()
+        height = solve(g, Analysis(
+            "height", "backward",
+            lambda graph, node, deps: 1 + max(deps, default=-1),
+        ))
+        outs = g.outputs()
+        assert all(height[d.nid] == 0 for d in outs)
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(ValueError, match="direction"):
+            Analysis("bogus", "sideways", lambda g, n, d: None)
+
+    def test_cycle_raises(self):
+        g = Graph("cyclic")
+        a = g.add_data(OpCategory.VECTOR_DATA, "a", value=(1, 0, 0, 0))
+        op = g.add_op("v_conj")
+        g.add_edge(a, op)
+        g.add_edge(op, a)
+        with pytest.raises(ValueError):
+            solve(g, Analysis("x", "forward", lambda gr, n, d: None))
+
+
+class TestLiveness:
+    def test_everything_live_without_declared_outputs(self):
+        g = chain_graph()
+        assert liveness(g) == {n.nid for n in g.nodes()}
+
+    def test_dead_branch_not_live(self):
+        g = dead_branch_graph()
+        live = liveness(g)
+        dead_ops = [o for o in g.op_nodes() if o.op.name == "v_mul"]
+        assert dead_ops and all(o.nid not in live for o in dead_ops)
+        kept_ops = [o for o in g.op_nodes() if o.op.name == "v_add"]
+        assert all(o.nid in live for o in kept_ops)
+
+    def test_sibling_outputs_of_live_matrix_op_stay_live(self):
+        with trace("mat") as t:
+            m1 = EITMatrix(*(EITVector(i, i, i, i) for i in range(1, 5)))
+            m2 = EITMatrix(*(EITVector(1, 0, 0, 0) for _ in range(4)))
+            s = m1 + m2
+            t.output(s[0])  # only row 0 declared
+        g = t.graph
+        live = liveness(g)
+        m_add = [o for o in g.op_nodes() if o.op.name == "m_add"][0]
+        # every result row is positionally assigned by the evaluator,
+        # so all siblings of a live multi-output op must stay live
+        assert all(out.nid in live for out in g.succs(m_add))
+
+    def test_explicit_roots_override(self):
+        g = dead_branch_graph()
+        mul_out = g.succs([o for o in g.op_nodes()
+                           if o.op.name == "v_mul"][0])[0]
+        live = liveness(g, roots=[mul_out])
+        add_op = [o for o in g.op_nodes() if o.op.name == "v_add"][0]
+        assert mul_out.nid in live and add_op.nid not in live
+
+
+class TestClassicAnalyses:
+    def test_reaching_definitions_accumulate(self):
+        g = chain_graph()
+        reach = reaching_definitions(g)
+        inputs = [d for d in g.data_nodes() if g.in_degree(d) == 0]
+        final = g.outputs()[0]
+        for d in inputs:
+            assert d.nid in reach[final.nid]
+        assert final.nid in reach[final.nid]
+        # nothing flows backward into an input
+        for d in inputs:
+            assert reach[d.nid] == frozenset({d.nid})
+
+    def test_use_counts_match_out_degree(self):
+        g = dead_branch_graph()
+        counts = use_counts(g)
+        for d in g.data_nodes():
+            assert counts[d.nid] == g.out_degree(d)
+        # a and b each feed both the add and the mul
+        assert sorted(counts.values(), reverse=True)[:2] == [2, 2]
+
+    def test_max_live_vectors_chain(self):
+        g = chain_graph()
+        peak = max_live_vectors(g)
+        # 3 inputs live before the first op consumes any of them
+        assert peak >= 3
+
+    def test_max_live_respects_order(self):
+        g = chain_graph()
+        assert max_live_vectors(g, order=g.topological_order()) == \
+            max_live_vectors(g)
+
+
+class TestConstantLattice:
+    def test_traced_values_are_not_constants(self):
+        g = chain_graph()
+        assert constant_values(g) == {}
+
+    def test_const_marked_inputs_fold(self):
+        with trace("constfold") as t:
+            a = EITVector(1, 2, 3, 4)
+            b = EITVector(0, 0, 0, 0)
+            a + b
+        g = t.graph
+        for d in g.data_nodes():
+            if g.in_degree(d) == 0:
+                d.attrs["const"] = True
+        consts = constant_values(g)
+        add = [o for o in g.op_nodes() if o.op.name == "v_add"][0]
+        out = g.succs(add)[0]
+        assert consts[add.nid] == (1, 2, 3, 4)
+        assert consts[out.nid] == (1, 2, 3, 4)
+
+    def test_one_nonconst_operand_poisons(self):
+        with trace("half") as t:
+            a = EITVector(1, 2, 3, 4)
+            b = EITVector(1, 1, 1, 1)
+            a + b
+        g = t.graph
+        inputs = [d for d in g.data_nodes() if g.in_degree(d) == 0]
+        inputs[0].attrs["const"] = True  # b stays a plain operand
+        add = [o for o in g.op_nodes() if o.op.name == "v_add"][0]
+        assert add.nid not in constant_values(g)
+
+    def test_valueless_const_stays_top(self):
+        g = Graph("bad")
+        a = g.add_data(OpCategory.VECTOR_DATA, "a", const=True)  # no value
+        op = g.add_op("v_conj")
+        out = g.add_data(OpCategory.VECTOR_DATA, "out")
+        g.add_edge(a, op)
+        g.add_edge(op, out)
+        assert constant_values(g) == {}
+
+
+class TestMagnitudeBounds:
+    def test_add_chain_bound(self):
+        g = chain_graph()
+        bounds = magnitude_bounds(g)
+        out = g.outputs()[0]
+        # (a+b) * d with |a|<=4, |b|<=4, |d|<=2 -> bound (4+4)*2
+        assert bounds[out.nid] == pytest.approx(16.0)
+
+    def test_reciprocal_is_unbounded(self):
+        with trace("recip") as t:
+            s = EITScalar(2.0)
+            s.recip()
+        bounds = magnitude_bounds(t.graph)
+        out = t.graph.outputs()[0]
+        assert math.isinf(bounds[out.nid])
+
+
+class TestMergeLegality:
+    def base(self):
+        with trace("m") as t:
+            a = EITVector(1 + 1j, 2, 3, 4)
+            b = EITVector(1, 1, 1, 1)
+            a.conj().dotP(b)
+        return merge_pipeline_ops(t.graph)
+
+    def merged(self, g):
+        return [o for o in g.op_nodes() if o.merged_from][0]
+
+    def test_shipped_merge_is_legal(self):
+        assert len(merge_legality(self.base())) == 0
+
+    def test_singleton_merge_trips(self):
+        g = self.base()
+        node = self.merged(g)
+        object.__setattr__(node, "merged_from", ("v_dotP",))
+        assert n_code(merge_legality(g), "DFA605") >= 1
+
+    def test_unknown_role_trips(self):
+        g = self.base()
+        self.merged(g).attrs["roles"] = ("pre", "sideways")
+        assert n_code(merge_legality(g), "DFA605") >= 1
+
+    def test_missing_core_trips(self):
+        g = self.base()
+        self.merged(g).attrs["roles"] = ("pre", "post")
+        assert n_code(merge_legality(g), "DFA605") >= 1
+
+    def test_expr_leaf_mismatch_trips(self):
+        g = self.base()
+        self.merged(g).attrs["expr"] = ("v_dotP", [0, 0])  # operand 1 unused
+        assert n_code(merge_legality(g), "DFA605") >= 1
+
+
+class TestLintDataflow:
+    def test_clean_kernel_has_no_errors(self):
+        report = lint_dataflow(chain_graph())
+        assert report.ok, report.render()
+
+    def test_dead_value_warns_dfa601(self):
+        report = lint_dataflow(dead_branch_graph())
+        assert n_code(report, "DFA601") >= 2  # the mul op and its result
+
+    def test_use_before_def_errors_dfa604(self):
+        g = Graph("ubd")
+        a = g.add_data(OpCategory.VECTOR_DATA, "a")  # consumed, no value
+        op = g.add_op("v_conj")
+        out = g.add_data(OpCategory.VECTOR_DATA, "out")
+        g.add_edge(a, op)
+        g.add_edge(op, out)
+        report = lint_dataflow(g)
+        assert n_code(report, "DFA604") == 1
+        assert not report.ok
+
+    def test_const_foldable_info_dfa603(self):
+        with trace("foldinfo") as t:
+            a = EITVector(1, 2, 3, 4)
+            b = EITVector(1, 1, 1, 1)
+            a + b
+        g = t.graph
+        for d in g.data_nodes():
+            if g.in_degree(d) == 0:
+                d.attrs["const"] = True
+        report = lint_dataflow(g)
+        assert n_code(report, "DFA603") == 1
+        assert report.ok  # INFO only
+
+    def test_cycle_reports_ir101(self):
+        g = Graph("cyc")
+        a = g.add_data(OpCategory.VECTOR_DATA, "a", value=(1, 0, 0, 0))
+        op = g.add_op("v_conj")
+        g.add_edge(a, op)
+        g.add_edge(op, a)
+        report = lint_dataflow(g)
+        assert n_code(report, "IR101") == 1
+
+
+class TestLintTrace:
+    def test_accepts_trace_context(self):
+        with trace("tc") as t:
+            a = EITVector(1, 2, 3, 4)
+            b = EITVector(1, 1, 1, 1)
+            t.output(a + b)
+        assert lint_trace(t).ok
+
+    def test_unused_result_warns_dfa602(self):
+        with trace("unused") as t:
+            a = EITVector(1, 2, 3, 4)
+            b = EITVector(1, 1, 1, 1)
+            kept = a + b
+            (a * b)  # never used, never declared
+            t.output(kept)
+        report = lint_trace(t)
+        assert n_code(report, "DFA602") == 1
+        assert "vector" in [d for d in report
+                            if d.code == "DFA602"][0].message
+
+    def test_silent_without_declared_outputs(self):
+        with trace("nodecl") as t:
+            a = EITVector(1, 2, 3, 4)
+            b = EITVector(1, 1, 1, 1)
+            a + b
+            a * b
+        assert len(lint_trace(t)) == 0
+
+    def test_use_before_def_dfa604(self):
+        g = Graph("ubd2")
+        a = g.add_data(OpCategory.SCALAR_DATA, "s")
+        op = g.add_op("s_sqrt")
+        out = g.add_data(OpCategory.SCALAR_DATA, "out")
+        g.add_edge(a, op)
+        g.add_edge(op, out)
+        assert n_code(lint_trace(g), "DFA604") == 1

@@ -16,14 +16,16 @@ from repro.analysis import (
 
 _FAMILIES = {
     "IR1": "ir", "SCH2": "sched", "MEM3": "mem", "BND5": "bounds",
-    "GEN4": "gen",
+    "GEN4": "gen", "DFA6": "dataflow",
 }
 
 
 class TestRegistry:
     def test_codes_follow_family_pattern(self):
         for code in CODES:
-            assert re.fullmatch(r"(IR1|SCH2|MEM3|BND5|GEN4)\d\d", code), code
+            assert re.fullmatch(
+                r"(IR1|SCH2|MEM3|BND5|GEN4|DFA6)\d\d", code
+            ), code
 
     def test_every_family_present(self):
         for prefix in _FAMILIES:

@@ -71,3 +71,31 @@ class TestAuditedSolvePaths:
         g = merge_pipeline_ops(build_matmul())
         m = modulo_schedule(g, timeout_ms=60_000, audit=True)
         assert m.found
+
+
+class TestOptimizedKernelsClean:
+    """The certified pass pipeline must be clean on every shipped kernel.
+
+    Optimization is opt-in (``optimize=True``), so this is the
+    acceptance bar: zero error diagnostics from the pre-flight lint,
+    a fully verified certificate chain, and an audited schedule of the
+    optimized graph — for all four paper kernels.
+    """
+
+    def test_optimize_and_verify_clean(self, kernel):
+        from repro.analysis import verify_pipeline
+        from repro.ir import optimize_graph
+
+        name, g, _ = kernel
+        opt = optimize_graph(g)
+        assert opt.report.ok, f"{name}: {opt.report.render()}"
+        report = verify_pipeline(opt.certificates, g, opt.graph)
+        assert report.ok, f"{name}: {report.render()}"
+        assert len(report.warnings) == 0, f"{name}: {report.render()}"
+
+    def test_optimized_schedule_audits_clean(self, kernel):
+        name, g, _ = kernel
+        s = schedule(g, timeout_ms=120_000, optimize=True, audit=True)
+        assert s.starts, f"{name}: no schedule found"
+        report = audit_schedule(s)
+        assert len(report) == 0, report.render()

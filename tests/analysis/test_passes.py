@@ -1,0 +1,415 @@
+"""The certified pass pipeline: rewrites, certificates, verification."""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.equivalence import (
+    PassCertificate,
+    certify_rewrite,
+    check_equivalence,
+    seeded_inputs,
+    verify_pass_certificate,
+    verify_pipeline,
+)
+from repro.apps import build_matmul
+from repro.apps.synth import SynthSpec, random_kernel
+from repro.arch.eit import DEFAULT_CONFIG
+from repro.arch.isa import OpCategory
+from repro.cache import (
+    ScheduleCache,
+    cache_key,
+    schedule_from_payload,
+    schedule_payload,
+)
+from repro.dsl import EITVector, trace
+from repro.ir import merge_pipeline_ops, optimize_graph, pipeline_signature
+from repro.ir.fingerprint import graph_fingerprint
+from repro.ir.graph import Graph
+from repro.report import pass_summary, schedule_summary
+from repro.sched import schedule
+from repro.sched.explore import explore_detailed
+from repro.sched.modulo import modulo_schedule
+
+
+def n_code(report, code):
+    return sum(1 for d in report if d.code == code)
+
+
+def dead_branch_graph():
+    with trace("deadbranch") as t:
+        a = EITVector(1, 2, 3, 4)
+        b = EITVector(4, 3, 2, 1)
+        kept = a + b
+        (a * b)  # dead
+        t.output(kept)
+    return t.graph
+
+
+def const_graph():
+    """(a + zero) where zero is a const-marked input."""
+    with trace("constk") as t:
+        a = EITVector(1, 2, 3, 4)
+        z = EITVector(0, 0, 0, 0)
+        t.output(a + z)
+    g = t.graph
+    for d in g.data_nodes():
+        if g.in_degree(d) == 0 and all(v == 0 for v in d.value):
+            d.attrs["const"] = True
+    return g
+
+
+def duplicate_graph():
+    """Two identical subtrees -> CSE fodder, nested two levels deep."""
+    with trace("dups") as t:
+        a = EITVector(1, 2, 3, 4)
+        b = EITVector(4, 3, 2, 1)
+        x = (a + b) * a
+        y = (a + b) * a
+        t.output(x * y)
+    return t.graph
+
+
+class TestPasses:
+    def test_dce_removes_dead_branch(self):
+        g = dead_branch_graph()
+        opt = optimize_graph(g, passes=("dce",))
+        assert opt.changed
+        assert opt.graph.n_nodes() < g.n_nodes()
+        assert not any(
+            o.op.name == "v_mul" for o in opt.graph.op_nodes()
+        )
+        # the input graph is never mutated
+        assert any(o.op.name == "v_mul" for o in g.op_nodes())
+
+    def test_const_fold_folds_marked_inputs(self):
+        g = const_graph()
+        # everything const: a is traced (non-const), so only full
+        # folding happens when both operands are const
+        for d in g.data_nodes():
+            if g.in_degree(d) == 0:
+                d.attrs["const"] = True
+        opt = optimize_graph(g, passes=("const-fold",))
+        assert opt.changed
+        assert len(opt.graph.op_nodes()) == 0
+        out = opt.graph.outputs()[0]
+        assert out.value == (1, 2, 3, 4)
+        assert out.attrs.get("const")
+
+    def test_algebraic_removes_interior_add_zero(self):
+        with trace("algk") as t:
+            a = EITVector(1, 2, 3, 4)
+            b = EITVector(4, 3, 2, 1)
+            z = EITVector(0, 0, 0, 0)
+            t.output((a + z) * b)
+        g = t.graph
+        for d in g.data_nodes():
+            if g.in_degree(d) == 0 and all(v == 0 for v in d.value):
+                d.attrs["const"] = True
+        opt = optimize_graph(g, passes=("algebraic", "dce"))
+        assert opt.changed
+        assert not any(
+            o.op.name == "v_add" for o in opt.graph.op_nodes()
+        )
+        report = verify_pipeline(opt.certificates, g, opt.graph)
+        assert report.ok, report.render()
+
+    def test_algebraic_keeps_declared_output_results(self):
+        # the identity's result IS the kernel output: removing it would
+        # rename the output, so the pass must leave it alone
+        g = const_graph()
+        opt = optimize_graph(g, passes=("algebraic",))
+        assert not opt.changed
+
+    def test_cse_merges_duplicates(self):
+        g = duplicate_graph()
+        opt = optimize_graph(g, passes=("cse",))
+        assert opt.changed
+        assert len(opt.graph.op_nodes()) < len(g.op_nodes())
+        report = verify_pipeline(opt.certificates, g, opt.graph)
+        assert report.ok, report.render()
+
+    def test_cse_reaches_fixpoint(self):
+        # after the first sweep merges the inner (a+b) pair, the two
+        # products become duplicates — only a fixpoint iteration merges
+        # them too
+        g = duplicate_graph()
+        opt = optimize_graph(g, passes=("cse",))
+        muls = [o for o in opt.graph.op_nodes() if o.op.name == "v_mul"]
+        # x and y collapsed into one product feeding the final mul twice
+        assert len(muls) == 2
+
+    def test_protected_outputs_survive_by_name(self):
+        g = dead_branch_graph()
+        out_names = {
+            d.name for d in g.data_nodes() if d.attrs.get("output")
+        }
+        opt = optimize_graph(g)
+        kept = {d.name for d in opt.graph.data_nodes()}
+        assert out_names <= kept
+
+    def test_default_pipeline_full_chain_verifies(self):
+        g = merge_pipeline_ops(build_matmul())
+        opt = optimize_graph(g)
+        assert opt.nodes_removed > 0
+        report = verify_pipeline(opt.certificates, g, opt.graph)
+        assert report.ok, report.render()
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(ValueError, match="unknown pass"):
+            optimize_graph(dead_branch_graph(), passes=("inliner",))
+
+    def test_preflight_gate_returns_broken_graph_unchanged(self):
+        g = Graph("broken")
+        a = g.add_data(OpCategory.VECTOR_DATA, "a")  # consumed, no value
+        op = g.add_op("v_conj")
+        out = g.add_data(OpCategory.VECTOR_DATA, "out")
+        g.add_edge(a, op)
+        g.add_edge(op, out)
+        opt = optimize_graph(g)
+        assert opt.graph is g
+        assert opt.certificates == ()
+        assert not opt.report.ok
+        assert n_code(opt.report, "DFA604") >= 1
+
+
+class TestCertificates:
+    def cert(self):
+        g = dead_branch_graph()
+        opt = optimize_graph(g, passes=("dce",))
+        assert len(opt.certificates) == 1
+        return g, opt.graph, opt.certificates[0]
+
+    def test_roundtrip_dict(self):
+        _, _, cert = self.cert()
+        assert PassCertificate.from_dict(cert.as_dict()) == cert
+        assert PassCertificate.from_dict(None) is None
+
+    def test_render_mentions_pass_and_delta(self):
+        _, _, cert = self.cert()
+        text = cert.render()
+        assert "dce" in text and "->" in text
+        assert cert.node_delta > 0
+
+    def test_verify_clean(self):
+        before, after, cert = self.cert()
+        assert verify_pass_certificate(cert, before, after).ok
+
+    def test_malformed_from_dict_trips_dfa608(self):
+        cert = PassCertificate.from_dict(
+            {"pass_name": "dce", "nodes_before": "many"}
+        )
+        report = verify_pass_certificate(
+            cert, dead_branch_graph(), dead_branch_graph()
+        )
+        assert n_code(report, "DFA608") >= 1
+
+    def test_tampered_fingerprint_trips_dfa606(self):
+        before, after, cert = self.cert()
+        forged = dataclasses.replace(cert, output_fingerprint="0" * 64)
+        report = verify_pass_certificate(forged, before, after)
+        assert n_code(report, "DFA606") >= 1
+
+    def test_tampered_counts_trip_dfa606(self):
+        before, after, cert = self.cert()
+        forged = dataclasses.replace(cert, nodes_after=cert.nodes_after - 1)
+        report = verify_pass_certificate(forged, before, after)
+        assert n_code(report, "DFA606") >= 1
+
+    def test_broken_semantics_trips_dfa607(self):
+        g = dead_branch_graph()
+        bad = g.copy()
+        # "optimize" by replacing the add with a sub: structurally
+        # valid, semantically wrong
+        add = [o for o in bad.op_nodes() if o.op.name == "v_add"][0]
+        ins = bad.preds(add)
+        out = bad.succs(add)[0]
+        bad.remove_node(add)
+        sub = bad.add_op("v_sub")
+        for d in ins:
+            bad.add_edge(d, sub)
+        bad.add_edge(sub, out)
+        report = check_equivalence(g, bad)
+        assert n_code(report, "DFA607") >= 1
+
+    def test_dropped_output_trips_dfa609(self):
+        g = dead_branch_graph()
+        bad = g.copy()
+        out = [d for d in bad.data_nodes() if d.attrs.get("output")][0]
+        producer = bad.producer(out)
+        bad.remove_node(out)
+        bad.remove_node(producer)
+        report = check_equivalence(g, bad)
+        assert n_code(report, "DFA609") >= 1
+
+    def test_empty_chain_requires_equal_fingerprints(self):
+        g = dead_branch_graph()
+        opt = optimize_graph(g, passes=("dce",))
+        report = verify_pipeline((), g, opt.graph)
+        assert n_code(report, "DFA606") >= 1
+        assert verify_pipeline((), g, g.copy()).ok
+
+    def test_broken_chain_link_trips_dfa606(self):
+        g = merge_pipeline_ops(build_matmul())
+        opt = optimize_graph(g)
+        certs = list(opt.certificates)
+        certs.append(certify_rewrite("dce", opt.graph, opt.graph))
+        certs[-1] = dataclasses.replace(
+            certs[-1], input_fingerprint="ab" * 32, output_fingerprint="ab" * 32
+        )
+        report = verify_pipeline(certs, g, opt.graph)
+        assert n_code(report, "DFA606") >= 1
+
+    def test_seeded_inputs_skip_consts(self):
+        g = const_graph()
+        named = seeded_inputs(g)
+        const_names = {
+            d.name for d in g.data_nodes() if d.attrs.get("const")
+        }
+        assert const_names
+        assert not (const_names & set(named))
+        # deterministic
+        assert seeded_inputs(g) == seeded_inputs(g, seed=0)
+        assert seeded_inputs(g) != seeded_inputs(g, seed=1)
+
+
+class TestPipelineSignatureAndCache:
+    def test_signature_names_pipeline(self):
+        assert pipeline_signature() == "const-fold+algebraic+cse+dce"
+        assert pipeline_signature(("dce",)) == "dce"
+        with pytest.raises(ValueError):
+            pipeline_signature(("bogus",))
+
+    def test_cache_keys_never_collide(self):
+        g = merge_pipeline_ops(build_matmul())
+        base = cache_key(g, DEFAULT_CONFIG, "schedule", {"timeout_ms": 1})
+        opt = cache_key(
+            g, DEFAULT_CONFIG, "schedule",
+            {"timeout_ms": 1, "passes": pipeline_signature()},
+        )
+        # same graph (a no-op pipeline) must still key differently
+        assert base != opt
+
+    def test_payload_roundtrip_preserves_certificates(self):
+        g = merge_pipeline_ops(build_matmul())
+        s = schedule(g, timeout_ms=60_000, optimize=True)
+        assert s.pass_certificates
+        payload = schedule_payload(s)
+        back = schedule_from_payload(payload, s.graph, DEFAULT_CONFIG)
+        assert back.pass_certificates == s.pass_certificates
+
+    def test_corrupt_payload_certificate_is_kept_for_verification(self):
+        g = merge_pipeline_ops(build_matmul())
+        s = schedule(g, timeout_ms=60_000, optimize=True)
+        payload = schedule_payload(s)
+        payload["pass_certificates"][0]["nodes_before"] = "junk"
+        back = schedule_from_payload(payload, s.graph, DEFAULT_CONFIG)
+        assert back.pass_certificates[0].nodes_before == -1
+
+
+class TestScheduleIntegration:
+    def test_schedule_optimize_shrinks_and_audits(self):
+        g = merge_pipeline_ops(build_matmul())
+        s = schedule(g, timeout_ms=60_000, optimize=True, audit=True)
+        assert s.starts
+        assert s.graph.n_nodes() < g.n_nodes()
+        assert s.pass_certificates
+        assert verify_pipeline(s.pass_certificates, g, s.graph).ok
+
+    def test_schedule_summary_mentions_passes(self):
+        g = merge_pipeline_ops(build_matmul())
+        s = schedule(g, timeout_ms=60_000, optimize=True)
+        assert "IR passes:" in schedule_summary(s)
+
+    def test_modulo_optimize(self):
+        g = merge_pipeline_ops(build_matmul())
+        m = modulo_schedule(g, timeout_ms=60_000, optimize=True, audit=True)
+        assert m.found
+        assert m.pass_certificates
+
+    def test_explore_optimize_with_cache(self):
+        cache = ScheduleCache()
+        kernels = {"matmul": build_matmul}
+        out = explore_detailed(
+            kernels, timeout_ms=30_000, modulo_timeout_ms=30_000,
+            cache=cache, optimize=True, audit=True,
+        )
+        assert out.ir_nodes_removed > 0
+        assert out.pass_certificates > 0
+        misses_cold = out.cache_stats["misses"]
+        # warm rerun: no new misses, certificates still present
+        out2 = explore_detailed(
+            kernels, timeout_ms=30_000, modulo_timeout_ms=30_000,
+            cache=cache, optimize=True, audit=True,
+        )
+        assert out2.cache_stats["misses"] == misses_cold
+        assert out2.cache_stats["hits"] > out.cache_stats["hits"]
+        assert out2.pass_certificates > 0
+        # unoptimized sweep must not be served by optimized entries
+        out3 = explore_detailed(
+            kernels, timeout_ms=30_000, modulo_timeout_ms=30_000,
+            cache=cache, optimize=False,
+        )
+        assert out3.cache_stats["misses"] > misses_cold
+
+    def test_pass_summary_renderings(self):
+        assert pass_summary(()) == "(no IR passes applied)"
+        g = merge_pipeline_ops(build_matmul())
+        opt = optimize_graph(g)
+        text = pass_summary(opt.certificates)
+        assert "IR passes:" in text and "removed" in text
+
+
+class TestTraceOutputAndLint:
+    def test_output_marks_nodes(self):
+        with trace("o") as t:
+            a = EITVector(1, 2, 3, 4)
+            b = EITVector(1, 1, 1, 1)
+            t.output(a + b, a.dotP(b))
+        marked = [
+            d for d in t.graph.data_nodes() if d.attrs.get("output")
+        ]
+        assert len(marked) == 2
+
+    def test_lint_entry_point(self):
+        with trace("l") as t:
+            a = EITVector(1, 2, 3, 4)
+            b = EITVector(1, 1, 1, 1)
+            kept = a + b
+            (a * b)
+            t.output(kept)
+        report = t.lint()
+        assert n_code(report, "DFA602") == 1
+
+    def test_output_rejects_plain_values(self):
+        from repro.dsl.trace import DSLError
+
+        with trace("bad") as t:
+            EITVector(1, 2, 3, 4)
+            with pytest.raises(DSLError):
+                t.output(3.14)
+
+
+class TestDifferentialHypothesis:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_pipeline_preserves_semantics_on_synth_kernels(self, seed):
+        g = merge_pipeline_ops(
+            random_kernel(SynthSpec(n_ops=12, seed=seed))
+        )
+        opt = optimize_graph(g)
+        report = verify_pipeline(opt.certificates, g, opt.graph)
+        assert report.ok, report.render()
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_equivalence_check_is_clean_on_identity(self, seed):
+        g = random_kernel(SynthSpec(n_ops=10, seed=seed))
+        assert check_equivalence(g, g.copy(), seed=seed).ok
+        assert graph_fingerprint(g) == graph_fingerprint(g.copy())

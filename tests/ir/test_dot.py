@@ -1,6 +1,7 @@
 """DOT export (figure 3 style)."""
 
 from repro.apps import build_matmul
+from repro.dsl import EITVector, trace
 from repro.ir import merge_pipeline_ops, to_dot
 from repro.apps import build_qrd
 
@@ -31,3 +32,33 @@ class TestDot:
     def test_title_escaping(self):
         dot = to_dot(build_matmul(), 'has "quotes"')
         assert '\\"quotes\\"' in dot
+
+    def test_merged_nodes_annotated_with_roles(self):
+        g = merge_pipeline_ops(build_qrd())
+        dot = to_dot(g)
+        # a fused pre+core node carries its pipeline roles on a second
+        # label line (in merged_from order)
+        assert "v_conj|v_dotP\\n(core+pre)" in dot
+
+    def test_dead_nodes_render_dashed(self):
+        with trace("dead") as t:
+            a = EITVector(1, 2, 3, 4)
+            b = EITVector(4, 3, 2, 1)
+            kept = a + b
+            (a * b)  # dead branch
+            t.output(kept)
+        dot = to_dot(t.graph)
+        assert 'style="filled,dashed"' in dot  # the dead op
+        assert ', style="dashed"' in dot  # its dead result datum
+        # live nodes stay solid
+        assert 'style="filled"' in dot
+
+    def test_mark_dead_can_be_disabled(self):
+        with trace("dead2") as t:
+            a = EITVector(1, 2, 3, 4)
+            b = EITVector(4, 3, 2, 1)
+            kept = a + b
+            (a * b)
+            t.output(kept)
+        dot = to_dot(t.graph, mark_dead=False)
+        assert "dashed" not in dot

@@ -109,6 +109,26 @@ class TestCli:
         assert r["modulo_ii"] == r["mii"]
         assert r["modulo_certificate"] is not None
 
+    def test_passes_matmul(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_passes.json"
+        assert main([
+            "passes", "--kernels", "matmul", "--timeout", "120",
+            "--out", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ALL PASS CERTIFICATES VERIFIED" in out
+        import json
+
+        payload = json.loads(out_file.read_text())
+        assert payload["ok"] is True
+        r = payload["results"][0]
+        assert r["kernel"] == "matmul"
+        assert r["nodes_removed"] > 0
+        assert r["verify_ok"] is True
+        assert r["makespan_opt"] == r["makespan_base"]
+        # the optimization's whole point: strictly fewer CP search nodes
+        assert r["solver_nodes_opt"] < r["solver_nodes_base"]
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["tableX"])
