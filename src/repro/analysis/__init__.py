@@ -24,7 +24,13 @@ Four pass families, all returning structured
   :class:`PassCertificate` records re-derived by
   :func:`verify_pass_certificate` / :func:`verify_pipeline` and proven
   semantically by differential evaluation, without importing
-  :mod:`repro.ir.passes`.
+  :mod:`repro.ir.passes`;
+* :mod:`repro.analysis.sanitize` — the CP-engine side (``SAN7xx``):
+  the runtime propagator contract :class:`Sanitizer` behind the
+  ``sanitize=True`` solve paths (contraction, trail integrity, failure
+  soundness, missed wakeups), the decision-trace determinism auditor
+  (:func:`fingerprint_equality_report`), and the AST source lint over
+  ``src/repro`` (:func:`lint_sources` / :func:`lint_against_baseline`).
 
 None of these import the CP constraint-posting code
 (:mod:`repro.sched.model` / :mod:`repro.sched.memmodel`): the model
@@ -82,6 +88,14 @@ from repro.analysis.equivalence import (
 )
 from repro.analysis.ir_lint import lint_graph
 from repro.analysis.memory_audit import audit_memory, audit_modulo_memory
+from repro.analysis.sanitize import (
+    SanitizeConfig,
+    Sanitizer,
+    fingerprint_equality_report,
+    lint_against_baseline,
+    lint_sources,
+    make_sanitizer,
+)
 from repro.analysis.schedule_audit import audit_modulo, audit_schedule
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -100,6 +114,8 @@ __all__ = [
     "DiagnosticReport",
     "Location",
     "PassCertificate",
+    "SanitizeConfig",
+    "Sanitizer",
     "Severity",
     "asap_starts",
     "assert_modulo_clean",
@@ -112,12 +128,16 @@ __all__ = [
     "audit_schedule",
     "check_equivalence",
     "constant_values",
+    "fingerprint_equality_report",
     "horizon_precheck",
+    "lint_against_baseline",
     "lint_dataflow",
     "lint_graph",
+    "lint_sources",
     "lint_trace",
     "liveness",
     "magnitude_bounds",
+    "make_sanitizer",
     "makespan_lower_bound",
     "max_live_vectors",
     "memory_precheck",

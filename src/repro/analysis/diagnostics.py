@@ -184,6 +184,52 @@ CODES: Dict[str, CodeInfo] = {
     "GEN406": CodeInfo("configuration mismatch", "eq. 3",
                        "a vector micro-op's configuration class must equal "
                        "the instruction's vector_config"),
+    # -- propagator sanitizer / determinism auditor / source lint --------
+    "SAN701": CodeInfo("propagator expanded a domain", "",
+                       "propagate() may only narrow: every new domain "
+                       "must be a subset of the one it replaces"),
+    "SAN702": CodeInfo("trail restore not bit-exact", "",
+                       "pop_level must restore exactly the domains seen "
+                       "at push_level; mutate domains only through the "
+                       "store so changes are trailed"),
+    "SAN703": CodeInfo("unsound failure", "",
+                       "the propagator raised Inconsistency although an "
+                       "assignment drawn from the current domains "
+                       "satisfies it; weaken the pruning rule"),
+    "SAN704": CodeInfo("missed wakeup at claimed fixpoint", "",
+                       "running the propagator once more at a claimed "
+                       "fixpoint still pruned or failed: an event "
+                       "subscription mask or dirty set dropped a wakeup"),
+    "SAN705": CodeInfo("stale dirty set at fixpoint", "",
+                       "at any propagation fixpoint every wants_dirty "
+                       "constraint's dirty set must be empty; clear "
+                       "dirty state when the failure drain runs"),
+    "SAN706": CodeInfo("idempotence declaration violated", "",
+                       "a propagator declaring idempotent=True pruned "
+                       "again when re-run immediately; drop the flag or "
+                       "reach the internal fixpoint in one call"),
+    "SAN707": CodeInfo("decision-trace fingerprint mismatch", "",
+                       "two solves of the same problem diverged; hunt "
+                       "for iteration-order, identity-hash or wall-clock "
+                       "dependence in heuristics and propagators"),
+    "SAN708": CodeInfo("unordered set/dict iteration in hot path", "",
+                       "iteration order of sets (and dicts keyed by "
+                       "non-insertion order) feeds branching or queue "
+                       "order; iterate a sorted() or list view instead"),
+    "SAN709": CodeInfo("object-identity ordering", "",
+                       "id() is address-dependent and varies run to run; "
+                       "key and order by stable names or indices"),
+    "SAN710": CodeInfo("wall-clock read in pure solve function", "",
+                       "propagators and domain/result arithmetic must be "
+                       "pure; budgets belong to Search, not to pruning "
+                       "logic"),
+    "SAN711": CodeInfo("mutable default argument", "",
+                       "a shared mutable default leaks state across "
+                       "calls; default to None and allocate inside"),
+    "SAN712": CodeInfo("propagate() mutates untrailed constraint state", "",
+                       "state written during propagation survives "
+                       "backtracking; derive it from domains, trail it, "
+                       "or let the store manage it (dirty sets)"),
 }
 
 

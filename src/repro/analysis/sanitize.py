@@ -1,0 +1,735 @@
+"""Propagator contract sanitizer, determinism auditor and SAN source lint.
+
+Three layers of contract checking for the CP substrate, reported through
+the shared SAN7xx diagnostic codes (see ``repro.analysis.diagnostics``):
+
+Runtime sanitizer (:class:`Sanitizer`)
+    An opt-in hook object attached to a :class:`repro.cp.engine.Store`
+    (``store.sanitizer = san``), enabled end-to-end by passing
+    ``sanitize=True`` to ``schedule()`` / ``modulo_schedule()`` /
+    ``explore()`` exactly like ``audit=True``.  Per ``propagate()`` call
+    it checks **contraction** (every narrowing yields a subset — SAN701),
+    **trail integrity** (``pop_level`` restores bit-exact domains —
+    SAN702), **failure soundness** (an ``Inconsistency`` over small
+    domains is cross-checked by brute-force enumeration — SAN703),
+    **missed wakeups** (at a claimed fixpoint, re-running *all*
+    propagators must neither prune nor fail — SAN704), **dirty-set
+    hygiene** (empty at every fixpoint — SAN705) and **idempotence
+    declarations** (an ``idempotent=True`` propagator re-run immediately
+    must be a no-op — SAN706).
+
+    The probes re-run propagators against hypothetical states on the
+    *real* store under a trailed level with ``store._probing`` set, so
+    changes roll back, watchers never wake, and the statistics counters
+    are saved/restored — sanitize mode observes the search, it never
+    steers it.
+
+Determinism auditor
+    Every :class:`repro.cp.search.Search` run fingerprints its decision
+    trace (sha256 over branch decisions, the incumbent objective
+    sequence and final node/failure counts) into
+    ``SolverStats.trace_fingerprint``.  :func:`fingerprint_equality_report`
+    turns "bit-identical to sequential" claims into a checked equality
+    of fingerprints (SAN707) — the soundness condition for the parallel
+    racing search and for any future warm-start/coalescing service.
+
+SAN source lint (:func:`lint_sources`)
+    An AST pass over ``src/repro`` flagging nondeterminism and
+    engine-contract hazards in the code itself: unordered set iteration
+    feeding branching or queue order in ``cp/`` and ``sched/`` hot paths
+    (SAN708), ``id()``-based ordering (SAN709), wall-clock reads inside
+    pure solve functions (SAN710), mutable default arguments (SAN711)
+    and ``propagate()`` bodies mutating untrailed constraint state
+    (SAN712).  Heuristic findings are gated against a checked-in
+    baseline (``san_baseline.json``): CI fails only on *new* findings.
+
+The sanitizer is the acceptance bar for the planned vectorized
+propagator rewrite: the generated propagators must pass a clean-kernel
+sweep under ``sanitize=True`` before replacing the interpreted ones
+(see ``docs/sanitizer.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import (
+    AuditError,
+    DiagnosticReport,
+    Severity,
+)
+from repro.cp.domain import Domain
+from repro.cp.engine import Constraint, Inconsistency, Store
+
+# ----------------------------------------------------------------------
+# Runtime sanitizer
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SanitizeConfig:
+    """Knobs of the runtime sanitizer.
+
+    The defaults are chosen for test-sized models; the bench sweep dials
+    ``sweep_every`` up on node-heavy kernels because the fixpoint sweep
+    re-runs every propagator and therefore costs one root propagation
+    per sampled fixpoint.
+    """
+
+    #: cross-check a failure by brute force only when the Cartesian
+    #: product of the failing constraint's domains is at most this
+    #: (0 disables the check)
+    brute_force_limit: int = 200
+    #: total failures cross-checked per run (brute force is per-failure
+    #: exponential work; everything beyond the cap is counted as skipped)
+    max_brute_checks: int = 200
+    #: run the all-propagators missed-wakeup sweep at every Nth claimed
+    #: fixpoint (1 = every fixpoint; 0 disables the sweep)
+    sweep_every: int = 1
+    #: re-run idempotent-declared propagators immediately after each
+    #: invocation (SAN706)
+    check_idempotence: bool = True
+    #: stop recording diagnostics beyond this many (checks keep counting)
+    max_findings: int = 25
+
+
+class Sanitizer:
+    """Store-attached contract checker; one instance per solve.
+
+    Attach with :meth:`install`; the store calls back on every
+    narrowing, after every propagator run, at every fixpoint, on every
+    failure drain and around push/pop.  Findings accumulate in
+    ``self.report`` (pass name ``"sanitize"``); :meth:`finish` detaches
+    and raises :class:`AuditError` when any ERROR-severity finding was
+    recorded.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SanitizeConfig] = None,
+        subject: str = "store",
+    ):
+        self.config = config or SanitizeConfig()
+        self.report = DiagnosticReport(pass_name="sanitize", subject=subject)
+        #: per-check invocation counters (bench telemetry)
+        self.checks: Dict[str, int] = {
+            "narrowings": 0,
+            "idempotence_reruns": 0,
+            "fixpoint_sweeps": 0,
+            "brute_force_failures": 0,
+            "brute_force_skipped": 0,
+            "pop_comparisons": 0,
+        }
+        self.overflowed = False
+        self._snapshots: List[Tuple[int, List[object]]] = []
+        self._fixpoints = 0
+        self._brute_runs = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def install(self, store: Store) -> "Sanitizer":
+        store.sanitizer = self
+        return self
+
+    def finish(self, store: Optional[Store] = None) -> DiagnosticReport:
+        """Detach from ``store`` and raise on ERROR findings."""
+        if store is not None and store.sanitizer is self:
+            store.sanitizer = None
+        if not self.report.ok:
+            raise AuditError(self.report)
+        return self.report
+
+    def _add(self, code: str, message: str, node: Optional[str] = None) -> None:
+        if len(self.report) >= self.config.max_findings:
+            self.overflowed = True
+            return
+        self.report.add(code, message, node=node)
+
+    # -- store callbacks ----------------------------------------------
+    def on_narrow(self, store: Store, var, old: Domain, new: Domain) -> None:
+        """SAN701: the single mutation path must only ever contract."""
+        self.checks["narrowings"] += 1
+        if not new.issubset(old):
+            culprit = type(store._active).__name__ if store._active else "<no active constraint>"
+            self._add(
+                "SAN701",
+                f"{culprit} replaced {var.name} domain {old} with "
+                f"non-subset {new}",
+                node=var.name,
+            )
+
+    def on_push(self, store: Store) -> None:
+        self._snapshots.append(
+            (store.depth, [v.domain for v in store.vars])
+        )
+
+    def on_pop(self, store: Store) -> None:
+        """SAN702: popping must restore the exact pushed domains."""
+        if not self._snapshots or self._snapshots[-1][0] != store.depth:
+            # Attached mid-search or unbalanced caller: nothing to check.
+            return
+        _, snap = self._snapshots.pop()
+        self.checks["pop_comparisons"] += 1
+        for v, d in zip(store.vars, snap):
+            if v.domain != d:
+                self._add(
+                    "SAN702",
+                    f"pop_level left {v.name} at {v.domain}, pushed state "
+                    f"was {d} (domain mutated outside the store?)",
+                    node=v.name,
+                )
+
+    def after_propagate(self, store: Store, c: Constraint) -> None:
+        """SAN706: ``idempotent=True`` propagators re-run as no-ops."""
+        if not self.config.check_idempotence or not c.idempotent:
+            return
+        self.checks["idempotence_reruns"] += 1
+        failed, pruned = self._rerun(store, c)
+        if failed is not None or pruned:
+            what = (
+                f"raised {failed!r}" if failed is not None
+                else f"pruned {', '.join(pruned)}"
+            )
+            self._add(
+                "SAN706",
+                f"{type(c).__name__} declares idempotent=True but an "
+                f"immediate re-run {what}",
+                node=type(c).__name__,
+            )
+
+    def at_fixpoint(self, store: Store) -> None:
+        """SAN704/SAN705: a claimed fixpoint must actually be one."""
+        for dc in store._dirty_tracked:
+            if dc._dirty:
+                self._add(
+                    "SAN705",
+                    f"{type(dc).__name__} dirty set holds "
+                    f"{sorted(v.name for v in dc._dirty)} at a fixpoint",
+                    node=type(dc).__name__,
+                )
+        every = self.config.sweep_every
+        if every <= 0:
+            return
+        self._fixpoints += 1
+        if self._fixpoints % every:
+            return
+        self.checks["fixpoint_sweeps"] += 1
+        for c in store.constraints:
+            failed, pruned = self._rerun(store, c)
+            if failed is not None:
+                self._add(
+                    "SAN704",
+                    f"{type(c).__name__} fails a state the engine "
+                    f"declared a fixpoint: {failed}",
+                    node=type(c).__name__,
+                )
+            elif pruned:
+                self._add(
+                    "SAN704",
+                    f"{type(c).__name__} still prunes "
+                    f"{', '.join(pruned)} at a claimed fixpoint "
+                    f"(dropped wakeup: check subscriptions()/dirty sets)",
+                    node=type(c).__name__,
+                )
+
+    def on_failure(
+        self,
+        store: Store,
+        failed: Optional[Constraint],
+        exc: Inconsistency,
+    ) -> None:
+        """SAN703: cross-check small-domain failures by enumeration."""
+        cfg = self.config
+        c = failed if failed is not None else exc.constraint
+        if cfg.brute_force_limit <= 0 or c is None:
+            return
+        if self._brute_runs >= cfg.max_brute_checks:
+            self.checks["brute_force_skipped"] += 1
+            return
+        seen = []
+        for v in c.variables():
+            if v not in seen:
+                seen.append(v)
+        size = 1
+        for v in seen:
+            size *= len(v.domain)
+            if size > cfg.brute_force_limit:
+                self.checks["brute_force_skipped"] += 1
+                return
+        self._brute_runs += 1
+        self.checks["brute_force_failures"] += 1
+        witness = self._find_witness(store, c, seen)
+        if witness is not None:
+            assigned = ", ".join(
+                f"{v.name}={val}" for v, val in zip(seen, witness)
+            )
+            self._add(
+                "SAN703",
+                f"{type(c).__name__} raised Inconsistency "
+                f"({exc}) but accepts {assigned}",
+                node=type(c).__name__,
+            )
+
+    # -- probing helpers ----------------------------------------------
+    def _rerun(
+        self, store: Store, c: Constraint
+    ) -> Tuple[Optional[Inconsistency], List[str]]:
+        """Run ``c.propagate`` against the current state and roll back.
+
+        Returns ``(exception_or_None, pruned_variable_names)``.  Changes
+        are detected through the trail (every first narrowing at the
+        probe level trails), which catches prunings of *any* variable
+        without snapshotting the whole store.
+        """
+        n_failures = store.n_failures
+        store._probing = True
+        store.push_level()
+        mark = len(store._trail)
+        failed: Optional[Inconsistency] = None
+        try:
+            try:
+                c.propagate(store)
+            except Inconsistency as e:
+                failed = e
+            pruned = [v.name for v, _ in store._trail[mark:]]
+        finally:
+            store.pop_level()
+            store._probing = False
+            store.n_failures = n_failures
+        return failed, pruned
+
+    def _find_witness(
+        self, store: Store, c: Constraint, variables: Sequence
+    ) -> Optional[Tuple[int, ...]]:
+        """Full assignment over current domains that ``c`` accepts, if any.
+
+        Relies on the standard checker contract: at a fully assigned
+        state a propagator must raise iff the assignment violates it.
+        """
+        n_failures = store.n_failures
+        store._probing = True
+        try:
+            for values in itertools.product(*[list(v.domain) for v in variables]):
+                store.push_level()
+                try:
+                    for v, val in zip(variables, values):
+                        store.set_domain(v, Domain.singleton(val))
+                    c.propagate(store)
+                    return values
+                except Inconsistency:
+                    pass
+                finally:
+                    store.pop_level()
+        finally:
+            store._probing = False
+            store.n_failures = n_failures
+        return None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "report": self.report.as_dict(),
+            "checks": dict(self.checks),
+            "overflowed": self.overflowed,
+        }
+
+
+def make_sanitizer(sanitize, subject: str = "store") -> Optional[Sanitizer]:
+    """Normalize the ``sanitize=`` solve argument into a Sanitizer.
+
+    Accepts ``False``/``None`` (off), ``True`` (default config), a
+    :class:`SanitizeConfig`, or an existing :class:`Sanitizer` (reused,
+    e.g. to accumulate findings across the solves of one ladder).
+    """
+    if not sanitize:
+        return None
+    if isinstance(sanitize, Sanitizer):
+        return sanitize
+    if isinstance(sanitize, SanitizeConfig):
+        return Sanitizer(config=sanitize, subject=subject)
+    return Sanitizer(subject=subject)
+
+
+# ----------------------------------------------------------------------
+# Determinism auditor
+# ----------------------------------------------------------------------
+def fingerprint_equality_report(
+    subject: str, fingerprints: Dict[str, Optional[str]]
+) -> DiagnosticReport:
+    """SAN707 report comparing named decision-trace fingerprints.
+
+    ``fingerprints`` maps a label (``"sequential"``, ``"jobs=2"``, ...)
+    to the ``SolverStats.trace_fingerprint`` of that run.  All present
+    fingerprints must be equal; a missing one is only a warning (the run
+    produced no search at all, e.g. a certified-infeasible early exit).
+    """
+    report = DiagnosticReport(pass_name="determinism", subject=subject)
+    present = {k: v for k, v in fingerprints.items() if v is not None}
+    for k, v in fingerprints.items():
+        if v is None:
+            report.add(
+                "SAN707",
+                f"run {k!r} carries no trace fingerprint",
+                severity=Severity.WARNING,
+            )
+    if len(set(present.values())) > 1:
+        detail = ", ".join(f"{k}={v[:12]}…" for k, v in sorted(present.items()))
+        report.add(
+            "SAN707",
+            f"decision traces diverge across equivalent runs: {detail}",
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# SAN source lint
+# ----------------------------------------------------------------------
+
+#: modules (relative to the package root) whose functions must never
+#: read the wall clock — propagators, domain arithmetic, the store
+_PURE_TIME_PREFIXES = ("cp/constraints/", "cp/domain.py", "cp/engine.py")
+
+#: function names treated as pure solve functions wherever they live
+_PURE_FUNCTIONS = {"propagate", "posted", "subscriptions", "variables"}
+
+#: attribute names the store itself manages on constraints (exempt from
+#: the SAN712 untrailed-mutation check)
+_ENGINE_MANAGED_ATTRS = {"_dirty", "_queued"}
+
+_MUTATOR_METHODS = {
+    "append", "add", "clear", "discard", "remove", "pop", "popleft",
+    "extend", "update", "insert", "setdefault",
+}
+
+_ORDERING_CALLS = {"sorted", "min", "max", "heappush", "heapify"}
+
+_WALLCLOCK_CALLS = {
+    ("time", "time"), ("time", "monotonic"), ("time", "perf_counter"),
+    ("time", "process_time"), ("time", "time_ns"), ("time", "monotonic_ns"),
+    ("datetime", "now"), ("datetime", "utcnow"),
+}
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One source-lint hit; ``key()`` is line-number free so baselines
+    survive unrelated edits to the same file."""
+
+    code: str
+    path: str    # path relative to the package root, posix separators
+    scope: str   # Class.method or function qualname ("<module>" at top)
+    lineno: int
+    detail: str
+
+    def key(self) -> str:
+        return f"{self.code} {self.path} {self.scope} {self.detail}"
+
+
+def _call_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Call):
+        f = node.func
+        if isinstance(f, ast.Name):
+            return f.id
+        if isinstance(f, ast.Attribute):
+            return f.attr
+    return None
+
+
+def _is_set_expr(node: ast.AST, set_locals: set) -> bool:
+    """Heuristic: does this expression evaluate to a set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        f = node.func
+        if isinstance(f, ast.Name) and f.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.Name) and node.id in set_locals:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub)
+    ):
+        return _is_set_expr(node.left, set_locals) or _is_set_expr(
+            node.right, set_locals
+        )
+    return False
+
+
+class _ModuleLinter(ast.NodeVisitor):
+    def __init__(self, relpath: str):
+        self.relpath = relpath
+        self.findings: List[LintFinding] = []
+        self._scope: List[str] = []
+        self._class_has_propagate: List[bool] = []
+        self._set_locals: List[set] = []
+        self.in_cp_or_sched = relpath.startswith(("cp/", "sched/"))
+
+    # -- helpers -------------------------------------------------------
+    def _emit(self, code: str, lineno: int, detail: str) -> None:
+        self.findings.append(
+            LintFinding(
+                code=code,
+                path=self.relpath,
+                scope=".".join(self._scope) or "<module>",
+                lineno=lineno,
+                detail=detail,
+            )
+        )
+
+    def _in_pure_function(self) -> bool:
+        if any(name in _PURE_FUNCTIONS for name in self._scope):
+            return True
+        return self.relpath.startswith(_PURE_TIME_PREFIXES) and bool(self._scope)
+
+    def _in_propagate(self) -> bool:
+        return bool(
+            self._scope
+            and self._scope[-1] == "propagate"
+            and self._class_has_propagate
+            and self._class_has_propagate[-1]
+        )
+
+    # -- scope tracking ------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        # SAN712 applies to propagators only: a `propagate` method on a
+        # class that subclasses (something named) Constraint.  The Store
+        # itself also has a `propagate` — it owns the trail and may
+        # mutate its own bookkeeping freely.
+        def _base_name(b: ast.AST) -> str:
+            if isinstance(b, ast.Name):
+                return b.id
+            if isinstance(b, ast.Attribute):
+                return b.attr
+            return ""
+
+        has_prop = any(
+            "Constraint" in _base_name(b) for b in node.bases
+        ) and any(
+            isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and n.name == "propagate"
+            for n in node.body
+        )
+        self._scope.append(node.name)
+        self._class_has_propagate.append(has_prop)
+        self.generic_visit(node)
+        self._class_has_propagate.pop()
+        self._scope.pop()
+
+    def _visit_function(self, node) -> None:
+        # SAN711: mutable default arguments, anywhere in the tree.
+        for default in list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set")
+            ):
+                self._emit(
+                    "SAN711",
+                    default.lineno,
+                    f"def {node.name}(... = {ast.dump(default)[:40]})",
+                )
+        self._scope.append(node.name)
+        self._set_locals.append(self._collect_set_locals(node))
+        self.generic_visit(node)
+        self._set_locals.pop()
+        self._scope.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    @staticmethod
+    def _collect_set_locals(fn) -> set:
+        names = set()
+        for n in ast.walk(fn):
+            if isinstance(n, ast.Assign) and _is_set_expr(n.value, names):
+                for t in n.targets:
+                    if isinstance(t, ast.Name):
+                        names.add(t.id)
+        return names
+
+    # -- checks --------------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        # SAN708: unordered set iteration in cp/ and sched/ functions.
+        if (
+            self.in_cp_or_sched
+            and self._scope
+            and self._set_locals
+            and _is_set_expr(node.iter, self._set_locals[-1])
+        ):
+            self._emit(
+                "SAN708",
+                node.lineno,
+                f"for over set expression "
+                f"{ast.unparse(node.iter)[:60]}",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node)
+        # SAN709: id() inside an ordering construct.
+        if name in _ORDERING_CALLS or name == "sort":
+            for sub in ast.walk(node):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and sub.func.id == "id"
+                ):
+                    self._emit(
+                        "SAN709",
+                        node.lineno,
+                        f"id() inside {name}()",
+                    )
+                    break
+        # SAN710: wall-clock reads inside pure solve code.
+        if isinstance(node.func, ast.Attribute) and self._in_pure_function():
+            base = node.func.value
+            base_name = base.id if isinstance(base, ast.Name) else None
+            if (base_name, node.func.attr) in _WALLCLOCK_CALLS:
+                self._emit(
+                    "SAN710",
+                    node.lineno,
+                    f"{base_name}.{node.func.attr}() in "
+                    f"{'.'.join(self._scope)}",
+                )
+        # SAN712: self.<attr>.mutator(...) inside propagate().
+        if (
+            self._in_propagate()
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATOR_METHODS
+            and isinstance(node.func.value, ast.Attribute)
+            and isinstance(node.func.value.value, ast.Name)
+            and node.func.value.value.id == "self"
+            and node.func.value.attr not in _ENGINE_MANAGED_ATTRS
+        ):
+            self._emit(
+                "SAN712",
+                node.lineno,
+                f"self.{node.func.value.attr}.{node.func.attr}() "
+                f"in propagate",
+            )
+        self.generic_visit(node)
+
+    def _check_untrailed_store(self, target: ast.AST, lineno: int) -> None:
+        # SAN712: self.<attr> = ... / self.<attr>[...] = ... in propagate().
+        if not self._in_propagate():
+            return
+        node = target
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr not in _ENGINE_MANAGED_ATTRS
+        ):
+            self._emit(
+                "SAN712",
+                lineno,
+                f"assignment to self.{node.attr} in propagate",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for t in node.targets:
+            self._check_untrailed_store(t, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_untrailed_store(node.target, node.lineno)
+        self.generic_visit(node)
+
+
+def _package_root() -> Path:
+    return Path(__file__).resolve().parent.parent
+
+
+def lint_sources(root: Optional[Path] = None) -> Tuple[DiagnosticReport, List[LintFinding]]:
+    """Run the SAN source lint over a package tree.
+
+    Returns ``(report, findings)``; the report holds one WARNING-severity
+    diagnostic per finding (gating against the baseline is what promotes
+    new findings to failures — see :func:`lint_against_baseline`).
+    """
+    root = Path(root) if root is not None else _package_root()
+    findings: List[LintFinding] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        linter = _ModuleLinter(rel)
+        linter.visit(tree)
+        findings.extend(linter.findings)
+    report = DiagnosticReport(pass_name="san-lint", subject=str(root))
+    for f in findings:
+        report.add(
+            f.code,
+            f"{f.detail} ({f.scope})",
+            severity=Severity.WARNING,
+            node=f"{f.path}:{f.lineno}",
+        )
+    return report, findings
+
+
+#: checked-in baseline of accepted findings, shipped next to this module
+BASELINE_PATH = Path(__file__).resolve().parent / "san_baseline.json"
+
+
+def load_baseline(path: Optional[Path] = None) -> List[str]:
+    p = Path(path) if path is not None else BASELINE_PATH
+    if not p.exists():
+        return []
+    data = json.loads(p.read_text(encoding="utf-8"))
+    return list(data.get("findings", []))
+
+
+def lint_against_baseline(
+    root: Optional[Path] = None, baseline_path: Optional[Path] = None
+) -> Tuple[DiagnosticReport, List[LintFinding], List[str]]:
+    """Lint and gate: returns ``(report, new_findings, stale_baseline)``.
+
+    ``report`` carries one ERROR per finding that is **not** in the
+    baseline (so ``report.ok`` is the CI gate) plus one WARNING per
+    baselined finding still present.  ``stale_baseline`` lists baseline
+    keys that no longer match anything — prune them when touching the
+    baseline file.
+    """
+    _, findings = lint_sources(root)
+    baseline = set(load_baseline(baseline_path))
+    report = DiagnosticReport(
+        pass_name="san-lint",
+        subject=str(Path(root) if root is not None else _package_root()),
+    )
+    new: List[LintFinding] = []
+    seen_keys = set()
+    for f in findings:
+        key = f.key()
+        seen_keys.add(key)
+        if key in baseline:
+            report.add(
+                f.code,
+                f"[baselined] {f.detail} ({f.scope})",
+                severity=Severity.WARNING,
+                node=f"{f.path}:{f.lineno}",
+            )
+        else:
+            new.append(f)
+            report.add(
+                f.code,
+                f"{f.detail} ({f.scope})",
+                severity=Severity.ERROR,
+                node=f"{f.path}:{f.lineno}",
+            )
+    stale = sorted(baseline - seen_keys)
+    return report, new, stale
+
+
+def write_baseline(
+    findings: Iterable[LintFinding], path: Optional[Path] = None
+) -> Path:
+    """Serialize the given findings as the new accepted baseline."""
+    p = Path(path) if path is not None else BASELINE_PATH
+    payload = {"findings": sorted(f.key() for f in findings)}
+    p.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return p

@@ -15,6 +15,8 @@ Usage::
                                  [--json] [--out BOUNDS.json]
     python -m repro.bench passes [--kernels qrd,arf,matmul,backsub] \
                                  [--json] [--out PASSES.json]
+    python -m repro.bench sanitize [--kernels qrd,arf,matmul,backsub] \
+                                   [--json] [--out BENCH_sanitize.json]
     python -m repro.bench all
 
 ``audit`` runs every static-analysis pass (IR lint, schedule/memory
@@ -33,6 +35,13 @@ optimizes every shipped kernel, re-verifies the full pass-certificate
 chain and the seeded semantic-equivalence check through the
 independent verifier, and reports the IR node reduction and CP
 search-node delta — exiting nonzero on any verification failure.
+
+``sanitize`` runs the clean-kernel sweep under the propagator contract
+sanitizer (every solve checked for SAN7xx violations and proved
+bit-identical to the unsanitized search), proves sequential-vs-parallel
+decision-fingerprint equality for the racing modulo scheduler, and
+gates the SAN source lint against its checked-in baseline — exiting
+nonzero on any finding.
 """
 
 from __future__ import annotations
@@ -53,6 +62,8 @@ from repro.bench.harness import (
     print_audit,
     print_bounds,
     print_passes,
+    print_sanitize,
+    sanitize_report,
     print_explore,
     print_table1,
     print_table2,
@@ -68,7 +79,8 @@ def main(argv=None) -> int:
     p = argparse.ArgumentParser(prog="python -m repro.bench")
     p.add_argument("experiment", choices=[
         "table1", "table2", "table3", "fig3", "fig45", "fig6", "fig8",
-        "profile", "explore", "audit", "bounds", "passes", "all",
+        "profile", "explore", "audit", "bounds", "passes", "sanitize",
+        "all",
     ])
     p.add_argument("--sizes", default="64,32,16,10",
                    help="memory sizes for table1 (comma-separated)")
@@ -206,6 +218,25 @@ def main(argv=None) -> int:
                 print(json.dumps(payload, indent=2))
             else:
                 print(print_passes(payload))
+            if args.out:
+                with open(args.out, "w") as f:
+                    f.write(json.dumps(payload, indent=2) + "\n")
+                print(f"wrote {args.out}")
+            if not payload["ok"]:
+                rc = 1
+        elif exp == "sanitize":
+            kernels = args.kernels.split(",")
+            if "backsub" not in kernels and args.kernels == "qrd,arf,matmul":
+                kernels.append("backsub")  # default set covers all four
+            payload = sanitize_report(
+                kernels=kernels,
+                timeout_ms=args.timeout * 1000,
+                jobs=max(args.jobs, 2),
+            )
+            if args.json:
+                print(json.dumps(payload, indent=2))
+            else:
+                print(print_sanitize(payload))
             if args.out:
                 with open(args.out, "w") as f:
                     f.write(json.dumps(payload, indent=2) + "\n")

@@ -717,6 +717,202 @@ def print_passes(payload: Dict[str, object]) -> str:
     return body
 
 
+def sanitize_report(
+    kernels: Sequence[str] = ("qrd", "arf", "matmul", "backsub"),
+    fingerprint_kernels: Sequence[str] = ("qrd", "backsub"),
+    timeout_ms: float = 120_000.0,
+    cfg: EITConfig = DEFAULT_CONFIG,
+    sweep_every: int = 16,
+    jobs: int = 2,
+) -> Dict[str, object]:
+    """Clean-kernel sweep under the propagator contract sanitizer.
+
+    Three checked claims, one payload (the CI ``sanitize`` gate):
+
+    1. every shipped kernel schedules under ``sanitize=True`` with zero
+       SAN7xx diagnostics, and the sanitized search is *bit-identical*
+       to the plain one (equal decision-trace fingerprints — the probes
+       observe, they must not steer);
+    2. the racing modulo scheduler is deterministic: for the
+       ``fingerprint_kernels`` the parallel winner's decision trace
+       equals the sequential ladder's (SAN707 fingerprint equality);
+    3. the SAN source lint reports no findings beyond the checked-in
+       baseline, and no baseline entry is stale.
+
+    ``sweep_every`` dials down the all-propagator fixpoint sweep, the
+    dominant sanitize cost on node-heavy kernels; every other check
+    still runs at full rate.  The per-kernel rows carry the sanitizer's
+    check counters, the per-constraint-class propagation breakdown and
+    the sanitize-on/off wall-clock ratio as bench telemetry.
+    """
+    from repro.analysis.diagnostics import AuditError
+    from repro.analysis.sanitize import (
+        SanitizeConfig,
+        Sanitizer,
+        fingerprint_equality_report,
+        lint_against_baseline,
+    )
+    from repro.sched.parallel import modulo_schedule_parallel
+
+    all_ok = True
+    results: List[Dict[str, object]] = []
+    for name in kernels:
+        g = prepared(name)
+        t0 = time.monotonic()
+        plain = schedule(g, cfg=cfg, timeout_ms=timeout_ms)
+        t_plain = (time.monotonic() - t0) * 1000.0
+
+        san = Sanitizer(
+            SanitizeConfig(sweep_every=sweep_every),
+            subject=f"bench:{name}",
+        )
+        t0 = time.monotonic()
+        try:
+            sanitized = schedule(
+                g, cfg=cfg, timeout_ms=timeout_ms, sanitize=san
+            )
+        except AuditError:
+            sanitized = None
+        t_san = (time.monotonic() - t0) * 1000.0
+
+        steer = fingerprint_equality_report(
+            name,
+            {
+                "plain": (
+                    plain.search_stats.trace_fingerprint
+                    if plain.search_stats else None
+                ),
+                "sanitized": (
+                    sanitized.search_stats.trace_fingerprint
+                    if sanitized is not None and sanitized.search_stats
+                    else None
+                ),
+            },
+        )
+        kernel_ok = (
+            san.report.ok
+            and sanitized is not None
+            and steer.ok
+            and sanitized.makespan == plain.makespan
+        )
+        all_ok = all_ok and kernel_ok
+        stats = sanitized.search_stats if sanitized is not None else None
+        results.append({
+            "kernel": name,
+            "ok": kernel_ok,
+            "status": plain.status.value,
+            "makespan": plain.makespan if plain.starts else None,
+            "time_plain_ms": t_plain,
+            "time_sanitize_ms": t_san,
+            "overhead_x": (t_san / t_plain) if t_plain > 0 else None,
+            "n_findings": len(san.report),
+            "sanitizer": san.as_dict(),
+            "search_identical": steer.ok,
+            "propagations_by_class": (
+                dict(stats.propagations_by_class) if stats else {}
+            ),
+        })
+
+    fingerprint_results: List[Dict[str, object]] = []
+    for name in fingerprint_kernels:
+        g = prepared(name)
+        seq = modulo_schedule(g, cfg, timeout_ms=timeout_ms)
+        par = modulo_schedule_parallel(
+            g, cfg, timeout_ms=timeout_ms, jobs=jobs
+        )
+        rep = fingerprint_equality_report(
+            name,
+            {
+                "sequential": seq.decision_fingerprint,
+                f"jobs={jobs}": par.decision_fingerprint,
+            },
+        )
+        fp_ok = rep.ok and par.ii == seq.ii and par.offsets == seq.offsets
+        all_ok = all_ok and fp_ok
+        fingerprint_results.append({
+            "kernel": name,
+            "ok": fp_ok,
+            "ii": seq.ii,
+            "fingerprint": seq.decision_fingerprint,
+            "report": rep.as_dict(),
+        })
+
+    lint_rep, lint_new, lint_stale = lint_against_baseline()
+    lint_ok = not lint_new and not lint_stale
+    all_ok = all_ok and lint_ok
+
+    return {
+        "kernels": list(kernels),
+        "ok": all_ok,
+        "sweep_every": sweep_every,
+        "results": results,
+        "fingerprints": fingerprint_results,
+        "lint": {
+            "ok": lint_ok,
+            "n_findings": len(lint_rep),
+            "n_new": len(lint_new),
+            "stale_baseline": lint_stale,
+            "report": lint_rep.as_dict(),
+        },
+    }
+
+
+def print_sanitize(payload: Dict[str, object]) -> str:
+    """Human rendering of a :func:`sanitize_report` payload."""
+    rows = []
+    findings: List[str] = []
+    for r in payload["results"]:  # type: ignore[index]
+        checks = r["sanitizer"]["checks"]
+        rows.append([
+            r["kernel"],
+            "ok" if r["ok"] else "FAIL",
+            "-" if r["makespan"] is None else r["makespan"],
+            f"{r['time_plain_ms']:.0f}",
+            f"{r['time_sanitize_ms']:.0f}",
+            "-" if r["overhead_x"] is None else f"{r['overhead_x']:.1f}x",
+            checks["narrowings"],
+            checks["fixpoint_sweeps"],
+            checks["idempotence_reruns"],
+            checks["brute_force_failures"],
+            "yes" if r["search_identical"] else "NO",
+        ])
+        for d in r["sanitizer"]["report"]["diagnostics"]:
+            findings.append(
+                f"  {r['kernel']}: {d['code']} {d['severity']}: "
+                f"{d['message']}"
+            )
+    table = format_table(
+        ["kernel", "status", "mk", "plain ms", "san ms", "ovh",
+         "narrow", "sweeps", "idem", "brute", "identical"],
+        rows,
+    )
+    fp_rows = [
+        [
+            f["kernel"],
+            "ok" if f["ok"] else "FAIL",
+            f["ii"],
+            (f["fingerprint"] or "-")[:16],
+        ]
+        for f in payload["fingerprints"]  # type: ignore[index]
+    ]
+    fp_table = format_table(
+        ["kernel", "seq==par", "ii", "fingerprint"], fp_rows
+    )
+    lint = payload["lint"]  # type: ignore[index]
+    lint_line = (
+        f"source lint: {lint['n_findings']} finding(s), "
+        f"{lint['n_new']} new, {len(lint['stale_baseline'])} stale "
+        f"baseline entr{'y' if len(lint['stale_baseline']) == 1 else 'ies'}"
+    )
+    verdict = (
+        "SANITIZE SWEEP CLEAN" if payload["ok"] else "SANITIZE SWEEP FAILED"
+    )
+    body = "\n".join([table, "", fp_table, "", lint_line, verdict])
+    if findings:
+        body += "\n" + "\n".join(findings)
+    return body
+
+
 # ----------------------------------------------------------------------
 # Figures
 # ----------------------------------------------------------------------

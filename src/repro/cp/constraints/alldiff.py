@@ -31,6 +31,11 @@ class AllDifferent(Constraint):
     """All variables take pairwise distinct values."""
 
     priority = 2  # expensive global: run after the cheap propagators settle
+    # Not idempotent: one pass of value propagation can expose a new
+    # Hall interval that only the *next* run prunes, so the engine must
+    # re-wake this propagator on its own prunings (the sanitizer's
+    # SAN706 re-run check relies on this declaration being honest).
+    idempotent = False
 
     def __init__(self, xs: Sequence[IntVar]):
         self.xs: Tuple[IntVar, ...] = tuple(xs)
@@ -50,7 +55,11 @@ class AllDifferent(Constraint):
                 if x.is_assigned():
                     v = x.value()
                     if v in dup_check:
-                        raise Inconsistency(f"alldifferent: duplicate {v}")
+                        raise Inconsistency(
+                            f"alldifferent: duplicate {v}",
+                            constraint=self,
+                            var=x,
+                        )
                     dup_check.add(v)
                     assigned.add(v)
             for x in self.xs:
@@ -69,7 +78,9 @@ class AllDifferent(Constraint):
             if len(union) < i + 1:
                 raise Inconsistency(
                     f"alldifferent: {i + 1} variables share only "
-                    f"{len(union)} values"
+                    f"{len(union)} values",
+                    constraint=self,
+                    var=x,
                 )
 
         # 3. Hall intervals on bounds: for every interval [lo, hi] of
@@ -86,7 +97,9 @@ class AllDifferent(Constraint):
                 if len(inside) > width:
                     raise Inconsistency(
                         f"alldifferent: {len(inside)} variables in "
-                        f"[{lo},{hi}] of width {width}"
+                        f"[{lo},{hi}] of width {width}",
+                        constraint=self,
+                        var=inside[0],
                     )
                 if len(inside) == width:
                     for x in self.xs:

@@ -160,6 +160,10 @@ class XPlusYEqZ(Constraint):
     """``x + y == z`` with bounds consistency."""
 
     priority = 0
+    # Not idempotent: the later store.set_* calls read bounds already
+    # tightened earlier in the same pass, so a re-run can tighten again;
+    # the engine re-wakes on the self-caused BOUNDS events.
+    idempotent = False
 
     def __init__(self, x: IntVar, y: IntVar, z: IntVar):
         self.x, self.y, self.z = x, y, z
@@ -186,6 +190,11 @@ class XPlusYEqZ(Constraint):
 class LinearEq(Constraint):
     """``sum(a_i * x_i) == c`` with bounds consistency."""
 
+    # Not idempotent: term bounds are read once up front, so pruning one
+    # variable can tighten the slack available to the others only on the
+    # next run (the engine re-wakes on the self-caused BOUNDS events).
+    idempotent = False
+
     def __init__(self, coeffs: Sequence[int], xs: Sequence[IntVar], c: int):
         if len(coeffs) != len(xs):
             raise ValueError("coeffs and vars length mismatch")
@@ -209,7 +218,11 @@ class LinearEq(Constraint):
         total_lo = sum(b[0] for b in bounds)
         total_hi = sum(b[1] for b in bounds)
         if total_lo > self.c or total_hi < self.c:
-            raise Inconsistency(f"linear eq infeasible: {total_lo}..{total_hi} != {self.c}")
+            raise Inconsistency(
+                f"linear eq infeasible: {total_lo}..{total_hi} != {self.c}",
+                constraint=self,
+                var=self.xs[0],
+            )
         for (a, x), (lo_i, hi_i) in zip(zip(self.coeffs, self.xs), bounds):
             if a == 0:
                 continue
@@ -228,6 +241,12 @@ class LinearEq(Constraint):
 
 class LinearLeq(Constraint):
     """``sum(a_i * x_i) <= c`` with bounds consistency."""
+
+    # One pass is a fixpoint: each variable's cut uses only the *other*
+    # terms' lower bounds, and set_max/set_min here never move a lower
+    # bound a positive term contributes (nor an upper bound a negative
+    # one does), so total_lo is unchanged by this run's own prunings.
+    idempotent = True
 
     def __init__(self, coeffs: Sequence[int], xs: Sequence[IntVar], c: int):
         if len(coeffs) != len(xs):
@@ -253,7 +272,9 @@ class LinearLeq(Constraint):
             lo_terms.append(lo)
             total_lo += lo
         if total_lo > self.c:
-            raise Inconsistency("linear leq infeasible")
+            raise Inconsistency(
+                "linear leq infeasible", constraint=self, var=self.xs[0]
+            )
         for (a, x), lo_i in zip(zip(self.coeffs, self.xs), lo_terms):
             if a == 0:
                 continue

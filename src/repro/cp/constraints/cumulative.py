@@ -48,6 +48,10 @@ class Cumulative(Constraint):
     """``Cumulative(tasks, capacity)`` — paper eq. 2."""
 
     priority = 2  # expensive global: run after the cheap propagators settle
+    # Not idempotent: pruning a start can create a new compulsory part,
+    # so the profile of the *next* run can be strictly taller; the
+    # engine must re-wake this propagator on its own BOUNDS events.
+    idempotent = False
 
     def __init__(self, tasks: Sequence[Task], capacity: int):
         if capacity < 0:
@@ -92,9 +96,14 @@ class Cumulative(Constraint):
         for a, b in zip(events, events[1:]):
             height = sum(d for lo, hi, d, _t in parts if lo <= a and b <= hi)
             if height > self.capacity:
+                culprit = next(
+                    t for lo, hi, _d, t in parts if lo <= a and b <= hi
+                )
                 raise Inconsistency(
                     f"cumulative overload: height {height} > {self.capacity} "
-                    f"in [{a}, {b})"
+                    f"in [{a}, {b})",
+                    constraint=self,
+                    var=culprit.start,
                 )
             if height > 0:
                 segments.append((a, b, height))

@@ -42,7 +42,8 @@ class CyclicDistance(Constraint):
         if 2 * mindist > modulus:
             # No two distinct points can be this far apart on the circle.
             raise Inconsistency(
-                f"cyclic distance {mindist} impossible with modulus {modulus}"
+                f"cyclic distance {mindist} impossible with modulus {modulus}",
+                constraint=self,
             )
         self.x, self.y = x, y
         self.mindist = mindist

@@ -67,6 +67,12 @@ class Diff2(Constraint):
 
     priority = 2
     wants_dirty = True
+    # Not idempotent: enforcing one pair's placement moves bounds other
+    # pairs read, so self-caused wakeups (delivered through the dirty
+    # set) are load-bearing.  The dirty set is engine-managed state: the
+    # store clears it when a failure drains the queue, so a mid-
+    # propagation Inconsistency never leaves stale entries behind.
+    idempotent = False
 
     def __init__(self, rects: Sequence[Rect2]):
         self.rects: Tuple[Rect2, ...] = tuple(rects)
@@ -111,7 +117,11 @@ class Diff2(Constraint):
         f3 = boy.lo + b_ly_lo <= aoy.hi  # b below a
         n = f0 + f1 + f2 + f3
         if n == 0:
-            raise Inconsistency(f"Diff2: {a!r} and {b!r} must overlap")
+            raise Inconsistency(
+                f"Diff2: {a!r} and {b!r} must overlap",
+                constraint=self,
+                var=a.ox,
+            )
         if n == 1:
             if f0:
                 self._enforce_before(store, a.ox, a.lx, b.ox)

@@ -128,6 +128,11 @@ class BinaryTable(Constraint):
     compatibility relation directly over slot numbers.
     """
 
+    # Not idempotent: x is filtered against y's *pre-pass* domain, so a
+    # value of x whose last support died in this pass's y-filtering is
+    # only removed on the self-woken re-run.
+    idempotent = False
+
     def __init__(self, x: IntVar, y: IntVar, allowed: Sequence[Tuple[int, int]]):
         self.x, self.y = x, y
         self.allowed: FrozenSet[Tuple[int, int]] = frozenset(allowed)
@@ -164,6 +169,8 @@ class ConditionalBinaryTable(Constraint):
     consistency; when the pair ``(x, y)`` provably has no allowed
     support, the guard is falsified.
     """
+
+    idempotent = False  # inherits BinaryTable's one-pass gap when guarded
 
     def __init__(
         self,

@@ -129,6 +129,23 @@ class Domain:
         parts = [f"{lo}" if lo == hi else f"{lo}..{hi}" for lo, hi in self._ivs]
         return "{" + ", ".join(parts) + "}"
 
+    def issubset(self, other: "Domain") -> bool:
+        """True when every value of this domain is also in ``other``.
+
+        Linear merge over both interval lists; used by the sanitizer's
+        contraction check (a narrowing must produce a subset of the old
+        domain), so it must not allocate.
+        """
+        b = other._ivs
+        j = 0
+        nb = len(b)
+        for lo, hi in self._ivs:
+            while j < nb and b[j][1] < lo:
+                j += 1
+            if j >= nb or b[j][0] > lo or b[j][1] < hi:
+                return False
+        return True
+
     def next_value(self, v: int) -> int:
         """Smallest domain value strictly greater than ``v``.
 

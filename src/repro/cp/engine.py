@@ -21,16 +21,25 @@ of variables* that changed since their last invocation (``self._dirty``)
 so they can propagate incrementally — :class:`repro.cp.constraints.diff2.Diff2`
 uses this to re-examine only rectangle pairs whose bounds moved, which
 turns the hot path of the paper's memory-allocation model from
-O(pairs) per wake into O(changed pairs).  Dirty sets survive queue
-drains and backtracking: every state the trail restores was a
-propagation fixpoint, so a stale entry only costs a redundant check,
-never a missed pruning.
+O(pairs) per wake into O(changed pairs).  Dirty sets are cleared when a
+failure drains the queue: backtracking then restores a state that was
+itself a propagation fixpoint, at which every dirty set was empty, so
+clearing re-establishes exactly the restored state's bookkeeping.
 
 Backtracking uses time-stamped trailing: ``push_level`` marks the trail,
 domain changes record ``(var, old_domain)`` once per level, and
 ``pop_level`` replays the trail backwards.  Because
 :class:`repro.cp.domain.Domain` is immutable, restoring is a reference
 assignment — branch and undo are O(changes), not O(variables).
+
+Contract checking: a :class:`repro.analysis.sanitize.Sanitizer` may be
+attached as ``store.sanitizer``.  The store then calls back on every
+narrowing, after every propagator invocation, at every claimed fixpoint,
+on every failure drain and around push/pop — the SAN7xx checks
+(contraction, trail integrity, failure soundness, missed wakeups) live
+entirely in the sanitizer; the engine only provides the hook points and
+the ``_probing`` flag that suppresses watcher wakeups while the
+sanitizer re-runs propagators against hypothetical states.
 """
 
 from __future__ import annotations
@@ -47,7 +56,20 @@ class Inconsistency(Exception):
 
     Search catches this to backtrack; user code sees it only when the
     root problem itself is infeasible.
+
+    Structured context: ``constraint`` is the propagator that raised (or
+    was active when the wipe-out happened) and ``var`` the variable whose
+    domain emptied, when known.  Both default to ``None`` so every
+    existing ``raise Inconsistency(msg)`` site keeps working and the
+    message text is unchanged — the fields exist so the sanitizer and
+    failure-soundness checks can locate the culprit without parsing
+    strings.
     """
+
+    def __init__(self, message: str = "", constraint=None, var=None):
+        super().__init__(message)
+        self.constraint = constraint
+        self.var = var
 
 
 class Event:
@@ -133,6 +155,14 @@ class Store:
         self.level: int = 0
         #: constraint currently inside propagate() (self-wakeup filter)
         self._active: Constraint | None = None
+        #: optional :class:`repro.analysis.sanitize.Sanitizer` hook object
+        self.sanitizer = None
+        #: True while the sanitizer re-runs propagators against
+        #: hypothetical states: changes are trailed (so they roll back)
+        #: but watchers are NOT woken and no wakeup stats are counted.
+        self._probing: bool = False
+        #: constraints that own a dirty set (cleared on failure drains)
+        self._dirty_tracked: List[Constraint] = []
         # statistics
         self.n_propagations: int = 0
         self.n_failures: int = 0
@@ -158,6 +188,7 @@ class Store:
             v.watchers.append((mask, constraint))
         if constraint.wants_dirty:
             constraint._dirty = set()
+            self._dirty_tracked.append(constraint)
         constraint.posted(self)
         self._enqueue(constraint)
         self.propagate()
@@ -169,17 +200,29 @@ class Store:
     def _changed(self, var: "IntVar", new_domain) -> None:
         if new_domain.is_empty():
             self.n_failures += 1
-            raise Inconsistency(f"domain wipe-out on {var.name}")
+            raise Inconsistency(
+                f"domain wipe-out on {var.name}",
+                constraint=self._active,
+                var=var,
+            )
         old = var.domain
         if new_domain is old or new_domain == old:
             # Equality (not just identity) matters: propagators that
             # rebuild domains value-by-value must not look like changes,
             # or the propagation queue never reaches fixpoint.
             return
+        if self.sanitizer is not None:
+            # SAN701: the single mutation path is also the single place
+            # contraction (new ⊆ old) can be checked exhaustively.
+            self.sanitizer.on_narrow(self, var, old, new_domain)
         if var._stamp != self.level:
             self._trail.append((var, old))
             var._stamp = self.level
         var.domain = new_domain
+        if self._probing:
+            # Sanitizer probe: the change is trailed for rollback but
+            # must not wake watchers or perturb wakeup statistics.
+            return
         emask = Event.DOMAIN
         if new_domain.lo > old.lo:
             emask |= Event.MIN
@@ -214,7 +257,11 @@ class Store:
             return
         if value not in dom:
             self.n_failures += 1
-            raise Inconsistency(f"{var.name} := {value} not in {dom}")
+            raise Inconsistency(
+                f"{var.name} := {value} not in {dom}",
+                constraint=self._active,
+                var=var,
+            )
         from repro.cp.domain import Domain
 
         self._changed(var, Domain.singleton(value))
@@ -251,11 +298,17 @@ class Store:
 
         On :class:`Inconsistency` the queue is drained (so the next
         search node starts clean) and the exception re-raised.  Dirty
-        sets are *not* cleared on drain: backtracking restores a state
-        that was itself a fixpoint, so leftover entries are conservative.
+        sets are cleared on the drain as well: the failure's level is
+        about to be popped, the restored state was itself a fixpoint at
+        which every dirty set was empty, so entries accumulated since
+        then describe changes the trail is about to undo.  (Leaving them
+        would only cost redundant re-checks, but it would also make
+        dirty-set state depend on *which* branch failed — a determinism
+        hazard the sanitizer checks via SAN705.)
         """
         queues = self._queues
         by_class = self.propagations_by_class
+        san = self.sanitizer
         try:
             while True:
                 c = None
@@ -264,6 +317,8 @@ class Store:
                         c = q.popleft()
                         break
                 if c is None:
+                    if san is not None:
+                        san.at_fixpoint(self)
                     return
                 c._queued = False
                 self.n_propagations += 1
@@ -272,17 +327,27 @@ class Store:
                 self._active = c
                 c.propagate(self)
                 self._active = None
-        except Inconsistency:
+                if san is not None:
+                    san.after_propagate(self, c)
+        except Inconsistency as exc:
+            failed = self._active
             self._active = None
             for q in queues:
                 while q:
                     q.popleft()._queued = False
+            for dc in self._dirty_tracked:
+                if dc._dirty:
+                    dc._dirty.clear()
+            if san is not None:
+                san.on_failure(self, failed, exc)
             raise
 
     # ------------------------------------------------------------------
     # Backtracking
     # ------------------------------------------------------------------
     def push_level(self) -> None:
+        if self.sanitizer is not None and not self._probing:
+            self.sanitizer.on_push(self)
         self._marks.append(len(self._trail))
         self.level += 1
 
@@ -294,6 +359,8 @@ class Store:
             var.domain = old
             var._stamp = -1
         self.level -= 1
+        if self.sanitizer is not None and not self._probing:
+            self.sanitizer.on_pop(self)
 
     @property
     def depth(self) -> int:

@@ -24,6 +24,7 @@ levels popped, trail empty), with the partial statistics preserved and
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from enum import Enum
@@ -168,6 +169,10 @@ class Search:
         self._objective: Optional[IntVar] = None
         self._phases: List[Phase] = []
         self.on_solution: Optional[Callable[[Dict[str, int], Optional[int]], None]] = None
+        #: incremental sha256 over the canonical decision trace; always
+        #: on (one short update per node — noise next to propagation),
+        #: finalized into ``stats.trace_fingerprint`` by :meth:`_run`.
+        self._trace = hashlib.sha256()
 
     # ------------------------------------------------------------------
     # Public API
@@ -214,6 +219,7 @@ class Search:
         self._found = True
         elapsed_ms = (time.monotonic() - self._t0) * 1000.0
         stats.time_to_best_ms = elapsed_ms
+        self._trace.update(f"s:{obj};".encode())
         if obj is not None:
             stats.objective_timeline.append((elapsed_ms, obj))
         if self.on_solution is not None:
@@ -276,6 +282,7 @@ class Search:
             phase_idx, phase, var = decision
             self._tick(phase_idx)
             value = phase.value_select(var)
+            self._trace.update(f"d:{var.name}={value};".encode())
 
             # Left branch: var = value
             store.push_level()
@@ -287,6 +294,7 @@ class Search:
             except Inconsistency:
                 stats.failures += 1
                 stats.backtracks += 1
+                self._trace.update(b"f;")
             finally:
                 store.pop_level()
 
@@ -302,6 +310,7 @@ class Search:
             except Inconsistency:
                 stats.failures += 1
                 stats.backtracks += 1
+                self._trace.update(b"f;")
                 return
 
     def _apply_bound(self) -> None:
@@ -314,6 +323,7 @@ class Search:
         self._best_obj = None
         self._best_assignment = {}
         self._found = False
+        self._trace = hashlib.sha256()
         self.stats = stats = SolverStats()
         store = self.store
         prop0 = store.n_propagations
@@ -349,6 +359,10 @@ class Search:
             for k, v in store.propagations_by_class.items()
             if v - by_class0.get(k, 0) > 0
         }
+        self._trace.update(
+            f"F:{stats.failures};N:{stats.nodes};S:{stats.solutions};".encode()
+        )
+        stats.trace_fingerprint = self._trace.hexdigest()
 
         if self._found:
             if objective is None:

@@ -15,7 +15,7 @@ throughout :mod:`repro.sched` carry the same type under the old name.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 @dataclass
@@ -41,6 +41,16 @@ class SolverStats:
         before the search was exhausted; ``cancelled`` is True when an
         external ``should_stop`` hook ended the run (the parallel racing
         search uses this to abandon II candidates that lost the race).
+    Determinism
+        ``trace_fingerprint`` is a sha256 hex digest over the canonical
+        decision trace of the run — every branch decision
+        ``(variable, value)`` in DFS order, every failure mark, the
+        incumbent objective sequence, and the final node/failure counts.
+        No wall-clock quantity enters the hash, so two runs of the same
+        problem with the same heuristics and budgets that explore the
+        same tree produce the *same* fingerprint; the parallel racer's
+        "bit-identical to sequential" claim is checked as fingerprint
+        equality (see :mod:`repro.analysis.sanitize`).
     """
 
     nodes: int = 0
@@ -58,6 +68,7 @@ class SolverStats:
     phase_nodes: Dict[str, int] = field(default_factory=dict)
     phase_time_ms: Dict[str, float] = field(default_factory=dict)
     objective_timeline: List[Tuple[float, int]] = field(default_factory=list)
+    trace_fingerprint: Optional[str] = None
 
     def merge(self, other: "SolverStats") -> "SolverStats":
         """Accumulate another run's counters into this one, in place.
@@ -88,6 +99,9 @@ class SolverStats:
             self.phase_nodes[k] = self.phase_nodes.get(k, 0) + v
         for k, v in other.phase_time_ms.items():
             self.phase_time_ms[k] = self.phase_time_ms.get(k, 0.0) + v
+        self.trace_fingerprint = combine_fingerprints(
+            self.trace_fingerprint, other.trace_fingerprint
+        )
         return self
 
     def nodes_per_sec(self) -> float:
@@ -119,7 +133,25 @@ class SolverStats:
             "objective_timeline": [
                 (round(t, 3), obj) for t, obj in self.objective_timeline
             ],
+            "trace_fingerprint": self.trace_fingerprint,
         }
+
+
+def combine_fingerprints(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    """Order-independent combination of two trace fingerprints.
+
+    Aggregated stats (design-space sweeps, the II ladder) merge solves
+    whose *completion order* differs between sequential and parallel
+    execution, so the combined fingerprint must be commutative and
+    associative: byte-wise XOR of the digests.  (Multiset caveat: a pair
+    of identical fingerprints cancels; individual per-solve fingerprints
+    are the equality-checked artifact, the combined one is telemetry.)
+    """
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return bytes(x ^ y for x, y in zip(bytes.fromhex(a), bytes.fromhex(b))).hex()
 
 
 #: Backwards-compatible name used by :mod:`repro.sched.result` and tests.

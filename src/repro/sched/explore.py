@@ -145,6 +145,7 @@ def explore_detailed(
     jobs: int = 1,
     cache: Optional["ScheduleCache"] = None,
     audit: bool = False,
+    sanitize=False,
     optimize: bool = False,
     passes: Optional[Sequence[str]] = None,
 ) -> ExploreOutcome:
@@ -179,6 +180,13 @@ def explore_detailed(
     chain rides inside each cached payload (surviving the disk tier and
     the pool wire).  ``audit=True`` additionally re-verifies each chain
     via :func:`repro.analysis.verify_pipeline` before any solving.
+
+    With ``sanitize=True`` every fresh solve runs under the SAN7xx
+    propagator contract sanitizer (:mod:`repro.analysis.sanitize`); the
+    flag is folded into the solver options — and therefore into every
+    cell's cache key — so sanitized and unsanitized sweeps never share
+    cache entries.  A finding raises
+    :class:`repro.analysis.AuditError` instead of degrading the cell.
     """
     from repro.analysis.bounds import memory_precheck
     from repro.cache import (
@@ -292,16 +300,20 @@ def explore_detailed(
         per_ii = derive_per_ii_timeout(
             modulo_timeout_ms, graph, cfg, include_reconfigs
         )
+        sched_options: Dict[str, object] = {"timeout_ms": timeout_ms}
+        modulo_options: Dict[str, object] = {
+            "include_reconfigs": include_reconfigs,
+            "timeout_ms": modulo_timeout_ms,
+            "per_ii_timeout_ms": per_ii,
+        }
+        if sanitize:
+            # Only when on: keeps sanitize-off cache keys byte-identical
+            # to pre-sanitizer sweeps (warm caches stay warm).
+            sched_options["sanitize"] = sanitize
+            modulo_options["sanitize"] = sanitize
         for kind, options in (
-            ("schedule", {"timeout_ms": timeout_ms}),
-            (
-                "modulo",
-                {
-                    "include_reconfigs": include_reconfigs,
-                    "timeout_ms": modulo_timeout_ms,
-                    "per_ii_timeout_ms": per_ii,
-                },
-            ),
+            ("schedule", sched_options),
+            ("modulo", modulo_options),
         ):
             req_id = f"{kname}/{pname}/{kind}"
             if cache is not None:
@@ -389,6 +401,7 @@ def explore(
     jobs: int = 1,
     cache: Optional["ScheduleCache"] = None,
     audit: bool = False,
+    sanitize=False,
     optimize: bool = False,
     passes: Optional[Sequence[str]] = None,
 ) -> List[DesignPoint]:
@@ -402,6 +415,7 @@ def explore(
         jobs=jobs,
         cache=cache,
         audit=audit,
+        sanitize=sanitize,
         optimize=optimize,
         passes=passes,
     ).points

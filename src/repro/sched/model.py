@@ -51,10 +51,15 @@ class ScheduleModel:
         horizon: Optional[int] = None,
         with_memory: bool = True,
         memory_encoding: str = "implication",
+        sanitizer=None,
     ):
         self.graph = graph
         self.cfg = cfg
         self.store = Store()
+        if sanitizer is not None:
+            # Attach before any constraint is posted so root propagation
+            # during the build runs under the SAN7xx contract checks too.
+            sanitizer.install(self.store)
         self.with_memory = with_memory
 
         # Static pre-solve analysis: the energetic lower-bound set and

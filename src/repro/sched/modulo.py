@@ -86,6 +86,14 @@ class ModuloResult:
     #: merged solver telemetry of every candidate II tried (None for
     #: fallback/cached results — no fresh search happened).
     search_stats: Optional["SolverStats"] = None
+    #: canonical decision-trace fingerprint of the *winning* candidate's
+    #: search (sha256 over branch decisions, incumbent timeline and
+    #: failure counts — see :mod:`repro.cp.search`).  The sequential
+    #: ladder and the parallel racer solve the winning window with the
+    #: same deterministic search, so equal fingerprints — not just equal
+    #: IIs — are what "bit-identical" means; None for fallback/cached
+    #: results.
+    decision_fingerprint: Optional[str] = None
     #: machine-checkable optimality / infeasibility witness (see
     #: :mod:`repro.analysis.certify`), when the search could prove one.
     certificate: Optional["Certificate"] = None
@@ -216,6 +224,7 @@ def try_candidate(
     timeout_ms: float,
     max_stages: int,
     should_stop: Optional[Callable[[], bool]] = None,
+    sanitize=False,
 ):
     """Solve the satisfaction CSP for one candidate window length.
 
@@ -223,13 +232,24 @@ def try_candidate(
     ``(offsets, stages)`` or None and ``stats`` the run's
     :class:`SolverStats` (empty when root posting already failed).
 
+    ``sanitize`` attaches the propagator contract sanitizer
+    (:class:`repro.analysis.Sanitizer`) to the store before any
+    constraint is posted, so build-time root propagation is checked
+    too; any SAN7xx finding raises :class:`repro.analysis.AuditError`
+    before the candidate's verdict is returned.
+
     Decision variables are *absolute* start times ``s``; offsets and
     stages are channeled arc-consistently (``o = s mod W``,
     ``k = s div W``), so resource pruning on offsets removes whole
     residue classes from the start-time domains, and the set-times
     search over ``s`` handles precedence exactly like flat scheduling.
     """
+    from repro.analysis.sanitize import make_sanitizer
+
+    san = make_sanitizer(sanitize, subject=f"modulo:{graph.name}@W={window}")
     store = Store()
+    if san is not None:
+        san.install(store)
     ops = graph.op_nodes()
     horizon = (max_stages + 1) * window - 1
     start: Dict[int, IntVar] = {}
@@ -302,6 +322,8 @@ def try_candidate(
                         )
                     )
     except Inconsistency:
+        if san is not None:
+            san.finish(store)
         return None, SolveStatus.INFEASIBLE, SolverStats()
 
     search = Search(store, timeout_ms=timeout_ms, should_stop=should_stop)
@@ -317,6 +339,8 @@ def try_candidate(
             )
         ]
     )
+    if san is not None:
+        san.finish(store)
     if not result.found:
         return None, result.status, result.stats
     offs = {o.nid: result.value(offset[o.nid].name) for o in ops}
@@ -345,11 +369,14 @@ def result_from_solution(
     opt_time_ms: float,
     tried: List[Tuple[int, str]],
     search_stats: Optional[SolverStats] = None,
+    decision_fingerprint: Optional[str] = None,
 ) -> ModuloResult:
     """Assemble a feasible :class:`ModuloResult` from one CSP solution.
 
     Shared by the sequential loop and the parallel racer so both produce
     byte-identical results from the same ``(window, solution)``.
+    ``decision_fingerprint`` is the winning candidate's decision-trace
+    hash, which makes that claim *checkable* rather than asserted.
     """
     offsets, stages = solution
     stream = window_config_stream(graph, offsets, window)
@@ -392,6 +419,7 @@ def result_from_solution(
         stages=stages,
         tried=tried,
         search_stats=search_stats,
+        decision_fingerprint=decision_fingerprint,
         certificate=certificate,
     )
 
@@ -488,6 +516,7 @@ def modulo_schedule(
     per_ii_timeout_ms: Optional[float] = None,
     jobs: int = 1,
     audit: bool = False,
+    sanitize=False,
     optimize: bool = False,
     passes: Optional[Sequence[str]] = None,
 ) -> ModuloResult:
@@ -510,6 +539,12 @@ def modulo_schedule(
     chain (with ``audit=True`` the chain is re-verified end to end via
     :func:`repro.analysis.verify_pipeline` first).  ``passes`` overrides
     the pass pipeline.
+
+    ``sanitize=True`` (or a :class:`repro.analysis.SanitizeConfig`) runs
+    every candidate CSP under the propagator contract sanitizer — the
+    SAN70x checks of :mod:`repro.analysis.sanitize` — raising
+    :class:`repro.analysis.AuditError` on any finding; with ``jobs > 1``
+    the flag travels to the pool workers in the solve request.
     """
     if optimize:
         from repro.analysis import AuditError, verify_pipeline
@@ -531,6 +566,7 @@ def modulo_schedule(
             per_ii_timeout_ms=per_ii_timeout_ms,
             jobs=jobs,
             audit=audit,
+            sanitize=sanitize,
             optimize=False,
         )
         result.pass_certificates = tuple(opt.certificates)
@@ -562,6 +598,7 @@ def modulo_schedule(
             per_ii_timeout_ms=per_ii_timeout_ms,
             jobs=jobs,
             audit=audit,
+            sanitize=sanitize,
         )
 
     t0 = time.monotonic()
@@ -590,7 +627,8 @@ def modulo_schedule(
         if per_ii_timeout_ms is not None:
             budget = min(budget, per_ii_timeout_ms)
         solution, status, run_stats = try_candidate(
-            graph, cfg, window, include_reconfigs, budget, max_stages
+            graph, cfg, window, include_reconfigs, budget, max_stages,
+            sanitize=sanitize,
         )
         merged.merge(run_stats)
         tried.append((window, status.value))
@@ -609,6 +647,7 @@ def modulo_schedule(
                 (time.monotonic() - t0) * 1000.0,
                 tried,
                 search_stats=merged,
+                decision_fingerprint=run_stats.trace_fingerprint,
             ),
             graph,
             cfg,

@@ -109,6 +109,13 @@ class SolveResult:
     #: True when this result was synthesized by the greedy fallback
     #: because the worker crashed, hung, or raised.
     degraded: bool = False
+    #: True when the worker raised :class:`repro.analysis.AuditError`
+    #: (an audit or SAN7xx sanitizer finding).  Fatal failures must
+    #: *never* degrade to the greedy fallback — that would mask a
+    #: correctness violation as a timeout; the parent re-raises instead.
+    #: ``payload`` then carries the pickled
+    #: :class:`~repro.analysis.diagnostics.DiagnosticReport`.
+    fatal: bool = False
 
 
 # ----------------------------------------------------------------------
@@ -169,6 +176,7 @@ def run_request(req: SolveRequest) -> SolveResult:
                 opts["timeout_ms"],
                 opts["max_stages"],
                 should_stop=_worker_should_stop,
+                sanitize=opts.get("sanitize", False),
             )
             return SolveResult(
                 req_id=req.req_id,
@@ -183,13 +191,18 @@ def run_request(req: SolveRequest) -> SolveResult:
     except BaseException as exc:  # noqa: BLE001 — isolation boundary
         if isinstance(exc, (KeyboardInterrupt, SystemExit)):
             raise
+        from repro.analysis.diagnostics import AuditError
+
+        fatal = isinstance(exc, AuditError)
         return SolveResult(
             req_id=req.req_id,
             ok=False,
+            payload=exc.report if fatal else None,
             error="".join(
                 traceback.format_exception_only(type(exc), exc)
             ).strip(),
             elapsed_ms=(time.monotonic() - t0) * 1000.0,
+            fatal=fatal,
         )
 
 
@@ -232,6 +245,20 @@ class WorkerPool:
 
     def __exit__(self, *exc) -> None:
         self.shutdown()
+
+
+def _reraise_fatal(res: SolveResult) -> None:
+    """Re-raise a worker's AuditError in the parent process.
+
+    Degrading a sanitizer/audit violation to the greedy fallback would
+    report a correctness bug as a mere timeout, so fatal results bypass
+    the degradation path entirely.
+    """
+    from repro.analysis.diagnostics import AuditError
+
+    if res.payload is not None:
+        raise AuditError(res.payload)
+    raise RuntimeError(f"fatal worker error on {res.req_id}: {res.error}")
 
 
 def _degraded_result(req: SolveRequest, error: str) -> SolveResult:
@@ -295,6 +322,8 @@ def solve_many(
     if jobs <= 1:
         for req in requests:
             res = run_request(req)
+            if res.fatal:
+                _reraise_fatal(res)
             results[req.req_id] = (
                 res if res.ok else _degraded_result(req, res.error)
             )
@@ -320,13 +349,18 @@ def solve_many(
             except BrokenProcessPool:
                 done = set()
             now = time.monotonic()
-            for fut in done:
+            # `done` is an unordered set; walk it in submission order so
+            # result recording is deterministic (SAN708).
+            for fut in [f for f in pending if f in done]:
                 req = pending.pop(fut)
                 deadlines.pop(fut)
                 try:
                     res = fut.result()
                 except (BrokenProcessPool, Exception) as exc:
                     res = SolveResult(req.req_id, ok=False, error=repr(exc))
+                if res.fatal:
+                    pool.cancel_outstanding()
+                    _reraise_fatal(res)
                 results[req.req_id] = (
                     res if res.ok else _degraded_result(req, res.error)
                 )
@@ -361,6 +395,7 @@ def modulo_schedule_parallel(
     per_ii_timeout_ms: Optional[float] = None,
     jobs: int = 2,
     audit: bool = False,
+    sanitize=False,
 ) -> ModuloResult:
     """Race a window of candidate IIs across workers.
 
@@ -376,7 +411,15 @@ def modulo_schedule_parallel(
     Bit-identity caveat: if a candidate *times out* under
     ``per_ii_timeout_ms``, its status depends on wall-clock and can
     differ between runs (parallel or not); with budgets that let every
-    candidate finish, the result is identical to ``jobs=1``.
+    candidate finish, the result is identical to ``jobs=1`` — including
+    the winner's ``decision_fingerprint``, so the claim is checkable.
+
+    ``sanitize`` (True or a picklable
+    :class:`repro.analysis.SanitizeConfig`) ships with each candidate
+    request, so workers run their CSPs under the SAN7xx propagator
+    contract checks; a finding raises
+    :class:`repro.analysis.AuditError` in the parent rather than
+    degrading to the greedy fallback.
     """
     t0 = time.monotonic()
     if max_ii is not None:
@@ -398,6 +441,7 @@ def modulo_schedule_parallel(
 
     statuses: Dict[int, SolveStatus] = {}
     solutions: Dict[int, Tuple[Dict[int, int], Dict[int, int]]] = {}
+    fingerprints: Dict[int, Optional[str]] = {}
     merged = SolverStats()
 
     def finish(window: Optional[int], timed_out: bool = False) -> ModuloResult:
@@ -419,6 +463,7 @@ def modulo_schedule_parallel(
                     elapsed_ms,
                     tried,
                     search_stats=merged,
+                    decision_fingerprint=fingerprints.get(window),
                 ),
                 graph,
                 cfg,
@@ -457,6 +502,7 @@ def modulo_schedule_parallel(
             per_ii_timeout_ms=per_ii_timeout_ms,
             jobs=1,
             audit=audit,
+            sanitize=sanitize,
         )
 
     with WorkerPool(jobs) as pool:
@@ -478,6 +524,7 @@ def modulo_schedule_parallel(
                         ("include_reconfigs", include_reconfigs),
                         ("timeout_ms", budget_each),
                         ("max_stages", stages_for_window(flat_makespan, w)),
+                        ("sanitize", sanitize),
                     ),
                 )
                 pending[pool.submit(req)] = w
@@ -501,12 +548,17 @@ def modulo_schedule_parallel(
             except BrokenProcessPool:
                 done = set()
             broken = False
-            for fut in done:
+            # Walk completions in submission (= window) order so stats
+            # merging and status recording are deterministic (SAN708).
+            for fut in [f for f in pending if f in done]:
                 w = pending.pop(fut)
                 try:
                     res = fut.result()
                 except (BrokenProcessPool, Exception):
                     res, broken = None, True
+                if res is not None and res.fatal:
+                    pool.cancel_outstanding()
+                    _reraise_fatal(res)
                 if res is None or not res.ok:
                     # a crashed candidate is indistinguishable from a
                     # timeout for the search semantics: unproven
@@ -517,6 +569,11 @@ def modulo_schedule_parallel(
                 statuses[w] = SolveStatus(res.payload["status"])
                 if res.payload["solution"] is not None:
                     solutions[w] = res.payload["solution"]
+                    fingerprints[w] = (
+                        res.stats.trace_fingerprint
+                        if res.stats is not None
+                        else None
+                    )
             winner = best_decided()
             if winner is not None:
                 pool.cancel_outstanding()

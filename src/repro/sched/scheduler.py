@@ -49,6 +49,7 @@ def schedule(
     memory_encoding: str = "implication",
     should_stop: Optional[Callable[[], bool]] = None,
     audit: bool = False,
+    sanitize=False,
     optimize: bool = False,
     passes: Optional[Sequence[str]] = None,
 ) -> Schedule:
@@ -92,6 +93,17 @@ def schedule(
         ``optimize=True`` additionally re-verifies the whole pass-
         certificate chain (:func:`repro.analysis.verify_pipeline`),
         including differential-evaluation equivalence.
+    sanitize:
+        run the solve under the propagator contract sanitizer
+        (:class:`repro.analysis.Sanitizer`): every ``propagate()`` call
+        is checked for contraction, trail integrity, failure soundness
+        and missed wakeups (the ``SAN70x`` codes), raising
+        :class:`repro.analysis.AuditError` on any finding.  Accepts
+        ``True`` (default config), a
+        :class:`repro.analysis.SanitizeConfig`, or an existing
+        :class:`~repro.analysis.Sanitizer` to accumulate findings
+        across solves.  Orthogonal to ``audit``: ``audit`` re-checks
+        the *result*, ``sanitize`` checks the *solver* while it runs.
     optimize:
         run the certified IR optimization pipeline
         (:func:`repro.ir.passes.optimize_graph`) over the graph first
@@ -137,6 +149,7 @@ def schedule(
             memory_encoding=memory_encoding,
             should_stop=should_stop,
             audit=audit,
+            sanitize=sanitize,
             optimize=False,
         )
         s.pass_certificates = tuple(opt.certificates)
@@ -150,6 +163,9 @@ def schedule(
         makespan_lower_bound,
         memory_precheck,
     )
+    from repro.analysis.sanitize import make_sanitizer
+
+    san = make_sanitizer(sanitize, subject=f"schedule:{graph.name}")
 
     t0 = time.monotonic()
 
@@ -167,6 +183,7 @@ def schedule(
                     certificate=cert,
                 ),
                 audit,
+                san,
             )
     if horizon is not None:
         cert = horizon_precheck(graph, cfg, horizon)
@@ -181,6 +198,7 @@ def schedule(
                     certificate=cert,
                 ),
                 audit,
+                san,
             )
 
     bounds = makespan_lower_bound(graph, cfg)
@@ -209,6 +227,7 @@ def schedule(
             probe_budget,
             probe_nodes,
             should_stop,
+            san,
         )
         merged.merge(probe_stats)
         if probe is not None:
@@ -235,6 +254,7 @@ def schedule(
                     ),
                 ),
                 audit,
+                san,
             )
         floor_proven_above = refuted
 
@@ -246,20 +266,25 @@ def schedule(
             horizon=horizon,
             with_memory=with_memory,
             memory_encoding=memory_encoding,
+            sanitizer=san,
         )
         if floor_proven_above:
             # the probe *proved* nothing fits at the bound itself
             model.store.set_min(model.makespan, bounds.value + 1)
     except Inconsistency:
         # Root propagation already wiped out a domain: provably infeasible.
-        return Schedule(
-            graph=graph,
-            cfg=cfg,
-            starts={},
-            makespan=-1,
-            status=SolveStatus.INFEASIBLE,
-            solve_time_ms=(time.monotonic() - t0) * 1000.0,
-            search_stats=merged if merged.nodes else None,
+        return _audited(
+            Schedule(
+                graph=graph,
+                cfg=cfg,
+                starts={},
+                makespan=-1,
+                status=SolveStatus.INFEASIBLE,
+                solve_time_ms=(time.monotonic() - t0) * 1000.0,
+                search_stats=merged if merged.nodes else None,
+            ),
+            audit,
+            san,
         )
 
     remaining = timeout_ms
@@ -280,6 +305,7 @@ def schedule(
                     fallback=True,
                 ),
                 audit,
+                san,
             )
 
     search = Search(model.store, timeout_ms=remaining, should_stop=should_stop)
@@ -308,15 +334,20 @@ def schedule(
                     fallback=True,
                 ),
                 audit,
+                san,
             )
-        return Schedule(
-            graph=graph,
-            cfg=cfg,
-            starts={},
-            makespan=-1,
-            status=result.status,
-            solve_time_ms=elapsed_ms,
-            search_stats=merged,
+        return _audited(
+            Schedule(
+                graph=graph,
+                cfg=cfg,
+                starts={},
+                makespan=-1,
+                status=result.status,
+                solve_time_ms=elapsed_ms,
+                search_stats=merged,
+            ),
+            audit,
+            san,
         )
 
     starts = {
@@ -357,6 +388,7 @@ def schedule(
             certificate=certificate,
         ),
         audit,
+        san,
     )
 
 
@@ -369,6 +401,7 @@ def _probe_at_bound(
     timeout_ms: Optional[float],
     node_limit: int,
     should_stop: Optional[Callable[[], bool]],
+    sanitizer=None,
 ) -> Tuple[Optional[Tuple[dict, dict]], bool, SolverStats]:
     """One satisfaction solve at ``horizon = static lower bound``.
 
@@ -387,6 +420,7 @@ def _probe_at_bound(
             horizon=floor,
             with_memory=with_memory,
             memory_encoding=memory_encoding,
+            sanitizer=sanitizer,
         )
     except Inconsistency:
         return None, True, SolverStats()
@@ -413,8 +447,18 @@ def _probe_at_bound(
     return None, result.status is SolveStatus.INFEASIBLE, result.stats
 
 
-def _audited(sched: Schedule, audit: bool) -> Schedule:
-    """Post-check a solve result with the independent analyser."""
+def _audited(sched: Schedule, audit: bool, san=None) -> Schedule:
+    """Post-check a solve result with the independent analyser.
+
+    ``san`` is the solve's :class:`~repro.analysis.Sanitizer` (or None):
+    any SAN7xx finding it accumulated raises before — and regardless
+    of — the result audit, so a contract violation is never masked by a
+    plausible-looking schedule.
+    """
+    if san is not None and not san.report.ok:
+        from repro.analysis import AuditError
+
+        raise AuditError(san.report)
     if not audit:
         return sched
     from repro.analysis import (

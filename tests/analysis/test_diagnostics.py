@@ -16,7 +16,7 @@ from repro.analysis import (
 
 _FAMILIES = {
     "IR1": "ir", "SCH2": "sched", "MEM3": "mem", "BND5": "bounds",
-    "GEN4": "gen", "DFA6": "dataflow",
+    "GEN4": "gen", "DFA6": "dataflow", "SAN7": "sanitize",
 }
 
 
@@ -24,7 +24,7 @@ class TestRegistry:
     def test_codes_follow_family_pattern(self):
         for code in CODES:
             assert re.fullmatch(
-                r"(IR1|SCH2|MEM3|BND5|GEN4|DFA6)\d\d", code
+                r"(IR1|SCH2|MEM3|BND5|GEN4|DFA6|SAN7)\d\d", code
             ), code
 
     def test_every_family_present(self):

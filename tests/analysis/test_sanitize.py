@@ -1,0 +1,428 @@
+"""Propagator contract sanitizer, determinism auditor, SAN source lint.
+
+Each runtime check (SAN701-SAN706) is exercised by a deliberately broken
+propagator: the sanitizer attached to the store must catch exactly the
+contract violation the propagator commits, and a well-behaved model must
+come out clean with every check counter actually exercised.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    SanitizeConfig,
+    Sanitizer,
+    fingerprint_equality_report,
+    lint_against_baseline,
+    lint_sources,
+    make_sanitizer,
+)
+from repro.analysis.diagnostics import CODES, AuditError, Severity
+from repro.cp import Eq, Inconsistency, IntVar, Neq, Store, XPlusCLeqY
+from repro.cp.domain import Domain
+from repro.cp.engine import Constraint
+from repro.cp.stats import combine_fingerprints
+
+
+# ----------------------------------------------------------------------
+# Deliberately broken propagators (one per contract)
+# ----------------------------------------------------------------------
+class ExpandOnce(Constraint):
+    """SAN701: grows the domain through the store's mutation path."""
+
+    def __init__(self, x):
+        self.x = x
+
+    def variables(self):
+        return (self.x,)
+
+    def propagate(self, store):
+        d = self.x.domain
+        if d.lo > 0:  # expand exactly once so propagation terminates
+            store.set_domain(self.x, Domain.interval(d.lo - 1, d.hi))
+
+
+class SpuriousFail(Constraint):
+    """SAN703: raises during propagation although witnesses exist."""
+
+    def __init__(self, x):
+        self.x = x
+
+    def variables(self):
+        return (self.x,)
+
+    def propagate(self, store):
+        if not self.x.is_assigned():
+            raise Inconsistency("spurious failure", constraint=self)
+
+
+class Sleepy(Constraint):
+    """SAN704: prunes y from x but subscribes to nothing, so a change
+    of x never wakes it — the classic dropped-wakeup bug."""
+
+    def __init__(self, x, y):
+        self.x, self.y = x, y
+
+    def variables(self):
+        return (self.x, self.y)
+
+    def subscriptions(self):
+        return ()
+
+    def propagate(self, store):
+        store.set_min(self.y, self.x.domain.lo)
+
+
+class LazySqueeze(Constraint):
+    """SAN706: claims idempotence but shaves one value per call."""
+
+    idempotent = True
+
+    def __init__(self, x):
+        self.x = x
+
+    def variables(self):
+        return (self.x,)
+
+    def propagate(self, store):
+        d = self.x.domain
+        if d.hi > d.lo:
+            store.set_max(self.x, d.hi - 1)
+
+
+class TestRuntimeSanitizer:
+    def test_san701_expansion_caught(self):
+        store = Store()
+        san = Sanitizer().install(store)
+        x = IntVar(store, 1, 3, name="x")
+        store.post(ExpandOnce(x))
+        assert "SAN701" in san.report.codes()
+        with pytest.raises(AuditError):
+            san.finish(store)
+        assert store.sanitizer is None  # finish detaches even on raise
+
+    def test_san702_untrailed_mutation_caught(self):
+        store = Store()
+        san = Sanitizer().install(store)
+        x = IntVar(store, 0, 5, name="x")
+        store.push_level()
+        x.domain = Domain.interval(2, 5)  # bypasses the store: untrailed
+        store.pop_level()
+        assert "SAN702" in san.report.codes()
+        assert san.checks["pop_comparisons"] == 1
+
+    def test_san703_unsound_failure_caught(self):
+        store = Store()
+        san = Sanitizer().install(store)
+        x = IntVar(store, 0, 2, name="x")
+        with pytest.raises(Inconsistency):
+            store.post(SpuriousFail(x))
+        assert "SAN703" in san.report.codes()
+        assert san.checks["brute_force_failures"] == 1
+
+    def test_san703_respects_brute_force_limit(self):
+        store = Store()
+        san = Sanitizer(SanitizeConfig(brute_force_limit=1)).install(store)
+        x = IntVar(store, 0, 2, name="x")  # |domain| = 3 > limit
+        with pytest.raises(Inconsistency):
+            store.post(SpuriousFail(x))
+        assert "SAN703" not in san.report.codes()
+        assert san.checks["brute_force_skipped"] == 1
+
+    def test_san704_missed_wakeup_caught(self):
+        store = Store()
+        san = Sanitizer().install(store)
+        x = IntVar(store, 0, 5, name="x")
+        y = IntVar(store, 0, 5, name="y")
+        store.post(Sleepy(x, y))  # post-time run is fine: y.min == x.lo
+        assert san.report.ok
+        store.set_min(x, 3)  # Sleepy never hears about this
+        store.propagate()  # empty queue -> claimed fixpoint -> sweep
+        assert "SAN704" in san.report.codes()
+
+    def test_san705_stale_dirty_set_caught(self):
+        from repro.cp.constraints.diff2 import Diff2, Rect2
+
+        store = Store()
+        # sweeps off: a sweep re-runs Diff2, whose propagate() clears
+        # its own dirty set — the hygiene check must fire without it
+        san = Sanitizer(SanitizeConfig(sweep_every=0)).install(store)
+        x = IntVar(store, 0, 3, name="x")
+        y = IntVar(store, 0, 3, name="y")
+        row0, row1 = IntVar(store, 0, 0), IntVar(store, 1, 1)
+        d = store.post(Diff2([Rect2(x, row0, 1, 1), Rect2(y, row1, 1, 1)]))
+        assert san.report.ok
+        d._dirty.add(x)  # simulate an engine hygiene bug
+        store.propagate()
+        assert "SAN705" in san.report.codes()
+
+    def test_san706_false_idempotence_caught(self):
+        store = Store()
+        san = Sanitizer(SanitizeConfig(sweep_every=0)).install(store)
+        x = IntVar(store, 0, 5, name="x")
+        store.post(LazySqueeze(x))
+        assert "SAN706" in san.report.codes()
+        assert san.checks["idempotence_reruns"] >= 1
+
+    def test_clean_model_is_clean_and_checks_ran(self):
+        store = Store()
+        san = Sanitizer().install(store)
+        x = IntVar(store, 0, 9, name="x")
+        y = IntVar(store, 0, 9, name="y")
+        z = IntVar(store, 0, 9, name="z")
+        store.post(XPlusCLeqY(x, 2, y))
+        store.post(Neq(x, z))
+        store.push_level()
+        store.assign(x, 1)
+        store.propagate()
+        store.pop_level()
+        report = san.finish(store)
+        assert report.ok
+        assert store.sanitizer is None
+        assert san.checks["narrowings"] > 0
+        assert san.checks["fixpoint_sweeps"] > 0
+        assert san.checks["idempotence_reruns"] > 0
+        assert san.checks["pop_comparisons"] == 1
+
+    def test_probes_do_not_perturb_the_solve(self):
+        """Sanitize mode observes; it must not steer. Domains, counters
+        and trail depth after a sanitized propagation equal the plain
+        run's."""
+
+        def run(sanitize):
+            store = Store()
+            san = Sanitizer().install(store) if sanitize else None
+            vs = [IntVar(store, 0, 50, name=f"v{i}") for i in range(4)]
+            for a, b in zip(vs, vs[1:]):
+                store.post(XPlusCLeqY(a, 5, b))
+            store.push_level()
+            store.assign(vs[0], 7)
+            store.propagate()
+            doms = [str(v.domain) for v in vs]
+            depth = store.depth
+            store.pop_level()
+            if san is not None:
+                san.finish(store)
+            return doms, depth, store.n_failures
+
+        assert run(sanitize=False) == run(sanitize=True)
+
+    def test_finding_cap_sets_overflow_flag(self):
+        store = Store()
+        san = Sanitizer(SanitizeConfig(max_findings=1)).install(store)
+        x = IntVar(store, 0, 5, name="x")
+        y = IntVar(store, 0, 5, name="y")
+        store.post(LazySqueeze(x))
+        store.post(LazySqueeze(y))
+        assert len(san.report) == 1
+        assert san.overflowed
+
+    def test_as_dict_payload(self):
+        san = Sanitizer(subject="unit")
+        d = san.as_dict()
+        assert set(d) == {"report", "checks", "overflowed"}
+        assert d["report"]["subject"] == "unit"
+
+
+class TestMakeSanitizer:
+    def test_off_values(self):
+        assert make_sanitizer(False) is None
+        assert make_sanitizer(None) is None
+
+    def test_true_builds_default(self):
+        san = make_sanitizer(True, subject="s")
+        assert isinstance(san, Sanitizer)
+        assert san.config.sweep_every == 1
+
+    def test_config_is_wrapped(self):
+        cfg = SanitizeConfig(sweep_every=7)
+        san = make_sanitizer(cfg)
+        assert san.config is cfg
+
+    def test_existing_sanitizer_reused(self):
+        san = Sanitizer()
+        assert make_sanitizer(san) is san
+
+
+class TestInconsistencyContext:
+    def test_wipeout_carries_variable(self):
+        store = Store()
+        x = IntVar(store, 0, 3, name="x")
+        with pytest.raises(Inconsistency) as ei:
+            store.set_min(x, 99)
+        assert ei.value.var is x
+        assert ei.value.constraint is None  # no propagator was active
+        assert "wipe-out" in str(ei.value)
+
+    def test_propagator_failure_carries_constraint(self):
+        from repro.cp.constraints.diff2 import Diff2, Rect2
+
+        store = Store()
+        ox1 = IntVar(store, 0, 0, name="ox1")
+        ox2 = IntVar(store, 0, 0, name="ox2")
+        oy1 = IntVar(store, 0, 0, name="oy1")
+        oy2 = IntVar(store, 0, 0, name="oy2")
+        d = Diff2([Rect2(ox1, oy1, 1, 1), Rect2(ox2, oy2, 1, 1)])
+        with pytest.raises(Inconsistency) as ei:
+            store.post(d)  # the two unit rects are pinned to overlap
+        assert ei.value.constraint is d
+        assert ei.value.var is ox1
+
+    def test_message_text_unchanged(self):
+        # the structured fields must not leak into the rendered message
+        exc = Inconsistency("plain message", constraint=object(), var=object())
+        assert str(exc) == "plain message"
+
+
+class TestDeterminismAuditor:
+    def test_identical_solves_share_a_fingerprint(self):
+        from repro.apps.synth import random_kernel
+        from repro.ir import merge_pipeline_ops
+        from repro.sched import schedule
+
+        g = merge_pipeline_ops(random_kernel(seed=11, n_ops=8))
+        a = schedule(g, timeout_ms=30_000)
+        b = schedule(g, timeout_ms=30_000)
+        assert a.search_stats.trace_fingerprint is not None
+        assert (
+            a.search_stats.trace_fingerprint
+            == b.search_stats.trace_fingerprint
+        )
+
+    def test_sanitize_does_not_steer_the_search(self):
+        from repro.apps.synth import random_kernel
+        from repro.ir import merge_pipeline_ops
+        from repro.sched import schedule
+
+        g = merge_pipeline_ops(random_kernel(seed=12, n_ops=8))
+        plain = schedule(g, timeout_ms=30_000)
+        san = schedule(g, timeout_ms=30_000, sanitize=True)
+        assert san.makespan == plain.makespan
+        assert san.starts == plain.starts
+        assert (
+            san.search_stats.trace_fingerprint
+            == plain.search_stats.trace_fingerprint
+        )
+
+    def test_combine_fingerprints_algebra(self):
+        a = "ab" * 32
+        b = "3f" * 32
+        assert combine_fingerprints(a, None) == a
+        assert combine_fingerprints(None, b) == b
+        assert combine_fingerprints(a, b) == combine_fingerprints(b, a)
+        assert combine_fingerprints(a, a) == "00" * 32  # XOR cancels
+
+    def test_equality_report_agreement(self):
+        fp = "cd" * 32
+        rep = fingerprint_equality_report(
+            "unit", {"sequential": fp, "jobs=2": fp}
+        )
+        assert rep.ok and len(rep) == 0
+
+    def test_equality_report_divergence_is_error(self):
+        rep = fingerprint_equality_report(
+            "unit", {"sequential": "ab" * 32, "jobs=2": "cd" * 32}
+        )
+        assert not rep.ok
+        assert rep.codes() == ["SAN707"]
+
+    def test_equality_report_missing_is_warning(self):
+        fp = "ef" * 32
+        rep = fingerprint_equality_report(
+            "unit", {"sequential": fp, "jobs=2": None}
+        )
+        assert rep.ok  # warning only: the claim is vacuous, not violated
+        assert [d.severity for d in rep] == [Severity.WARNING]
+        assert rep.codes() == ["SAN707"]
+
+
+BAD_MODULE = textwrap.dedent(
+    '''
+    import time
+
+
+    class BadConstraint(Constraint):
+        def __init__(self, xs, seen=[]):
+            self.xs = xs
+            self.seen = seen
+
+        def propagate(self, store):
+            t = time.time()
+            todo = set(self.xs)
+            for v in todo:
+                self.seen.append(v)
+            return sorted(self.xs, key=lambda v: id(v))
+    '''
+)
+
+
+class TestSourceLint:
+    def test_bad_module_triggers_every_code(self, tmp_path):
+        mod = tmp_path / "cp" / "constraints"
+        mod.mkdir(parents=True)
+        (mod / "bad.py").write_text(BAD_MODULE, encoding="utf-8")
+        report, findings = lint_sources(root=tmp_path)
+        codes = {f.code for f in findings}
+        assert codes == {"SAN708", "SAN709", "SAN710", "SAN711", "SAN712"}
+        # heuristic findings are warnings; gating is the baseline's job
+        assert report.ok
+
+    def test_lint_keys_are_line_number_free(self, tmp_path):
+        mod = tmp_path / "cp" / "constraints"
+        mod.mkdir(parents=True)
+        (mod / "bad.py").write_text(BAD_MODULE, encoding="utf-8")
+        _, before = lint_sources(root=tmp_path)
+        (mod / "bad.py").write_text(
+            "# an unrelated leading comment\n" + BAD_MODULE, encoding="utf-8"
+        )
+        _, after = lint_sources(root=tmp_path)
+        assert sorted(f.key() for f in before) == sorted(
+            f.key() for f in after
+        )
+
+    def test_baseline_gates_new_findings_only(self, tmp_path):
+        from repro.analysis.sanitize import write_baseline
+
+        mod = tmp_path / "cp"
+        mod.mkdir()
+        (mod / "old.py").write_text(BAD_MODULE, encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        _, findings = lint_sources(root=tmp_path)
+        write_baseline(findings, path=baseline)
+
+        # all findings baselined: the gate is green
+        report, new, stale = lint_against_baseline(
+            root=tmp_path, baseline_path=baseline
+        )
+        assert report.ok and new == [] and stale == []
+
+        # a new violation elsewhere turns the gate red
+        (mod / "fresh.py").write_text(
+            "def f(x=[]):\n    return x\n", encoding="utf-8"
+        )
+        report, new, stale = lint_against_baseline(
+            root=tmp_path, baseline_path=baseline
+        )
+        assert not report.ok
+        assert [f.code for f in new] == ["SAN711"]
+
+        # removing the old file leaves its keys stale
+        (mod / "old.py").unlink()
+        _, new, stale = lint_against_baseline(
+            root=tmp_path, baseline_path=baseline
+        )
+        assert len(stale) == len(findings)
+
+    def test_repository_tree_is_lint_clean_vs_baseline(self):
+        report, new, stale = lint_against_baseline()
+        assert new == [], report.render()
+        assert stale == [], f"stale baseline entries: {stale}"
+
+
+class TestRegistry:
+    def test_all_san_codes_registered(self):
+        for n in range(701, 713):
+            code = f"SAN{n}"
+            assert code in CODES, code
+            assert CODES[code].title

@@ -143,3 +143,43 @@ class TestPropagation:
         store.assign(x, 2)
         store.propagate()
         assert 2 not in y.domain
+
+
+class TestDirtySetHygiene:
+    def test_failure_drain_clears_dirty_sets(self):
+        """Regression: a mid-propagation Inconsistency must not leave
+        stale dirty-set entries behind.
+
+        A cheap constraint (Eq, priority 0) fails before the expensive
+        dirty-tracking one (Diff2, priority 2) ever runs; the queue
+        drain must clear Diff2's dirty set, because the trail is about
+        to restore a fixpoint state at which that set was empty."""
+        from repro.cp.constraints.diff2 import Diff2, Rect2
+
+        store = Store()
+        x = IntVar(store, 0, 3, name="x")
+        y = IntVar(store, 0, 3, name="y")
+        row0 = IntVar(store, 0, 0)
+        row1 = IntVar(store, 1, 1)
+        # disjoint rows: the Diff2 itself is trivially satisfiable
+        d = store.post(Diff2([Rect2(x, row0, 1, 1), Rect2(y, row1, 1, 1)]))
+        store.post(Eq(x, y))
+        assert d._dirty == set()
+
+        store.push_level()
+        store.assign(x, 2)
+        store.assign(y, 3)
+        # both mutations were delivered to the dirty-tracking watcher
+        assert d._dirty == {x, y}
+        with pytest.raises(Inconsistency):
+            store.propagate()  # Eq wipes out first; Diff2 still queued
+        assert not store._queue
+        assert d._dirty == set()
+        store.pop_level()
+
+        # the restored state is usable: a consistent branch succeeds
+        store.push_level()
+        store.assign(x, 1)
+        store.propagate()
+        assert y.value() == 1
+        assert d._dirty == set()

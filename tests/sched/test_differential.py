@@ -40,9 +40,16 @@ def _spec(seed: int) -> SynthSpec:
 
 @pytest.fixture(scope="module", params=range(N_KERNELS))
 def kernel_pair(request):
-    """(graph, cp_schedule, greedy_schedule) for one seeded kernel."""
+    """(graph, cp_schedule, greedy_schedule) for one seeded kernel.
+
+    The CP solve runs under the propagator contract sanitizer
+    (``sanitize=True``): every propagate() call of every solve in this
+    suite is checked for contraction, trail integrity, failure soundness
+    and missed wakeups — a SAN7xx finding raises AuditError and fails
+    the whole parametrization.
+    """
     g = merge_pipeline_ops(random_kernel(_spec(request.param)))
-    cp = schedule(g, timeout_ms=60_000)
+    cp = schedule(g, timeout_ms=60_000, sanitize=True)
     greedy = greedy_schedule(g)
     return g, cp, greedy
 

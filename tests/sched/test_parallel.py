@@ -16,9 +16,16 @@ PROFILES = {
 
 
 def _fingerprint(m):
-    """Everything a modulo result decides — must be bit-identical."""
+    """Everything a modulo result decides — must be bit-identical.
+
+    ``decision_fingerprint`` is the winning candidate's canonical
+    decision-trace hash (every branch decision, failure and incumbent of
+    its search), so this comparison proves the parallel racer *searched*
+    identically to the sequential ladder, not merely that it landed on
+    the same answer.
+    """
     return (m.ii, m.actual_ii, m.status, m.offsets, m.stages, m.tried,
-            m.n_reconfigurations, m.fallback)
+            m.n_reconfigurations, m.fallback, m.decision_fingerprint)
 
 
 class TestExploreParallel:
@@ -101,6 +108,9 @@ class TestRacingModulo:
             graph, DEFAULT_CONFIG, timeout_ms=120_000, jobs=2
         )
         assert _fingerprint(par) == _fingerprint(seq)
+        # the checked claim is meaningful only if the hash is present
+        assert seq.decision_fingerprint is not None
+        assert par.decision_fingerprint == seq.decision_fingerprint
 
     def test_race_with_candidates_in_flight(self):
         # n_lanes=1 widens the II range (16..24 on matmul), so a 3-wide
@@ -117,6 +127,8 @@ class TestRacingModulo:
         seq = modulo_schedule(graph, cfg, timeout_ms=120_000)
         par = modulo_schedule_parallel(graph, cfg, timeout_ms=120_000, jobs=3)
         assert _fingerprint(par) == _fingerprint(seq)
+        assert seq.decision_fingerprint is not None
+        assert par.decision_fingerprint == seq.decision_fingerprint
 
 
 def test_default_jobs_positive():

@@ -27,7 +27,9 @@ from repro.sim import simulate
 def executed(request):
     builder = {"qrd": build_qrd, "backsub": build_backsub}[request.param]
     g = merge_pipeline_ops(builder())
-    sched = schedule(g, timeout_ms=60_000)
+    # sanitize=True: the solve feeding codegen+simulation runs under the
+    # SAN7xx propagator contract checks (AuditError on any finding).
+    sched = schedule(g, timeout_ms=60_000, sanitize=True)
     assert sched.status.value in ("optimal", "feasible")
     prog = generate(sched)
     sim = simulate(prog)

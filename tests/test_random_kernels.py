@@ -59,10 +59,11 @@ def test_random_kernel_full_flow(spec):
                 np.asarray(recomputed[d.nid]), np.asarray(d.value), atol=1e-9
             )
 
-    # schedule + allocate; verify independently, then hold the full
-    # static-analysis oracle to zero diagnostics (lint + eqs. 1-11 +
-    # codegen hazards)
-    s = schedule(g, timeout_ms=20_000)
+    # schedule + allocate under the propagator contract sanitizer
+    # (sanitize=True raises AuditError on any SAN7xx finding); verify
+    # independently, then hold the full static-analysis oracle to zero
+    # diagnostics (lint + eqs. 1-11 + codegen hazards)
+    s = schedule(g, timeout_ms=20_000, sanitize=True)
     assert s.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
     assert verify_schedule(s) == []
     lint = lint_graph(g)
